@@ -1,0 +1,122 @@
+// Command twigq loads XML files, builds a chosen set of indices, and
+// evaluates twig queries against them, printing matches and the work
+// counters.
+//
+// Usage:
+//
+//	twigq [-index rp,dp,edge,dg,if,asr,ji] [-strategy auto|rp|dp|edge|dg|if|asr|ji] \
+//	      [-show] file.xml... -q "/site//item[quantity='2']"
+//
+// With no files, the built-in synthetic XMark dataset is loaded.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	twigdb "repro"
+	"repro/internal/datagen"
+	"repro/internal/xmldb"
+)
+
+var kindByName = map[string]twigdb.IndexKind{
+	"rp": twigdb.RootPaths, "dp": twigdb.DataPaths, "edge": twigdb.Edge,
+	"dg": twigdb.DataGuide, "if": twigdb.IndexFabric, "asr": twigdb.ASR,
+	"ji": twigdb.JoinIndex, "xrel": twigdb.XRel, "sj": twigdb.Containment,
+}
+
+var strategyByName = map[string]twigdb.Strategy{
+	"auto": twigdb.Auto, "rp": twigdb.StrategyRootPaths,
+	"dp": twigdb.StrategyDataPaths, "edge": twigdb.StrategyEdge,
+	"dg": twigdb.StrategyDataGuideEdge, "if": twigdb.StrategyFabricEdge,
+	"asr": twigdb.StrategyASR, "ji": twigdb.StrategyJoinIndex,
+	"xrel": twigdb.StrategyXRel, "sj": twigdb.StrategyStructuralJoin,
+	"oracle": twigdb.Oracle,
+}
+
+func main() {
+	indexList := flag.String("index", "rp,dp", "comma-separated indices to build (rp,dp,edge,dg,if,asr,ji)")
+	strategy := flag.String("strategy", "auto", "evaluation strategy")
+	query := flag.String("q", "", "twig query (required)")
+	show := flag.Bool("show", false, "print matched subtrees as XML")
+	explain := flag.Bool("explain", false, "print the plan before executing")
+	flag.Parse()
+
+	if err := run(*indexList, *strategy, *query, *show, *explain, flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "twigq:", err)
+		os.Exit(1)
+	}
+}
+
+func run(indexList, strategy, query string, show, explain bool, files []string) error {
+	if query == "" {
+		return fmt.Errorf("missing -q query")
+	}
+	strat, ok := strategyByName[strategy]
+	if !ok {
+		return fmt.Errorf("unknown strategy %q", strategy)
+	}
+
+	db := twigdb.Open(nil)
+	if len(files) == 0 {
+		fmt.Fprintln(os.Stderr, "twigq: no files given; loading built-in synthetic XMark dataset")
+		var b strings.Builder
+		if err := xmldb.WriteXML(&b, datagen.XMark(datagen.XMarkConfig{ItemsPerRegion: 20}).Root); err != nil {
+			return err
+		}
+		if err := db.LoadXMLString(b.String()); err != nil {
+			return err
+		}
+	}
+	for _, f := range files {
+		fh, err := os.Open(f)
+		if err != nil {
+			return err
+		}
+		err = db.LoadXML(fh)
+		fh.Close()
+		if err != nil {
+			return fmt.Errorf("%s: %w", f, err)
+		}
+	}
+
+	var kinds []twigdb.IndexKind
+	for _, name := range strings.Split(indexList, ",") {
+		k, ok := kindByName[strings.TrimSpace(name)]
+		if !ok {
+			return fmt.Errorf("unknown index %q", name)
+		}
+		kinds = append(kinds, k)
+	}
+	if err := db.Build(kinds...); err != nil {
+		return err
+	}
+
+	if explain {
+		p, err := db.Explain(strat, query)
+		if err != nil {
+			return err
+		}
+		fmt.Print(p)
+	}
+	res, err := db.QueryWith(strat, query)
+	if err != nil {
+		return err
+	}
+	fmt.Println(res)
+	for _, n := range res.Nodes() {
+		fmt.Printf("  #%d %s", n.ID, n.Path)
+		if n.Value != "" {
+			fmt.Printf(" = %q", n.Value)
+		}
+		fmt.Println()
+		if show {
+			if err := res.WriteXML(os.Stdout, n.ID); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

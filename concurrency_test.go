@@ -1,0 +1,70 @@
+package twigdb_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	twigdb "repro"
+)
+
+// TestConcurrentQueries runs many goroutines querying the same database
+// through different strategies simultaneously: reads share the buffer pool
+// and B+-trees, which must be race-free (run under -race in CI).
+func TestConcurrentQueries(t *testing.T) {
+	db := openBook(t)
+	if err := db.Build(twigdb.Containment); err != nil {
+		t.Fatal(err)
+	}
+	queries := []string{
+		`/book//author[fn='jane']`,
+		`/book[title='XML']//author[ln='doe']`,
+		`//author[fn='jane'][ln='poe']`,
+		`/book/year[. = '2000']`,
+	}
+	strategies := []twigdb.Strategy{
+		twigdb.StrategyRootPaths, twigdb.StrategyDataPaths,
+		twigdb.StrategyEdge, twigdb.StrategyDataGuideEdge,
+		twigdb.StrategyFabricEdge, twigdb.StrategyASR,
+		twigdb.StrategyJoinIndex, twigdb.StrategyXRel,
+		twigdb.StrategyStructuralJoin,
+	}
+
+	// Reference results, computed serially.
+	want := map[string]int{}
+	for _, q := range queries {
+		res, err := db.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[q] = res.Count()
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 256)
+	for g := 0; g < 16; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				q := queries[(g+i)%len(queries)]
+				s := strategies[(g*7+i)%len(strategies)]
+				res, err := db.QueryWith(s, q)
+				if err != nil {
+					errs <- fmt.Errorf("%v %s: %w", s, q, err)
+					return
+				}
+				if res.Count() != want[q] {
+					errs <- fmt.Errorf("%v %s: %d results, want %d", s, q, res.Count(), want[q])
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

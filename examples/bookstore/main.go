@@ -1,0 +1,79 @@
+// Bookstore: compare all seven evaluation strategies on the same twig
+// queries over a generated book catalog, printing each strategy's work
+// counters — a miniature of the paper's Figures 11 and 12.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"strings"
+
+	twigdb "repro"
+)
+
+// catalog generates a bookstore with n books; every book has a title, a
+// year, 1-3 authors and a few chapters with sections.
+func catalog(n int) string {
+	rng := rand.New(rand.NewSource(42))
+	subjects := []string{"XML", "Databases", "Indexing", "Algorithms", "Networks"}
+	first := []string{"jane", "john", "maria", "wei", "anil"}
+	last := []string{"doe", "poe", "smith", "chen", "patel"}
+	var b strings.Builder
+	b.WriteString("<catalog>")
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "<book><title>%s</title><year>%d</year>",
+			subjects[rng.Intn(len(subjects))], 1990+rng.Intn(20))
+		b.WriteString("<allauthors>")
+		for a := 0; a <= rng.Intn(3); a++ {
+			fmt.Fprintf(&b, "<author><fn>%s</fn><ln>%s</ln></author>",
+				first[rng.Intn(len(first))], last[rng.Intn(len(last))])
+		}
+		b.WriteString("</allauthors>")
+		for c := 0; c <= rng.Intn(3); c++ {
+			fmt.Fprintf(&b, "<chapter><title>Chapter %d</title><section><head>Part %d</head></section></chapter>", c, c)
+		}
+		b.WriteString("</book>")
+	}
+	b.WriteString("</catalog>")
+	return b.String()
+}
+
+func main() {
+	db := twigdb.Open(&twigdb.Options{BufferPoolBytes: 16 << 20})
+	if err := db.LoadXMLString(catalog(500)); err != nil {
+		log.Fatal(err)
+	}
+	if err := db.BuildAll(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("loaded %d nodes; index sizes:\n", db.NodeCount())
+	for _, s := range db.IndexSpaces() {
+		fmt.Printf("  %-12s %6.2f MB in %d tree(s)\n", s.Name, float64(s.Bytes)/(1<<20), s.Trees)
+	}
+
+	strategies := []twigdb.Strategy{
+		twigdb.StrategyRootPaths, twigdb.StrategyDataPaths,
+		twigdb.StrategyEdge, twigdb.StrategyDataGuideEdge,
+		twigdb.StrategyFabricEdge, twigdb.StrategyASR,
+		twigdb.StrategyJoinIndex,
+	}
+	queries := []string{
+		`/catalog/book[title='XML']//author[fn='jane' and ln='doe']`,
+		`//book[year='1999']/title`,
+		`//author[fn='jane']`,
+		`/catalog/book[chapter/title='Chapter 1']/year`,
+	}
+	for _, q := range queries {
+		fmt.Printf("\n%s\n", q)
+		for _, s := range strategies {
+			res, err := db.QueryWith(s, q)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  %-8s %4d match(es)  lookups=%-5d rows=%-6d joins-in=%-6d inl=%v\n",
+				s, res.Count(), res.Stats.IndexLookups, res.Stats.RowsScanned,
+				res.Stats.JoinTuplesIn, res.Stats.UsedINL)
+		}
+	}
+}

@@ -1,0 +1,45 @@
+package twigdb_test
+
+import (
+	"strings"
+	"testing"
+
+	twigdb "repro"
+)
+
+func TestExplain(t *testing.T) {
+	db := openBook(t, twigdb.RootPaths, twigdb.DataPaths)
+	out, err := db.Explain(twigdb.StrategyDataPaths, `/book[title='XML']//author[fn='jane']`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"strategy DP", "branch(es)", "output author", "est=", "scan"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Explain output missing %q:\n%s", want, out)
+		}
+	}
+	// Estimates are exact: the title branch matches one row.
+	if !strings.Contains(out, "est=1 rows") {
+		t.Errorf("expected an exact est=1 branch:\n%s", out)
+	}
+
+	// Auto resolves to the default strategy.
+	out, err = db.Explain(twigdb.Auto, `/book`)
+	if err != nil || !strings.Contains(out, "strategy DP") {
+		t.Errorf("Auto explain = %q, %v", out, err)
+	}
+
+	// Oracle has a fixed description.
+	out, err = db.Explain(twigdb.Oracle, `/book`)
+	if err != nil || !strings.Contains(out, "naive") {
+		t.Errorf("Oracle explain = %q, %v", out, err)
+	}
+
+	// Errors propagate.
+	if _, err := db.Explain(twigdb.StrategyASR, `/book`); err == nil {
+		t.Errorf("Explain for unbuilt index: want error")
+	}
+	if _, err := db.Explain(twigdb.Auto, `bad query`); err == nil {
+		t.Errorf("Explain of bad query: want error")
+	}
+}

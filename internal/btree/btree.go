@@ -1,0 +1,231 @@
+package btree
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+
+	"repro/internal/storage"
+)
+
+// Tree is a disk-backed B+-tree. It is not safe for concurrent mutation;
+// reads may proceed concurrently with other reads.
+type Tree struct {
+	pool *storage.Pool
+	name string
+
+	root    storage.PageID
+	height  int
+	pages   int64
+	entries int64
+}
+
+// Stats describes a tree's shape and footprint.
+type Stats struct {
+	Name    string
+	Pages   int64
+	Height  int
+	Entries int64
+	Bytes   int64
+}
+
+// New creates an empty tree (a single empty leaf) drawing pages from pool.
+func New(pool *storage.Pool, name string) (*Tree, error) {
+	t := &Tree{pool: pool, name: name, height: 1}
+	pg, err := pool.Allocate()
+	if err != nil {
+		return nil, err
+	}
+	t.pages++
+	pc := pageContent{leaf: true, aux: storage.InvalidPage}
+	err = encodePage(&pc, pg.Data)
+	pool.Unpin(pg, true)
+	if err != nil {
+		return nil, err
+	}
+	t.root = pg.ID
+	return t, nil
+}
+
+// Stats returns the tree's current shape.
+func (t *Tree) Stats() Stats {
+	return Stats{
+		Name:    t.name,
+		Pages:   t.pages,
+		Height:  t.height,
+		Entries: t.entries,
+		Bytes:   t.pages * storage.PageSize,
+	}
+}
+
+// Name returns the tree's diagnostic name.
+func (t *Tree) Name() string { return t.name }
+
+func (t *Tree) alloc(pc *pageContent) (storage.PageID, error) {
+	pg, err := t.pool.Allocate()
+	if err != nil {
+		return storage.InvalidPage, err
+	}
+	t.pages++
+	err = encodePage(pc, pg.Data)
+	t.pool.Unpin(pg, true)
+	if err != nil {
+		return storage.InvalidPage, err
+	}
+	return pg.ID, nil
+}
+
+func (t *Tree) write(id storage.PageID, pc *pageContent) error {
+	pg, err := t.pool.Fetch(id)
+	if err != nil {
+		return err
+	}
+	err = encodePage(pc, pg.Data)
+	t.pool.Unpin(pg, true)
+	return err
+}
+
+// Insert adds (key, val); duplicate keys are allowed.
+func (t *Tree) Insert(key, val []byte) error {
+	if len(key)+len(val) > MaxEntrySize {
+		return fmt.Errorf("btree %s: entry too large (%d bytes, max %d)", t.name, len(key)+len(val), MaxEntrySize)
+	}
+	sep, right, err := t.insertAt(t.root, key, val, t.height)
+	if err != nil {
+		return err
+	}
+	t.entries++
+	if right == storage.InvalidPage {
+		return nil
+	}
+	// Root split: new root with the old root as leftmost child.
+	newRoot := pageContent{
+		leaf:    false,
+		aux:     t.root,
+		entries: []entry{{key: sep, child: right}},
+	}
+	id, err := t.alloc(&newRoot)
+	if err != nil {
+		return err
+	}
+	t.root = id
+	t.height++
+	return nil
+}
+
+// insertAt inserts into the subtree rooted at id (at the given height,
+// 1 = leaf). On split it returns the separator key and new right sibling.
+func (t *Tree) insertAt(id storage.PageID, key, val []byte, height int) ([]byte, storage.PageID, error) {
+	pg, err := t.pool.Fetch(id)
+	if err != nil {
+		return nil, storage.InvalidPage, err
+	}
+	if height > 1 {
+		// Internal: descend into the child for this key, then handle a
+		// possible child split.
+		childIdx, child := descendChild(pg.Data, key)
+		t.pool.Unpin(pg, false)
+		sep, right, err := t.insertAt(child, key, val, height-1)
+		if err != nil || right == storage.InvalidPage {
+			return nil, storage.InvalidPage, err
+		}
+		pg, err = t.pool.Fetch(id)
+		if err != nil {
+			return nil, storage.InvalidPage, err
+		}
+		pc := decodePage(pg.Data)
+		t.pool.Unpin(pg, false)
+		e := entry{key: sep, child: right}
+		pos := childIdx + 1 // separator goes right after the descended child
+		pc.entries = append(pc.entries, entry{})
+		copy(pc.entries[pos+1:], pc.entries[pos:])
+		pc.entries[pos] = e
+		return t.storeSplit(id, &pc)
+	}
+	// Leaf.
+	pc := decodePage(pg.Data)
+	t.pool.Unpin(pg, false)
+	pos := sort.Search(len(pc.entries), func(i int) bool {
+		return bytes.Compare(pc.entries[i].key, key) >= 0
+	})
+	e := entry{key: append([]byte(nil), key...), val: append([]byte(nil), val...)}
+	pc.entries = append(pc.entries, entry{})
+	copy(pc.entries[pos+1:], pc.entries[pos:])
+	pc.entries[pos] = e
+	return t.storeSplit(id, &pc)
+}
+
+// storeSplit writes pc back to id, splitting into a new right sibling if it
+// no longer fits.
+func (t *Tree) storeSplit(id storage.PageID, pc *pageContent) ([]byte, storage.PageID, error) {
+	if fits(pc) {
+		return nil, storage.InvalidPage, t.write(id, pc)
+	}
+	mid := len(pc.entries) / 2
+	rightEntries := append([]entry(nil), pc.entries[mid:]...)
+	leftEntries := pc.entries[:mid]
+
+	right := pageContent{leaf: pc.leaf, entries: rightEntries}
+	left := pageContent{leaf: pc.leaf, entries: leftEntries, aux: pc.aux}
+	var sep []byte
+	if pc.leaf {
+		sep = append([]byte(nil), rightEntries[0].key...)
+		right.aux = pc.aux // old next-leaf
+	} else {
+		// Push the middle key up instead of duplicating it: the right
+		// node's leftmost child is the pushed entry's child.
+		sep = append([]byte(nil), rightEntries[0].key...)
+		right.aux = rightEntries[0].child
+		right.entries = rightEntries[1:]
+	}
+	rightID, err := t.alloc(&right)
+	if err != nil {
+		return nil, storage.InvalidPage, err
+	}
+	if pc.leaf {
+		left.aux = rightID // link leaves
+	}
+	if err := t.write(id, &left); err != nil {
+		return nil, storage.InvalidPage, err
+	}
+	return sep, rightID, nil
+}
+
+// descendChild returns the index of the separator whose child should contain
+// key (-1 for the leftmost child) and that child's page id.
+//
+// The descent rule is "largest separator strictly less than key": because a
+// split can leave keys equal to the separator in the left sibling, an
+// equal separator must route to the child *before* it; the linked leaf
+// chain makes landing early harmless.
+func descendChild(d []byte, key []byte) (int, storage.PageID) {
+	n := pageNumCells(d)
+	lo, hi := 0, n // find first separator >= key
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if compareCellKey(d, mid, key) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	idx := lo - 1 // last separator < key
+	if idx < 0 {
+		return -1, pageAux(d)
+	}
+	_, child := internalCell(d, idx)
+	return idx, child
+}
+
+// Get returns the value of the first entry with exactly the given key.
+func (t *Tree) Get(key []byte) (val []byte, ok bool, err error) {
+	it, err := t.Seek(key)
+	if err != nil {
+		return nil, false, err
+	}
+	defer it.Close()
+	if it.Valid() && bytes.Equal(it.Key(), key) {
+		return append([]byte(nil), it.Value()...), true, nil
+	}
+	return nil, false, it.Err()
+}

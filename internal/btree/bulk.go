@@ -1,0 +1,167 @@
+package btree
+
+import (
+	"bytes"
+	"fmt"
+
+	"repro/internal/storage"
+)
+
+// bulkFill targets this fraction of a page during bulk load, leaving slack
+// for later inserts.
+const bulkFillPercent = 90
+
+// commonPrefixLen returns the length of the longest common prefix of a and b.
+func commonPrefixLen(a, b []byte) int {
+	n := 0
+	for n < len(a) && n < len(b) && a[n] == b[n] {
+		n++
+	}
+	return n
+}
+
+// Entry is a key/value pair for bulk loading.
+type Entry struct {
+	Key []byte
+	Val []byte
+}
+
+// BulkLoad builds a tree from entries, which must be sorted by key
+// (duplicates allowed). It is the fast path for index construction: pages
+// are written once, left-to-right, at a uniform fill factor.
+func BulkLoad(pool *storage.Pool, name string, entries []Entry) (*Tree, error) {
+	for i := 1; i < len(entries); i++ {
+		if bytes.Compare(entries[i-1].Key, entries[i].Key) > 0 {
+			return nil, fmt.Errorf("btree %s: bulk load input not sorted at %d", name, i)
+		}
+	}
+	t := &Tree{pool: pool, name: name, height: 1}
+
+	limit := storage.PageSize * bulkFillPercent / 100
+
+	// Build the leaf level. Page boundaries account for prefix
+	// compression: with sorted input, the page's common prefix is the
+	// common prefix of its first key and the incoming key, so the
+	// compressed size can be tracked incrementally.
+	var (
+		leafSeps []entry // (first key, page id) per leaf, for the level above
+		cur      pageContent
+		sumFull  int // sum of uncompressed cell+slot sizes on this page
+		leafIDs  []storage.PageID
+	)
+	cur.leaf = true
+	flushLeaf := func() error {
+		if len(cur.entries) == 0 {
+			return nil
+		}
+		id, err := t.alloc(&pageContent{leaf: true, aux: storage.InvalidPage, entries: cur.entries})
+		if err != nil {
+			return err
+		}
+		leafSeps = append(leafSeps, entry{key: append([]byte(nil), cur.entries[0].key...), child: id})
+		leafIDs = append(leafIDs, id)
+		cur.entries = nil
+		sumFull = 0
+		return nil
+	}
+	for _, e := range entries {
+		if len(e.Key)+len(e.Val) > MaxEntrySize {
+			return nil, fmt.Errorf("btree %s: entry too large (%d bytes, max %d)", name, len(e.Key)+len(e.Val), MaxEntrySize)
+		}
+		sz := 4 + len(e.Key) + len(e.Val) + 2
+		if len(cur.entries) > 0 {
+			plen := commonPrefixLen(cur.entries[0].key, e.Key)
+			compressed := headerSize + plen + sumFull + sz - (len(cur.entries)+1)*plen
+			if compressed > limit {
+				if err := flushLeaf(); err != nil {
+					return nil, err
+				}
+			}
+		}
+		cur.entries = append(cur.entries, entry{
+			key: append([]byte(nil), e.Key...),
+			val: append([]byte(nil), e.Val...),
+		})
+		sumFull += sz
+	}
+	if err := flushLeaf(); err != nil {
+		return nil, err
+	}
+	t.entries = int64(len(entries))
+
+	if len(leafIDs) == 0 {
+		// Empty input: single empty leaf.
+		pc := pageContent{leaf: true, aux: storage.InvalidPage}
+		id, err := t.alloc(&pc)
+		if err != nil {
+			return nil, err
+		}
+		t.root = id
+		return t, nil
+	}
+
+	// Chain the leaves.
+	for i := 0; i+1 < len(leafIDs); i++ {
+		pg, err := pool.Fetch(leafIDs[i])
+		if err != nil {
+			return nil, err
+		}
+		putI32(pg.Data[5:9], int32(leafIDs[i+1]))
+		pool.Unpin(pg, true)
+	}
+
+	// Build internal levels bottom-up until one node remains.
+	level := leafSeps
+	for len(level) > 1 {
+		var (
+			next         []entry
+			node         pageContent
+			nodeFirstKey []byte
+			nodeStarted  bool
+			nodeSz       = headerSize
+		)
+		node.leaf = false
+		node.aux = storage.InvalidPage
+		flushNode := func() error {
+			if !nodeStarted {
+				return nil
+			}
+			id, err := t.alloc(&pageContent{leaf: false, aux: node.aux, entries: node.entries})
+			if err != nil {
+				return err
+			}
+			next = append(next, entry{key: nodeFirstKey, child: id})
+			node.entries = nil
+			node.aux = storage.InvalidPage
+			nodeFirstKey = nil
+			nodeStarted = false
+			nodeSz = headerSize
+			return nil
+		}
+		for _, sep := range level {
+			sz := 6 + len(sep.key) + 2
+			if nodeStarted && nodeSz+sz > limit {
+				if err := flushNode(); err != nil {
+					return nil, err
+				}
+			}
+			if !nodeStarted {
+				// First child of this node becomes the leftmost
+				// pointer; its first key labels the node one level up.
+				node.aux = sep.child
+				nodeFirstKey = sep.key
+				nodeStarted = true
+			} else {
+				node.entries = append(node.entries, entry{key: sep.key, child: sep.child})
+				nodeSz += sz
+			}
+		}
+		if err := flushNode(); err != nil {
+			return nil, err
+		}
+		level = next
+		t.height++
+	}
+	t.root = level[0].child
+	return t, nil
+}

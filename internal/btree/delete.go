@@ -1,0 +1,88 @@
+package btree
+
+import (
+	"bytes"
+
+	"repro/internal/storage"
+)
+
+// Delete removes the first entry exactly matching (key, val) and reports
+// whether one was found. Duplicate keys are scanned in order, following the
+// leaf chain if necessary.
+//
+// Deletion is lazy: pages are never merged or rebalanced, and an empty leaf
+// stays in the tree (iterators skip it). This matches the read-mostly usage
+// of the paper — updates exist (Section 7 discusses them as future work) but
+// bulk build remains the fast path.
+func (t *Tree) Delete(key, val []byte) (bool, error) {
+	// Descend to the leftmost leaf that can contain key.
+	id := t.root
+	for h := t.height; h > 1; h-- {
+		pg, err := t.pool.Fetch(id)
+		if err != nil {
+			return false, err
+		}
+		_, child := descendChild(pg.Data, key)
+		t.pool.Unpin(pg, false)
+		id = child
+	}
+	for id != storage.InvalidPage {
+		pg, err := t.pool.Fetch(id)
+		if err != nil {
+			return false, err
+		}
+		n := pageNumCells(pg.Data)
+		next := pageAux(pg.Data)
+		for i := 0; i < n; i++ {
+			cmp := compareCellKey(pg.Data, i, key)
+			if cmp < 0 {
+				continue
+			}
+			if cmp > 0 {
+				t.pool.Unpin(pg, false)
+				return false, nil // past all duplicates of key
+			}
+			_, cellVal := leafCell(pg.Data, i)
+			if !bytes.Equal(cellVal, val) {
+				continue
+			}
+			// Found: rewrite the leaf without entry i.
+			pc := decodePage(pg.Data)
+			pc.entries = append(pc.entries[:i], pc.entries[i+1:]...)
+			err := encodePage(&pc, pg.Data)
+			t.pool.Unpin(pg, true)
+			if err != nil {
+				return false, err
+			}
+			t.entries--
+			return true, nil
+		}
+		t.pool.Unpin(pg, false)
+		id = next
+	}
+	return false, nil
+}
+
+// DeleteAll removes every entry with exactly the given key, returning the
+// number removed.
+func (t *Tree) DeleteAll(key []byte) (int, error) {
+	removed := 0
+	for {
+		// Re-find each time; simple and correct for the rare-update path.
+		val, ok, err := t.Get(key)
+		if err != nil {
+			return removed, err
+		}
+		if !ok {
+			return removed, nil
+		}
+		ok, err = t.Delete(key, val)
+		if err != nil {
+			return removed, err
+		}
+		if !ok {
+			return removed, nil
+		}
+		removed++
+	}
+}

@@ -1,0 +1,138 @@
+package btree
+
+import (
+	"bytes"
+	"sort"
+
+	"repro/internal/storage"
+)
+
+// Iterator walks leaf entries in key order. Key and Value return slices that
+// are valid only until the next call to Next or Close; copy them to retain.
+//
+// Usage:
+//
+//	it, err := t.Seek(probe)
+//	if err != nil { ... }
+//	defer it.Close()
+//	for ; it.Valid(); it.Next() {
+//		use(it.Key(), it.Value())
+//	}
+//	if err := it.Err(); err != nil { ... }
+type Iterator struct {
+	tree *Tree
+	pg   *storage.Page // pinned current leaf, nil when done
+	idx  int
+	err  error
+	key  []byte // reusable buffer for prefix+suffix
+}
+
+// Seek returns an iterator positioned at the first entry >= key.
+func (t *Tree) Seek(key []byte) (*Iterator, error) {
+	id := t.root
+	for h := t.height; h > 1; h-- {
+		pg, err := t.pool.Fetch(id)
+		if err != nil {
+			return nil, err
+		}
+		_, child := descendChild(pg.Data, key)
+		t.pool.Unpin(pg, false)
+		id = child
+	}
+	pg, err := t.pool.Fetch(id)
+	if err != nil {
+		return nil, err
+	}
+	it := &Iterator{tree: t, pg: pg}
+	// First entry >= key within this leaf.
+	n := pageNumCells(pg.Data)
+	it.idx = sort.Search(n, func(i int) bool {
+		return compareCellKey(pg.Data, i, key) >= 0
+	})
+	it.skipExhausted()
+	return it, nil
+}
+
+// Scan returns an iterator over the whole tree.
+func (t *Tree) Scan() (*Iterator, error) {
+	return t.Seek(nil)
+}
+
+// skipExhausted advances across empty / finished leaves via the leaf chain.
+func (it *Iterator) skipExhausted() {
+	for it.pg != nil && it.idx >= pageNumCells(it.pg.Data) {
+		next := pageAux(it.pg.Data)
+		it.tree.pool.Unpin(it.pg, false)
+		it.pg = nil
+		if next == storage.InvalidPage {
+			return
+		}
+		pg, err := it.tree.pool.Fetch(next)
+		if err != nil {
+			it.err = err
+			return
+		}
+		it.pg = pg
+		it.idx = 0
+	}
+}
+
+// Valid reports whether the iterator is positioned at an entry.
+func (it *Iterator) Valid() bool { return it.pg != nil && it.err == nil }
+
+// Next advances to the next entry.
+func (it *Iterator) Next() {
+	if !it.Valid() {
+		return
+	}
+	it.idx++
+	it.skipExhausted()
+}
+
+// Key returns the current full key (prefix rejoined with suffix).
+func (it *Iterator) Key() []byte {
+	suffix, _ := leafCell(it.pg.Data, it.idx)
+	it.key = append(it.key[:0], pagePrefix(it.pg.Data)...)
+	it.key = append(it.key, suffix...)
+	return it.key
+}
+
+// Value returns the current value.
+func (it *Iterator) Value() []byte {
+	_, val := leafCell(it.pg.Data, it.idx)
+	return val
+}
+
+// Err returns the first error encountered while iterating.
+func (it *Iterator) Err() error { return it.err }
+
+// Close releases the iterator's pinned page. It is safe to call twice.
+func (it *Iterator) Close() {
+	if it.pg != nil {
+		it.tree.pool.Unpin(it.pg, false)
+		it.pg = nil
+	}
+}
+
+// PrefixIterator yields only entries whose key starts with a probe prefix —
+// the primitive behind every index lookup in the family (the probe prefix is
+// the encoded fixed columns plus a reverse-schema-path prefix).
+type PrefixIterator struct {
+	*Iterator
+	prefix []byte
+}
+
+// SeekPrefix returns an iterator over all entries with the given key prefix.
+func (t *Tree) SeekPrefix(prefix []byte) (*PrefixIterator, error) {
+	it, err := t.Seek(prefix)
+	if err != nil {
+		return nil, err
+	}
+	return &PrefixIterator{Iterator: it, prefix: prefix}, nil
+}
+
+// Valid reports whether the iterator is at an entry that still has the
+// prefix.
+func (it *PrefixIterator) Valid() bool {
+	return it.Iterator.Valid() && bytes.HasPrefix(it.Iterator.Key(), it.prefix)
+}

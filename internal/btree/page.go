@@ -1,0 +1,213 @@
+// Package btree implements a disk-backed B+-tree over variable-length byte
+// keys and values, the access method behind every index in the family. The
+// paper's indices are "regular B+-tree indices" in DB2; two properties it
+// relies on are reproduced here:
+//
+//   - per-page common-prefix compression of keys ("many commercial systems
+//     such as DB2 implement prefix compression on indexed columns to reduce
+//     the key size", Section 3.1), and
+//   - efficient prefix-range scans, the primitive that makes reverse schema
+//     paths answer PCsubpath queries with a leading //.
+//
+// Duplicate keys are permitted. Leaves are chained for range scans.
+package btree
+
+import (
+	"bytes"
+	"fmt"
+
+	"repro/internal/storage"
+)
+
+const (
+	pageLeaf     = 1
+	pageInternal = 2
+
+	headerSize = 12
+	// offType = 0; numCells at 1..2; prefixLen at 3..4; aux (next-leaf id
+	// for leaves, leftmost-child id for internal nodes) at 5..8.
+
+	// MaxEntrySize bounds key+value so that any entry fits comfortably in
+	// a page even with minimal fanout.
+	MaxEntrySize = storage.PageSize / 4
+)
+
+// entry is a decoded cell. Leaf entries use key/val; internal entries use
+// key/child where child holds keys >= key.
+type entry struct {
+	key   []byte
+	val   []byte
+	child storage.PageID
+}
+
+// pageContent is a fully decoded page, the representation used on the write
+// path (inserts, splits, bulk load).
+type pageContent struct {
+	leaf    bool
+	aux     storage.PageID // next leaf, or leftmost child
+	entries []entry
+}
+
+func u16(b []byte) int       { return int(b[0])<<8 | int(b[1]) }
+func putU16(b []byte, v int) { b[0], b[1] = byte(v>>8), byte(v) }
+func i32(b []byte) int32 {
+	return int32(uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3]))
+}
+func putI32(b []byte, v int32) {
+	b[0], b[1], b[2], b[3] = byte(uint32(v)>>24), byte(uint32(v)>>16), byte(uint32(v)>>8), byte(uint32(v))
+}
+
+func pageType(d []byte) int           { return int(d[0]) }
+func pageNumCells(d []byte) int       { return u16(d[1:3]) }
+func pagePrefixLen(d []byte) int      { return u16(d[3:5]) }
+func pageAux(d []byte) storage.PageID { return storage.PageID(i32(d[5:9])) }
+func pagePrefix(d []byte) []byte      { return d[headerSize : headerSize+pagePrefixLen(d)] }
+func slotBase(d []byte) int           { return headerSize + pagePrefixLen(d) }
+func cellOffset(d []byte, i int) int  { return u16(d[slotBase(d)+2*i:]) }
+
+// leafCell returns the key suffix and value of leaf cell i.
+func leafCell(d []byte, i int) (suffix, val []byte) {
+	off := cellOffset(d, i)
+	klen := u16(d[off:])
+	vlen := u16(d[off+2:])
+	off += 4
+	return d[off : off+klen], d[off+klen : off+klen+vlen]
+}
+
+// internalCell returns the key suffix and child of internal cell i.
+func internalCell(d []byte, i int) (suffix []byte, child storage.PageID) {
+	off := cellOffset(d, i)
+	klen := u16(d[off:])
+	child = storage.PageID(i32(d[off+2:]))
+	off += 6
+	return d[off : off+klen], child
+}
+
+// compareCellKey compares the full key of cell i (prefix + suffix) with key.
+func compareCellKey(d []byte, i int, key []byte) int {
+	prefix := pagePrefix(d)
+	var suffix []byte
+	if pageType(d) == pageLeaf {
+		suffix, _ = leafCell(d, i)
+	} else {
+		suffix, _ = internalCell(d, i)
+	}
+	head := key
+	if len(head) > len(prefix) {
+		head = head[:len(prefix)]
+	}
+	if c := bytes.Compare(prefix, head); c != 0 {
+		return c
+	}
+	return bytes.Compare(suffix, key[len(prefix):])
+}
+
+// decodePage decodes all cells of a page; write path only.
+func decodePage(d []byte) pageContent {
+	n := pageNumCells(d)
+	prefix := pagePrefix(d)
+	pc := pageContent{
+		leaf:    pageType(d) == pageLeaf,
+		aux:     pageAux(d),
+		entries: make([]entry, n),
+	}
+	for i := 0; i < n; i++ {
+		if pc.leaf {
+			suffix, val := leafCell(d, i)
+			pc.entries[i] = entry{
+				key: concat(prefix, suffix),
+				val: append([]byte(nil), val...),
+			}
+		} else {
+			suffix, child := internalCell(d, i)
+			pc.entries[i] = entry{key: concat(prefix, suffix), child: child}
+		}
+	}
+	return pc
+}
+
+func concat(a, b []byte) []byte {
+	out := make([]byte, 0, len(a)+len(b))
+	out = append(out, a...)
+	return append(out, b...)
+}
+
+// commonPrefix returns the longest common prefix of the first and last keys
+// (which, for sorted entries, is common to all).
+func commonPrefix(entries []entry) []byte {
+	if len(entries) == 0 {
+		return nil
+	}
+	a, b := entries[0].key, entries[len(entries)-1].key
+	n := 0
+	for n < len(a) && n < len(b) && a[n] == b[n] {
+		n++
+	}
+	return a[:n]
+}
+
+// encodedSize returns the page space needed by entries with the given
+// common prefix length.
+func encodedSize(pc *pageContent, plen int) int {
+	size := headerSize + plen + 2*len(pc.entries)
+	for _, e := range pc.entries {
+		if pc.leaf {
+			size += 4 + (len(e.key) - plen) + len(e.val)
+		} else {
+			size += 6 + (len(e.key) - plen)
+		}
+	}
+	return size
+}
+
+// encodePage writes pc into d (a full page buffer), applying prefix
+// compression. Entries must be sorted. Returns an error if pc does not fit.
+func encodePage(pc *pageContent, d []byte) error {
+	prefix := commonPrefix(pc.entries)
+	if len(prefix) > 0xFFFF {
+		prefix = prefix[:0xFFFF]
+	}
+	if sz := encodedSize(pc, len(prefix)); sz > storage.PageSize {
+		return fmt.Errorf("btree: page overflow (%d bytes, %d entries)", sz, len(pc.entries))
+	}
+	for i := range d {
+		d[i] = 0
+	}
+	if pc.leaf {
+		d[0] = pageLeaf
+	} else {
+		d[0] = pageInternal
+	}
+	putU16(d[1:3], len(pc.entries))
+	putU16(d[3:5], len(prefix))
+	putI32(d[5:9], int32(pc.aux))
+	copy(d[headerSize:], prefix)
+	slot := slotBase(d)
+	heap := storage.PageSize
+	for i, e := range pc.entries {
+		suffix := e.key[len(prefix):]
+		var cellLen int
+		if pc.leaf {
+			cellLen = 4 + len(suffix) + len(e.val)
+		} else {
+			cellLen = 6 + len(suffix)
+		}
+		heap -= cellLen
+		putU16(d[slot+2*i:], heap)
+		putU16(d[heap:], len(suffix))
+		if pc.leaf {
+			putU16(d[heap+2:], len(e.val))
+			copy(d[heap+4:], suffix)
+			copy(d[heap+4+len(suffix):], e.val)
+		} else {
+			putI32(d[heap+2:], int32(e.child))
+			copy(d[heap+6:], suffix)
+		}
+	}
+	return nil
+}
+
+// fits reports whether pc encodes within a page.
+func fits(pc *pageContent) bool {
+	return encodedSize(pc, len(commonPrefix(pc.entries))) <= storage.PageSize
+}

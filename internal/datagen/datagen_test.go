@@ -1,0 +1,137 @@
+package datagen
+
+import (
+	"testing"
+
+	"repro/internal/naive"
+	"repro/internal/xmldb"
+	"repro/internal/xpath"
+)
+
+func count(t *testing.T, s *xmldb.Store, q string) int {
+	t.Helper()
+	return len(naive.Match(s, xpath.MustParse(q)))
+}
+
+func xmarkStore(t *testing.T, items int) *xmldb.Store {
+	t.Helper()
+	s := xmldb.NewStore()
+	s.AddDocument(XMark(XMarkConfig{ItemsPerRegion: items}))
+	return s
+}
+
+func TestXMarkDeterministic(t *testing.T) {
+	a := XMark(XMarkConfig{ItemsPerRegion: 10, Seed: 7})
+	b := XMark(XMarkConfig{ItemsPerRegion: 10, Seed: 7})
+	if xmldb.Dump(a.Root) != xmldb.Dump(b.Root) {
+		t.Fatalf("same seed produced different documents")
+	}
+	c := XMark(XMarkConfig{ItemsPerRegion: 10, Seed: 8})
+	if xmldb.Dump(a.Root) == xmldb.Dump(c.Root) {
+		t.Fatalf("different seeds produced identical documents")
+	}
+}
+
+func TestXMarkPlantedSelectivities(t *testing.T) {
+	s := xmarkStore(t, 40) // 240 items, 480 persons, 480 auctions
+	// Q1x ladder.
+	q1 := count(t, s, `/site/regions/namerica/item/quantity[. = '`+QuantityRare+`']`)
+	q2 := count(t, s, `/site/regions/namerica/item/quantity[. = '`+QuantityMid+`']`)
+	q3 := count(t, s, `/site/regions/namerica/item/quantity[. = '`+QuantityCommon+`']`)
+	if q1 != 1 {
+		t.Errorf("rare quantity count = %d, want 1", q1)
+	}
+	if !(q1 < q2 && q2 < q3) {
+		t.Errorf("selectivity ladder violated: %d, %d, %d", q1, q2, q3)
+	}
+	// Person plants.
+	if got := count(t, s, `//person[profile/@income = '`+IncomeRare+`']`); got != 1 {
+		t.Errorf("rare income count = %d, want 1", got)
+	}
+	if got := count(t, s, `//person[name = '`+PersonRareName+`']`); got != 1 {
+		t.Errorf("rare name count = %d, want 1", got)
+	}
+	common := count(t, s, `//person[profile/@income = '`+IncomeCommon+`']`)
+	if common < 10 {
+		t.Errorf("common income count = %d, want a moderate population", common)
+	}
+	// Auction plants.
+	rare := count(t, s, `//open_auction[@increase = '`+IncreaseRare+`']`)
+	commonInc := count(t, s, `//open_auction[@increase = '`+IncreaseCommon+`']`)
+	if rare == 0 || commonInc == 0 || rare >= commonInc {
+		t.Errorf("increase selectivities: rare=%d common=%d", rare, commonInc)
+	}
+	if got := count(t, s, `//open_auction[annotation/author/@person = '`+RarePerson+`']`); got != 3 {
+		t.Errorf("rare person auctions = %d, want 3", got)
+	}
+	// Recursion breadth: //item must span all six regions.
+	if got := count(t, s, `/site//item`); got != 240 {
+		t.Errorf("total items = %d, want 240", got)
+	}
+	if got := count(t, s, `//item[incategory/category = '`+RareCategory+`']`); got == 0 {
+		t.Errorf("rare category absent")
+	}
+}
+
+func TestXMarkSixRegionPaths(t *testing.T) {
+	s := xmarkStore(t, 5)
+	stats := s.CollectStats()
+	if stats.Nodes == 0 || stats.MaxDepth < 6 {
+		t.Fatalf("XMark too shallow: %+v", stats)
+	}
+	// Every region contributes items, so //item expands to 6 concrete
+	// paths (the Figure 13 setting).
+	for _, r := range Regions {
+		if got := count(t, s, `/site/regions/`+r+`/item`); got != 5 {
+			t.Errorf("region %s items = %d, want 5", r, got)
+		}
+	}
+}
+
+func TestDBLPPlantedSelectivities(t *testing.T) {
+	s := xmldb.NewStore()
+	s.AddDocument(DBLP(DBLPConfig{Papers: 1500}))
+	q1 := count(t, s, `/dblp/inproceedings/year[. = '`+YearRare+`']`)
+	q2 := count(t, s, `/dblp/inproceedings/year[. = '`+YearMid+`']`)
+	q3 := count(t, s, `/dblp/inproceedings/year[. = '`+YearCommon+`']`)
+	if q1 != 1 {
+		t.Errorf("rare year = %d, want 1", q1)
+	}
+	if !(q1 < q2 && q2 < q3) {
+		t.Errorf("year ladder violated: %d %d %d", q1, q2, q3)
+	}
+	stats := s.CollectStats()
+	if stats.MaxDepth > 4 {
+		t.Errorf("DBLP should be shallow, depth = %d", stats.MaxDepth)
+	}
+}
+
+func TestDBLPDeterministic(t *testing.T) {
+	a := DBLP(DBLPConfig{Papers: 100, Seed: 5})
+	b := DBLP(DBLPConfig{Papers: 100, Seed: 5})
+	if xmldb.Dump(a.Root) != xmldb.Dump(b.Root) {
+		t.Fatalf("same seed produced different documents")
+	}
+}
+
+func TestDepthContrast(t *testing.T) {
+	// The paper's Figure 9 rests on XMark being deeper than DBLP.
+	xs := xmarkStore(t, 5).CollectStats()
+	ds := xmldb.NewStore()
+	ds.AddDocument(DBLP(DBLPConfig{Papers: 100}))
+	dblpStats := ds.CollectStats()
+	if xs.MaxDepth <= dblpStats.MaxDepth {
+		t.Fatalf("XMark depth %d not greater than DBLP depth %d", xs.MaxDepth, dblpStats.MaxDepth)
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	doc := XMark(XMarkConfig{})
+	if doc.Root.Label != "site" {
+		t.Fatalf("root = %q", doc.Root.Label)
+	}
+	d := DBLP(DBLPConfig{})
+	if d.Root.Label != "dblp" {
+		t.Fatalf("root = %q", d.Root.Label)
+	}
+}

@@ -1,0 +1,82 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/xmldb"
+)
+
+// Planted DBLP constants referenced by the workload queries (Figure 7's
+// Q1d/Q2d/Q3d selectivity ladder).
+const (
+	// YearRare appears on exactly one inproceedings (Q1d, result 1).
+	YearRare = "1950"
+	// YearMid appears on ~3% of inproceedings (Q2d, moderate).
+	YearMid = "1979"
+	// YearCommon appears on ~20% of inproceedings (Q3d, unselective).
+	YearCommon = "1998"
+)
+
+// DBLPConfig scales the synthetic bibliography.
+type DBLPConfig struct {
+	// Papers is the number of inproceedings entries; articles are
+	// generated at half that count. Default 2000.
+	Papers int
+	// Seed makes generation deterministic. Default 2.
+	Seed int64
+}
+
+func (c *DBLPConfig) fill() {
+	if c.Papers <= 0 {
+		c.Papers = 2000
+	}
+	if c.Seed == 0 {
+		c.Seed = 2
+	}
+}
+
+// DBLP generates the bibliography document. Unlike XMark it is shallow —
+// dblp/inproceedings/{author+, title, year, booktitle, pages, url} is depth
+// 3 — which is what keeps DATAPATHS close to ROOTPATHS in the paper's
+// Figure 9 space table.
+func DBLP(cfg DBLPConfig) *xmldb.Document {
+	cfg.fill()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	dblp := xmldb.Elem("dblp")
+	rarePaper := rng.Intn(cfg.Papers)
+	for i := 0; i < cfg.Papers; i++ {
+		year := fmt.Sprintf("%d", 1960+rng.Intn(45))
+		switch {
+		case i == rarePaper:
+			year = YearRare
+		case rng.Intn(100) < 3:
+			year = YearMid
+		case rng.Intn(100) < 21:
+			year = YearCommon
+		}
+		inp := xmldb.Elem("inproceedings", xmldb.Attr("key", fmt.Sprintf("conf/x/%d", i)))
+		for a := 0; a <= rng.Intn(3); a++ {
+			inp.AddChild(xmldb.Text("author", pick(rng, firstNames)+" "+pick(rng, lastNames)))
+		}
+		inp.AddChild(xmldb.Text("title", fmt.Sprintf("On the Theory of Topic %d", i)))
+		inp.AddChild(xmldb.Text("year", year))
+		inp.AddChild(xmldb.Text("booktitle", pick(rng, venues)))
+		inp.AddChild(xmldb.Text("pages", fmt.Sprintf("%d-%d", 1+rng.Intn(400), 10+rng.Intn(400))))
+		inp.AddChild(xmldb.Text("url", fmt.Sprintf("db/conf/x/%d.html", i)))
+		dblp.AddChild(inp)
+	}
+	for i := 0; i < cfg.Papers/2; i++ {
+		art := xmldb.Elem("article", xmldb.Attr("key", fmt.Sprintf("journals/x/%d", i)))
+		art.AddChild(xmldb.Text("author", pick(rng, firstNames)+" "+pick(rng, lastNames)))
+		art.AddChild(xmldb.Text("title", fmt.Sprintf("A Survey of Area %d", i)))
+		art.AddChild(xmldb.Text("year", fmt.Sprintf("%d", 1970+rng.Intn(35))))
+		art.AddChild(xmldb.Text("journal", pick(rng, venues)))
+		art.AddChild(xmldb.Text("volume", fmt.Sprintf("%d", 1+rng.Intn(40))))
+		dblp.AddChild(art)
+	}
+	return &xmldb.Document{Root: dblp}
+}
+
+var venues = []string{"ICDE", "SIGMOD", "VLDB", "PODS", "EDBT", "WebDB", "TODS", "TKDE"}

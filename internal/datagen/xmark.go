@@ -1,0 +1,242 @@
+// Package datagen generates the two datasets of the paper's evaluation:
+// a synthetic XMark-like auction database (deep) and a synthetic DBLP-like
+// bibliography (shallow). The paper uses 100MB XMark and 50MB DBLP; here
+// the element vocabulary, nesting shape, and — crucially — the *relative
+// selectivities* of the workload queries' value predicates are preserved at
+// a configurable scale, with specific constants planted so that Q1x..Q15x
+// and Q1d..Q3d hit the selective / moderate / unselective regimes of
+// Figures 7, 8 and 10.
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/xmldb"
+)
+
+// Planted XMark constants referenced by the workload queries.
+const (
+	// QuantityRare appears on exactly one item (Q1x, result size 1).
+	QuantityRare = "5"
+	// QuantityMid appears on ~15% of items (Q2x, moderate).
+	QuantityMid = "2"
+	// QuantityCommon appears on ~50% of items (Q3x, unselective).
+	QuantityCommon = "1"
+	// IncomeRare is the @income of exactly one person (Q4x..Q5x).
+	IncomeRare = "46814.17"
+	// IncomeCommon is the @income of ~8% of persons (Q6x..Q9x).
+	IncomeCommon = "9876.00"
+	// PersonRareName is the name of exactly one person (Q5x).
+	PersonRareName = "Hagen Artosi"
+	// IncreaseRare is the @increase of ~0.5% of auctions (Q4x..Q7x).
+	IncreaseRare = "75.00"
+	// IncreaseCommon is the @increase of ~43% of auctions (Q8x..Q11x).
+	IncreaseCommon = "3.00"
+	// LocationCommon is the location of ~40% of items (Q7x, Q14x).
+	LocationCommon = "United States"
+	// RarePerson is the annotation author of exactly 3 auctions (Q10x).
+	RarePerson = "person22082"
+	// RareCategory is the incategory/category of ~1% of items (Q12x).
+	RareCategory = "category440"
+)
+
+// Regions are the six XMark continents; a // over items matches one
+// concrete rooted path per region, which is the Section 5.2.6 "six
+// subpaths" effect.
+var Regions = []string{"africa", "asia", "australia", "europe", "namerica", "samerica"}
+
+// XMarkConfig scales the synthetic auction site.
+type XMarkConfig struct {
+	// ItemsPerRegion controls overall size; persons and auctions scale
+	// with it (2x each). Default 50.
+	ItemsPerRegion int
+	// Seed makes generation deterministic. Default 1.
+	Seed int64
+}
+
+func (c *XMarkConfig) fill() {
+	if c.ItemsPerRegion <= 0 {
+		c.ItemsPerRegion = 50
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+}
+
+// XMark generates the auction document.
+//
+// Shape (depth comparable to real XMark where the workload needs it):
+//
+//	site
+//	├── regions/<region>/item*       (location, quantity, name, payment,
+//	│                                 incategory/category, mailbox/mail/{from,to,date})
+//	├── categories/category*         (@id, name)
+//	├── people/person*               (@id, name, emailaddress, profile@income/{interest*, education?, age?})
+//	└── open_auctions/open_auction*  (@id, @increase, initial, annotation/author@person,
+//	                                  bidder*@increase, time*)
+func XMark(cfg XMarkConfig) *xmldb.Document {
+	cfg.fill()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	site := xmldb.Elem("site")
+	totalItems := cfg.ItemsPerRegion * len(Regions)
+	numPersons := 2 * totalItems
+	numAuctions := 2 * totalItems
+	numCategories := totalItems/10 + 5
+
+	// regions — the planted rare quantity goes on one namerica item, since
+	// Q1x is anchored at /site/regions/namerica and must return exactly 1.
+	namericaIdx := 0
+	for i, r := range Regions {
+		if r == "namerica" {
+			namericaIdx = i
+		}
+	}
+	rareQuantityItem := namericaIdx*cfg.ItemsPerRegion + rng.Intn(cfg.ItemsPerRegion)
+	rareCategoryEvery := 100 // ~1% of items
+	regions := xmldb.Elem("regions")
+	itemSeq := 0
+	for _, region := range Regions {
+		rnode := xmldb.Elem(region)
+		for i := 0; i < cfg.ItemsPerRegion; i++ {
+			item := xmldb.Elem("item", xmldb.Attr("id", fmt.Sprintf("item%d", itemSeq)))
+			// location: ~40% planted common value.
+			if rng.Intn(100) < 40 {
+				item.AddChild(xmldb.Text("location", LocationCommon))
+			} else {
+				item.AddChild(xmldb.Text("location", pick(rng, countries)))
+			}
+			// quantity: planted selectivity ladder.
+			switch {
+			case itemSeq == rareQuantityItem:
+				item.AddChild(xmldb.Text("quantity", QuantityRare))
+			case rng.Intn(100) < 15:
+				item.AddChild(xmldb.Text("quantity", QuantityMid))
+			case rng.Intn(100) < 60:
+				item.AddChild(xmldb.Text("quantity", QuantityCommon))
+			default:
+				item.AddChild(xmldb.Text("quantity", "3"))
+			}
+			item.AddChild(xmldb.Text("name", fmt.Sprintf("thing %d", itemSeq)))
+			item.AddChild(xmldb.Text("payment", pick(rng, payments)))
+			// incategory/category: element content, as in Q12x.
+			cat := fmt.Sprintf("category%d", rng.Intn(numCategories))
+			if itemSeq%rareCategoryEvery == 17 {
+				cat = RareCategory
+			}
+			item.AddChild(xmldb.Elem("incategory", xmldb.Text("category", cat)))
+			// mailbox on ~90% of items, 1-2 mails.
+			if rng.Intn(100) < 90 {
+				mailbox := xmldb.Elem("mailbox")
+				for m := 0; m <= rng.Intn(2); m++ {
+					mailbox.AddChild(xmldb.Elem("mail",
+						xmldb.Text("from", fmt.Sprintf("u%d@example.com", rng.Intn(numPersons))),
+						xmldb.Text("to", fmt.Sprintf("u%d@example.com", rng.Intn(numPersons))),
+						xmldb.Text("date", fmt.Sprintf("%02d/%02d/200%d", 1+rng.Intn(12), 1+rng.Intn(28), rng.Intn(4))),
+					))
+				}
+				item.AddChild(mailbox)
+			}
+			rnode.AddChild(item)
+			itemSeq++
+		}
+		regions.AddChild(rnode)
+	}
+	site.AddChild(regions)
+
+	// categories.
+	categories := xmldb.Elem("categories")
+	for i := 0; i < numCategories; i++ {
+		categories.AddChild(xmldb.Elem("category",
+			xmldb.Attr("id", fmt.Sprintf("category%d", i)),
+			xmldb.Text("name", fmt.Sprintf("cat %d", i)),
+		))
+	}
+	site.AddChild(categories)
+
+	// people — plant the rare income and the rare name on one person each.
+	rareIncomePerson := rng.Intn(numPersons)
+	rareNamePerson := rng.Intn(numPersons)
+	people := xmldb.Elem("people")
+	for i := 0; i < numPersons; i++ {
+		name := pick(rng, firstNames) + " " + pick(rng, lastNames)
+		if i == rareNamePerson {
+			name = PersonRareName
+		}
+		income := fmt.Sprintf("%d.%02d", 20000+rng.Intn(80000), rng.Intn(100))
+		switch {
+		case i == rareIncomePerson:
+			income = IncomeRare
+		case rng.Intn(100) < 8:
+			income = IncomeCommon
+		}
+		profile := xmldb.Elem("profile", xmldb.Attr("income", income))
+		for k := 0; k < rng.Intn(3); k++ {
+			profile.AddChild(xmldb.Elem("interest",
+				xmldb.Attr("category", fmt.Sprintf("category%d", rng.Intn(numCategories)))))
+		}
+		if rng.Intn(2) == 0 {
+			profile.AddChild(xmldb.Text("education", pick(rng, educations)))
+		}
+		people.AddChild(xmldb.Elem("person",
+			xmldb.Attr("id", fmt.Sprintf("person%d", i)),
+			xmldb.Text("name", name),
+			xmldb.Text("emailaddress", fmt.Sprintf("u%d@example.com", i)),
+			profile,
+		))
+	}
+	site.AddChild(people)
+
+	// open_auctions — plant RarePerson on exactly 3 auctions.
+	rareAuctions := map[int]bool{}
+	for len(rareAuctions) < 3 && len(rareAuctions) < numAuctions {
+		rareAuctions[rng.Intn(numAuctions)] = true
+	}
+	auctions := xmldb.Elem("open_auctions")
+	for i := 0; i < numAuctions; i++ {
+		increase := fmt.Sprintf("%d.00", 1+rng.Intn(40))
+		switch {
+		case rng.Intn(1000) < 5:
+			increase = IncreaseRare
+		case rng.Intn(100) < 43:
+			increase = IncreaseCommon
+		}
+		author := fmt.Sprintf("person%d", rng.Intn(numPersons))
+		if rareAuctions[i] {
+			author = RarePerson
+		}
+		oa := xmldb.Elem("open_auction",
+			xmldb.Attr("id", fmt.Sprintf("auction%d", i)),
+			xmldb.Attr("increase", increase),
+			xmldb.Text("initial", fmt.Sprintf("%d.00", 1+rng.Intn(300))),
+			xmldb.Elem("annotation", xmldb.Elem("author", xmldb.Attr("person", author))),
+		)
+		for b := 0; b < rng.Intn(3); b++ {
+			bidderInc := fmt.Sprintf("%d.00", 1+rng.Intn(20))
+			if rng.Intn(100) < 40 {
+				bidderInc = IncreaseCommon
+			}
+			oa.AddChild(xmldb.Elem("bidder", xmldb.Attr("increase", bidderInc)))
+		}
+		for tn := 0; tn <= rng.Intn(2); tn++ {
+			oa.AddChild(xmldb.Text("time", fmt.Sprintf("%02d:%02d:%02d", rng.Intn(24), rng.Intn(60), rng.Intn(60))))
+		}
+		auctions.AddChild(oa)
+	}
+	site.AddChild(auctions)
+
+	return &xmldb.Document{Root: site}
+}
+
+func pick(rng *rand.Rand, from []string) string { return from[rng.Intn(len(from))] }
+
+var (
+	countries  = []string{"Canada", "France", "Germany", "Japan", "Brazil", "India", "Kenya"}
+	payments   = []string{"Cash", "Creditcard", "Money order", "Personal Check"}
+	educations = []string{"High School", "College", "Graduate School", "Other"}
+	// PersonRareName's components are deliberately absent from the pools
+	// so the planted name occurs exactly once.
+	firstNames = []string{"Jane", "John", "Maria", "Wei", "Anil", "Sofia", "Pierre", "Yuki", "Olu"}
+	lastNames  = []string{"Doe", "Poe", "Smith", "Chen", "Patel", "Garcia", "Dubois", "Tanaka", "Okafor"}
+)

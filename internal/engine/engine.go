@@ -1,0 +1,294 @@
+// Package engine is the integration layer: it owns the XML store, the
+// shared dictionary and path registry, the simulated disk and buffer pool,
+// builds any subset of the index family, and executes queries under a
+// chosen strategy.
+package engine
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/containment"
+	"repro/internal/index"
+	"repro/internal/pathdict"
+	"repro/internal/plan"
+	"repro/internal/stats"
+	"repro/internal/storage"
+	"repro/internal/xmldb"
+	"repro/internal/xpath"
+)
+
+// Config tunes the substrate.
+type Config struct {
+	// BufferPoolBytes is the buffer pool size; the paper uses 40MB.
+	BufferPoolBytes int64
+	// PathsOptions configures ROOTPATHS/DATAPATHS compression (Section 4).
+	PathsOptions index.PathsOptions
+}
+
+// DefaultConfig mirrors the paper's 40MB buffer pool.
+func DefaultConfig() Config {
+	return Config{BufferPoolBytes: 40 << 20}
+}
+
+// DB is an XML database instance.
+type DB struct {
+	cfg   Config
+	store *xmldb.Store
+	dict  *pathdict.Dict
+	ptab  *pathdict.PathTable
+	disk  *storage.Disk
+	pool  *storage.Pool
+	env   plan.Env
+}
+
+// New creates an empty database.
+func New(cfg Config) *DB {
+	if cfg.BufferPoolBytes <= 0 {
+		cfg.BufferPoolBytes = 40 << 20
+	}
+	db := &DB{
+		cfg:   cfg,
+		store: xmldb.NewStore(),
+		dict:  pathdict.NewDict(),
+		ptab:  pathdict.NewPathTable(),
+		disk:  storage.NewDisk(),
+	}
+	db.pool = storage.NewPool(db.disk, cfg.BufferPoolBytes)
+	db.env.Store = db.store
+	db.env.Dict = db.dict
+	return db
+}
+
+// LoadXML parses one document from r and adds it to the store. Documents
+// must be loaded before indices are built.
+func (db *DB) LoadXML(r io.Reader) error {
+	doc, err := xmldb.Parse(r)
+	if err != nil {
+		return err
+	}
+	db.AddDocument(doc)
+	return nil
+}
+
+// AddDocument adds an already-built document tree.
+func (db *DB) AddDocument(doc *xmldb.Document) {
+	db.store.AddDocument(doc)
+	db.env.Stats = nil // invalidate statistics
+}
+
+// Store exposes the underlying XML store.
+func (db *DB) Store() *xmldb.Store { return db.store }
+
+// Dict exposes the shared designator dictionary.
+func (db *DB) Dict() *pathdict.Dict { return db.dict }
+
+// Env exposes the planner environment (for white-box tests and benches).
+func (db *DB) Env() *plan.Env { return &db.env }
+
+// Pool exposes the shared buffer pool.
+func (db *DB) Pool() *storage.Pool { return db.pool }
+
+// CollectStats runs statistics collection (RUNSTATS); it is invoked
+// automatically by Build, and must be re-run after loading more documents.
+func (db *DB) CollectStats() {
+	db.env.Stats = stats.Collect(db.store, db.dict)
+}
+
+// Build constructs the given index structures. Indices already built are
+// rebuilt from scratch.
+func (db *DB) Build(kinds ...index.Kind) error {
+	if db.env.Stats == nil {
+		db.CollectStats()
+	}
+	for _, k := range kinds {
+		var err error
+		switch k {
+		case index.KindRootPaths:
+			opts := db.cfg.PathsOptions
+			opts.KeepHead = nil // head pruning applies to DATAPATHS only
+			db.env.RP, err = index.BuildRootPaths(db.pool, db.store, db.dict, db.ptab, opts)
+		case index.KindDataPaths:
+			db.env.DP, err = index.BuildDataPaths(db.pool, db.store, db.dict, db.ptab, db.cfg.PathsOptions)
+		case index.KindEdge:
+			db.env.Edge, err = index.BuildEdge(db.pool, db.store, db.dict)
+		case index.KindDataGuide:
+			db.env.DG, err = index.BuildDataGuide(db.pool, db.store, db.dict)
+		case index.KindIndexFabric:
+			db.env.IF, err = index.BuildIndexFabric(db.pool, db.store, db.dict)
+		case index.KindASR:
+			db.env.ASR, err = index.BuildASR(db.pool, db.store, db.dict)
+		case index.KindJoinIndex:
+			db.env.JI, err = index.BuildJoinIndex(db.pool, db.store, db.dict)
+		case index.KindXRel:
+			db.env.XRel, err = index.BuildXRel(db.pool, db.store, db.dict)
+		case index.KindContainment:
+			db.env.Containment, err = containment.Build(db.pool, db.store, db.dict)
+		default:
+			err = fmt.Errorf("engine: unknown index kind %d", k)
+		}
+		if err != nil {
+			return fmt.Errorf("engine: building %v: %w", k, err)
+		}
+	}
+	return nil
+}
+
+// BuildAll constructs every index structure in the family.
+func (db *DB) BuildAll() error {
+	return db.Build(
+		index.KindRootPaths, index.KindDataPaths, index.KindEdge,
+		index.KindDataGuide, index.KindIndexFabric, index.KindASR,
+		index.KindJoinIndex, index.KindXRel,
+	)
+}
+
+// InsertSubtree attaches sub (an unattached tree, e.g. a parsed fragment's
+// root) under the node with id parentID and incrementally maintains the
+// ROOTPATHS and DATAPATHS indices (paper Section 7). The other index
+// structures do not support incremental maintenance and are invalidated;
+// rebuild them with Build if their strategies are still needed.
+func (db *DB) InsertSubtree(parentID int64, sub *xmldb.Node) error {
+	parent := db.store.NodeByID(parentID)
+	if parent == nil {
+		return fmt.Errorf("engine: no node with id %d", parentID)
+	}
+	if err := db.store.AttachSubtree(parent, sub); err != nil {
+		return err
+	}
+	if db.env.RP != nil {
+		if err := db.env.RP.InsertSubtree(db.store, sub); err != nil {
+			return err
+		}
+	}
+	if db.env.DP != nil {
+		if err := db.env.DP.InsertSubtree(db.store, sub); err != nil {
+			return err
+		}
+	}
+	db.invalidateDerived()
+	return nil
+}
+
+// DeleteSubtree removes the node with the given id and its subtree,
+// incrementally maintaining ROOTPATHS and DATAPATHS and invalidating the
+// non-updatable index structures.
+func (db *DB) DeleteSubtree(nodeID int64) error {
+	n := db.store.NodeByID(nodeID)
+	if n == nil {
+		return fmt.Errorf("engine: no node with id %d", nodeID)
+	}
+	// Index rows are derived from the root path, so delete them while the
+	// subtree is still connected.
+	if db.env.RP != nil {
+		if err := db.env.RP.DeleteSubtree(db.store, n); err != nil {
+			return err
+		}
+	}
+	if db.env.DP != nil {
+		if err := db.env.DP.DeleteSubtree(db.store, n); err != nil {
+			return err
+		}
+	}
+	if err := db.store.DetachSubtree(n); err != nil {
+		return err
+	}
+	db.invalidateDerived()
+	return nil
+}
+
+// invalidateDerived drops the statistics and the index structures that do
+// not support incremental updates.
+func (db *DB) invalidateDerived() {
+	db.env.Stats = nil
+	db.env.Edge = nil
+	db.env.DG = nil
+	db.env.IF = nil
+	db.env.ASR = nil
+	db.env.JI = nil
+	db.env.XRel = nil
+	db.env.Containment = nil
+}
+
+// Query parses and executes q under the given strategy.
+func (db *DB) Query(q string, strat plan.Strategy) ([]int64, *plan.ExecStats, error) {
+	pat, err := xpath.Parse(q)
+	if err != nil {
+		return nil, nil, err
+	}
+	return db.QueryPattern(pat, strat)
+}
+
+// QueryPattern executes an already-parsed pattern.
+func (db *DB) QueryPattern(pat *xpath.Pattern, strat plan.Strategy) ([]int64, *plan.ExecStats, error) {
+	if db.env.Stats == nil {
+		db.CollectStats()
+	}
+	return plan.Execute(&db.env, strat, pat)
+}
+
+// Explain renders the plan for a pattern under a strategy.
+func (db *DB) Explain(pat *xpath.Pattern, strat plan.Strategy) (string, error) {
+	if db.env.Stats == nil {
+		db.CollectStats()
+	}
+	return plan.Explain(&db.env, strat, pat)
+}
+
+// DefaultStrategy returns the best strategy among the built indices
+// (DATAPATHS, then ROOTPATHS, then the baselines).
+func (db *DB) DefaultStrategy() (plan.Strategy, error) {
+	switch {
+	case db.env.DP != nil:
+		return plan.DataPathsPlan, nil
+	case db.env.RP != nil:
+		return plan.RootPathsPlan, nil
+	case db.env.IF != nil && db.env.Edge != nil:
+		return plan.FabricEdgePlan, nil
+	case db.env.DG != nil && db.env.Edge != nil:
+		return plan.DataGuideEdgePlan, nil
+	case db.env.ASR != nil:
+		return plan.ASRPlan, nil
+	case db.env.JI != nil:
+		return plan.JoinIndexPlan, nil
+	case db.env.Edge != nil:
+		return plan.EdgePlan, nil
+	}
+	return 0, fmt.Errorf("engine: no index built")
+}
+
+// Spaces reports the footprint of every built index.
+func (db *DB) Spaces() []index.Space {
+	var out []index.Space
+	if db.env.RP != nil {
+		out = append(out, db.env.RP.Space())
+	}
+	if db.env.DP != nil {
+		out = append(out, db.env.DP.Space())
+	}
+	if db.env.Edge != nil {
+		out = append(out, db.env.Edge.Space())
+	}
+	if db.env.DG != nil {
+		out = append(out, db.env.DG.Space())
+	}
+	if db.env.IF != nil {
+		out = append(out, db.env.IF.Space())
+	}
+	if db.env.ASR != nil {
+		out = append(out, db.env.ASR.Space())
+	}
+	if db.env.JI != nil {
+		out = append(out, db.env.JI.Space())
+	}
+	if db.env.XRel != nil {
+		out = append(out, db.env.XRel.Space())
+	}
+	return out
+}
+
+// PoolStats returns buffer pool counters.
+func (db *DB) PoolStats() storage.PoolStats { return db.pool.Stats() }
+
+// ResetPoolStats zeroes buffer pool counters between experiment runs.
+func (db *DB) ResetPoolStats() { db.pool.ResetStats() }

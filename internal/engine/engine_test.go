@@ -1,0 +1,160 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/index"
+	"repro/internal/naive"
+	"repro/internal/plan"
+	"repro/internal/xmldb"
+	"repro/internal/xpath"
+)
+
+const siteXML = `
+<site>
+ <people>
+  <person id="p1"><name>ann</name></person>
+  <person id="p2"><name>bob</name></person>
+ </people>
+</site>`
+
+func newDB(t *testing.T) *DB {
+	t.Helper()
+	db := New(Config{BufferPoolBytes: 8 << 20})
+	if err := db.LoadXML(strings.NewReader(siteXML)); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestBuildAndQuery(t *testing.T) {
+	db := newDB(t)
+	if err := db.Build(index.KindRootPaths, index.KindDataPaths); err != nil {
+		t.Fatal(err)
+	}
+	ids, es, err := db.Query(`/site/people/person[name='ann']`, plan.DataPathsPlan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 1 || es == nil {
+		t.Fatalf("ids=%v es=%v", ids, es)
+	}
+	n := db.Store().NodeByID(ids[0])
+	if n == nil || n.Label != "person" {
+		t.Fatalf("matched node = %+v", n)
+	}
+}
+
+func TestDefaultStrategyLadder(t *testing.T) {
+	db := newDB(t)
+	if _, err := db.DefaultStrategy(); err == nil {
+		t.Fatalf("no indices: want error")
+	}
+	if err := db.Build(index.KindEdge); err != nil {
+		t.Fatal(err)
+	}
+	if s, _ := db.DefaultStrategy(); s != plan.EdgePlan {
+		t.Fatalf("default = %v, want Edge", s)
+	}
+	if err := db.Build(index.KindDataGuide); err != nil {
+		t.Fatal(err)
+	}
+	if s, _ := db.DefaultStrategy(); s != plan.DataGuideEdgePlan {
+		t.Fatalf("default = %v, want DG+Edge", s)
+	}
+	if err := db.Build(index.KindRootPaths); err != nil {
+		t.Fatal(err)
+	}
+	if s, _ := db.DefaultStrategy(); s != plan.RootPathsPlan {
+		t.Fatalf("default = %v, want RP", s)
+	}
+	if err := db.Build(index.KindDataPaths); err != nil {
+		t.Fatal(err)
+	}
+	if s, _ := db.DefaultStrategy(); s != plan.DataPathsPlan {
+		t.Fatalf("default = %v, want DP", s)
+	}
+}
+
+func TestQueryBadInput(t *testing.T) {
+	db := newDB(t)
+	if err := db.Build(index.KindRootPaths); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := db.Query(`person`, plan.RootPathsPlan); err == nil {
+		t.Fatalf("bad query: want error")
+	}
+	if _, _, err := db.Query(`/site`, plan.ASRPlan); err == nil {
+		t.Fatalf("missing index: want error")
+	}
+}
+
+func TestInsertDeleteMaintainsOracleAgreement(t *testing.T) {
+	db := newDB(t)
+	if err := db.Build(index.KindRootPaths, index.KindDataPaths); err != nil {
+		t.Fatal(err)
+	}
+	people, _, err := db.Query(`/site/people`, plan.RootPathsPlan)
+	if err != nil || len(people) != 1 {
+		t.Fatalf("people: %v %v", people, err)
+	}
+	sub := xmldb.Elem("person", xmldb.Attr("id", "p3"), xmldb.Text("name", "carol"))
+	if err := db.InsertSubtree(people[0], sub); err != nil {
+		t.Fatal(err)
+	}
+
+	check := func(q string) {
+		t.Helper()
+		pat := xpath.MustParse(q)
+		want := naive.Match(db.Store(), pat)
+		for _, s := range []plan.Strategy{plan.RootPathsPlan, plan.DataPathsPlan} {
+			got, _, err := db.QueryPattern(pat, s)
+			if err != nil {
+				t.Fatalf("%v %s: %v", s, q, err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("%v %s: %v, oracle %v", s, q, got, want)
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("%v %s: %v, oracle %v", s, q, got, want)
+				}
+			}
+		}
+	}
+	check(`//person[name='carol']`)
+	check(`/site/people/person`)
+
+	if err := db.DeleteSubtree(sub.ID); err != nil {
+		t.Fatal(err)
+	}
+	check(`//person[name='carol']`)
+	check(`/site/people/person[@id='p1']`)
+
+	// Errors.
+	if err := db.InsertSubtree(12345, xmldb.Elem("x")); err == nil {
+		t.Fatalf("bad parent: want error")
+	}
+	if err := db.DeleteSubtree(12345); err == nil {
+		t.Fatalf("bad node: want error")
+	}
+}
+
+func TestSpacesAndPool(t *testing.T) {
+	db := newDB(t)
+	if err := db.BuildAll(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(db.Spaces()); got != 8 {
+		t.Fatalf("Spaces = %d entries", got)
+	}
+	db.ResetPoolStats()
+	if _, _, err := db.Query(`//person`, plan.RootPathsPlan); err != nil {
+		t.Fatal(err)
+	}
+	st := db.PoolStats()
+	if st.Fetches == 0 {
+		t.Fatalf("query did not touch the pool: %+v", st)
+	}
+}

@@ -1,0 +1,97 @@
+// Package idlist implements the IdList column of the paper's 4-ary relation:
+// the ordered list of node identifiers along a schema path. It provides the
+// lossless differential (delta) compression of Section 4.1 — ids along a
+// path are strongly correlated by parent-child relationships, so storing
+// varint-encoded offsets from the previous id saves substantial space — as
+// well as an uncompressed fixed-width encoding used to quantify the savings.
+package idlist
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// EncodeDelta appends the differential encoding of ids to dst and returns
+// the extended slice. The first id is encoded as-is, each subsequent id as
+// the (possibly negative, zig-zag encoded) offset from its predecessor.
+func EncodeDelta(dst []byte, ids []int64) []byte {
+	prev := int64(0)
+	for _, id := range ids {
+		dst = binary.AppendVarint(dst, id-prev)
+		prev = id
+	}
+	return dst
+}
+
+// DecodeDelta decodes a differential encoding produced by EncodeDelta,
+// appending the ids to dst.
+func DecodeDelta(dst []int64, buf []byte) ([]int64, error) {
+	prev := int64(0)
+	for len(buf) > 0 {
+		d, n := binary.Varint(buf)
+		if n <= 0 {
+			return nil, fmt.Errorf("idlist: corrupt varint at tail %d", len(buf))
+		}
+		buf = buf[n:]
+		prev += d
+		dst = append(dst, prev)
+	}
+	return dst, nil
+}
+
+// DecodeDeltaAt returns the id at position i (0-based) of an encoded list
+// without materialising the whole list; it returns an error if the list is
+// shorter than i+1. Positions from the end can be addressed by first calling
+// Len.
+func DecodeDeltaAt(buf []byte, i int) (int64, error) {
+	prev := int64(0)
+	for k := 0; ; k++ {
+		if len(buf) == 0 {
+			return 0, fmt.Errorf("idlist: index %d out of range (len %d)", i, k)
+		}
+		d, n := binary.Varint(buf)
+		if n <= 0 {
+			return 0, fmt.Errorf("idlist: corrupt varint")
+		}
+		buf = buf[n:]
+		prev += d
+		if k == i {
+			return prev, nil
+		}
+	}
+}
+
+// Len returns the number of ids in an encoded list.
+func Len(buf []byte) (int, error) {
+	count := 0
+	for len(buf) > 0 {
+		_, n := binary.Varint(buf)
+		if n <= 0 {
+			return 0, fmt.Errorf("idlist: corrupt varint")
+		}
+		buf = buf[n:]
+		count++
+	}
+	return count, nil
+}
+
+// EncodeRaw appends the uncompressed fixed-width (8 bytes per id) encoding;
+// used only to measure the benefit of differential encoding (Section 5.2.5).
+func EncodeRaw(dst []byte, ids []int64) []byte {
+	for _, id := range ids {
+		dst = binary.BigEndian.AppendUint64(dst, uint64(id))
+	}
+	return dst
+}
+
+// DecodeRaw decodes an EncodeRaw buffer.
+func DecodeRaw(dst []int64, buf []byte) ([]int64, error) {
+	if len(buf)%8 != 0 {
+		return nil, fmt.Errorf("idlist: raw length %d not a multiple of 8", len(buf))
+	}
+	for len(buf) > 0 {
+		dst = append(dst, int64(binary.BigEndian.Uint64(buf)))
+		buf = buf[8:]
+	}
+	return dst, nil
+}

@@ -1,0 +1,152 @@
+package idlist
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeltaRoundTrip(t *testing.T) {
+	cases := [][]int64{
+		nil,
+		{},
+		{1},
+		{1, 5, 6, 7},
+		{1, 5, 6, 10},
+		{100, 2, 300, 1}, // non-monotone (negative deltas)
+		{0},
+		{1 << 40, 1<<40 + 1},
+	}
+	for _, ids := range cases {
+		enc := EncodeDelta(nil, ids)
+		dec, err := DecodeDelta(nil, enc)
+		if err != nil {
+			t.Fatalf("DecodeDelta(%v): %v", ids, err)
+		}
+		if len(dec) != len(ids) {
+			t.Fatalf("round trip %v -> %v", ids, dec)
+		}
+		for i := range ids {
+			if dec[i] != ids[i] {
+				t.Fatalf("round trip %v -> %v", ids, dec)
+			}
+		}
+	}
+}
+
+func TestDeltaRoundTripQuick(t *testing.T) {
+	f := func(raw []uint32) bool {
+		ids := make([]int64, len(raw))
+		for i, r := range raw {
+			ids[i] = int64(r)
+		}
+		enc := EncodeDelta(nil, ids)
+		dec, err := DecodeDelta(nil, enc)
+		if err != nil || len(dec) != len(ids) {
+			return false
+		}
+		for i := range ids {
+			if dec[i] != ids[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeDeltaAt(t *testing.T) {
+	ids := []int64{1, 5, 6, 7, 42}
+	enc := EncodeDelta(nil, ids)
+	for i, want := range ids {
+		got, err := DecodeDeltaAt(enc, i)
+		if err != nil {
+			t.Fatalf("DecodeDeltaAt(%d): %v", i, err)
+		}
+		if got != want {
+			t.Fatalf("DecodeDeltaAt(%d) = %d, want %d", i, got, want)
+		}
+	}
+	if _, err := DecodeDeltaAt(enc, len(ids)); err == nil {
+		t.Fatalf("out-of-range index: want error")
+	}
+}
+
+func TestLen(t *testing.T) {
+	for _, n := range []int{0, 1, 5, 100} {
+		ids := make([]int64, n)
+		for i := range ids {
+			ids[i] = int64(i * 3)
+		}
+		enc := EncodeDelta(nil, ids)
+		got, err := Len(enc)
+		if err != nil || got != n {
+			t.Fatalf("Len = %d, %v; want %d", got, err, n)
+		}
+	}
+}
+
+func TestCorruptInput(t *testing.T) {
+	// A lone 0x80 is an unterminated varint.
+	if _, err := DecodeDelta(nil, []byte{0x80}); err == nil {
+		t.Fatalf("corrupt delta: want error")
+	}
+	if _, err := Len([]byte{0x80}); err == nil {
+		t.Fatalf("corrupt len: want error")
+	}
+	if _, err := DecodeDeltaAt([]byte{0x80}, 0); err == nil {
+		t.Fatalf("corrupt at: want error")
+	}
+	if _, err := DecodeRaw(nil, make([]byte, 7)); err == nil {
+		t.Fatalf("raw length: want error")
+	}
+}
+
+func TestRawRoundTrip(t *testing.T) {
+	ids := []int64{9, 8, 7, 1 << 50}
+	enc := EncodeRaw(nil, ids)
+	if len(enc) != 8*len(ids) {
+		t.Fatalf("raw size = %d", len(enc))
+	}
+	dec, err := DecodeRaw(nil, enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ids {
+		if dec[i] != ids[i] {
+			t.Fatalf("raw round trip %v -> %v", ids, dec)
+		}
+	}
+}
+
+// TestDeltaCompresses demonstrates the Section 4.1 claim: path-correlated id
+// lists compress well under differential encoding.
+func TestDeltaCompresses(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	ids := make([]int64, 12)
+	base := int64(1_000_000)
+	for i := range ids {
+		base += int64(rng.Intn(5) + 1) // parent-child ids are near each other
+		ids[i] = base
+	}
+	delta := EncodeDelta(nil, ids)
+	raw := EncodeRaw(nil, ids)
+	if len(delta)*2 >= len(raw) {
+		t.Fatalf("delta %dB not <50%% of raw %dB", len(delta), len(raw))
+	}
+}
+
+func TestAppendToExisting(t *testing.T) {
+	prefix := []byte{0xde, 0xad}
+	enc := EncodeDelta(prefix, []int64{3, 4})
+	if !bytes.HasPrefix(enc, prefix) {
+		t.Fatalf("EncodeDelta did not append")
+	}
+	dec, err := DecodeDelta([]int64{99}, enc[2:])
+	if err != nil || len(dec) != 3 || dec[0] != 99 || dec[1] != 3 || dec[2] != 4 {
+		t.Fatalf("DecodeDelta append = %v, %v", dec, err)
+	}
+}

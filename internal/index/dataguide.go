@@ -1,0 +1,116 @@
+package index
+
+import (
+	"encoding/binary"
+
+	"repro/internal/btree"
+	"repro/internal/idlist"
+	"repro/internal/pathdict"
+	"repro/internal/pathrel"
+	"repro/internal/storage"
+	"repro/internal/xmldb"
+)
+
+// dgChunk bounds the number of ids stored per DataGuide posting-list entry
+// so that large extents never exceed the B+-tree's entry size limit.
+const dgChunk = 192
+
+// DataGuide is the structure-only summary baseline [Goldman/Widom]: for
+// every distinct root-originating schema path it stores the extent — the
+// ids of the nodes at the end of the path (the "last ID of the IdList for
+// every root-to-leaf prefix path", Figure 3). It indexes SchemaPath only;
+// values live in the separate Edge value index, which is exactly the
+// separation the paper's Figure 11 punishes.
+//
+// Keyed by [pathLen][path][chunkNo]; extents are split into chunks.
+type DataGuide struct {
+	tree *btree.Tree
+	dict *pathdict.Dict
+	ptab *pathdict.PathTable // rooted paths, for // expansion over the summary
+}
+
+// BuildDataGuide constructs the summary. The registered rooted paths double
+// as the DataGuide's summary graph: patterns with // are answered by
+// enumerating the matching summary paths, as Lore's DataGuide traversal
+// would.
+func BuildDataGuide(pool *storage.Pool, store *xmldb.Store, dict *pathdict.Dict) (*DataGuide, error) {
+	ptab := pathdict.NewPathTable()
+	extents := map[pathdict.PathID][]int64{}
+	pathrel.EmitRootPaths(store, dict, func(r pathrel.Row) {
+		if r.HasValue {
+			return // structure only
+		}
+		id := ptab.Intern(r.Path)
+		extents[id] = append(extents[id], r.LastID())
+	})
+	var entries []btree.Entry
+	ptab.All(func(id pathdict.PathID, p pathdict.Path) {
+		ext := extents[id]
+		for chunk := 0; chunk*dgChunk < len(ext) || chunk == 0; chunk++ {
+			lo := chunk * dgChunk
+			hi := lo + dgChunk
+			if hi > len(ext) {
+				hi = len(ext)
+			}
+			key := dgKey(p, uint32(chunk))
+			entries = append(entries, btree.Entry{Key: key, Val: idlist.EncodeDelta(nil, ext[lo:hi])})
+		}
+	})
+	tree, err := bulk(pool, "DataGuide", entries)
+	if err != nil {
+		return nil, err
+	}
+	return &DataGuide{tree: tree, dict: dict, ptab: ptab}, nil
+}
+
+func dgKey(p pathdict.Path, chunk uint32) []byte {
+	key := binary.BigEndian.AppendUint16(nil, uint16(len(p)))
+	key = pathdict.AppendPath(key, p)
+	return binary.BigEndian.AppendUint32(key, chunk)
+}
+
+// Extent returns the ids at the end of the exact rooted path, streaming
+// them to fn. Patterns with // must be expanded to concrete paths first
+// (see MatchingPaths).
+func (dg *DataGuide) Extent(p pathdict.Path, fn func(id int64) error) (int, error) {
+	prefix := binary.BigEndian.AppendUint16(nil, uint16(len(p)))
+	prefix = pathdict.AppendPath(prefix, p)
+	it, err := dg.tree.SeekPrefix(prefix)
+	if err != nil {
+		return 0, err
+	}
+	defer it.Close()
+	rows := 0
+	var ids []int64
+	for ; it.Valid(); it.Next() {
+		ids, err = idlist.DecodeDelta(ids[:0], it.Value())
+		if err != nil {
+			return rows, err
+		}
+		for _, id := range ids {
+			rows++
+			if err := fn(id); err != nil {
+				return rows, err
+			}
+		}
+	}
+	return rows, it.Err()
+}
+
+// MatchingPaths enumerates the rooted summary paths that match a linear
+// pattern — the DataGuide-as-automaton traversal that handles //.
+func (dg *DataGuide) MatchingPaths(pat []pathdict.PStep) []pathdict.Path {
+	var out []pathdict.Path
+	dg.ptab.All(func(_ pathdict.PathID, p pathdict.Path) {
+		if pathdict.MatchPath(pat, p) {
+			out = append(out, p)
+		}
+	})
+	return out
+}
+
+// Paths exposes the summary path table.
+func (dg *DataGuide) Paths() *pathdict.PathTable { return dg.ptab }
+
+// Space reports the index footprint.
+func (dg *DataGuide) Space() Space { return treeSpace(KindDataGuide, "DataGuide", dg.tree) }

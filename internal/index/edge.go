@@ -1,0 +1,163 @@
+package index
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/btree"
+	"repro/internal/pathdict"
+	"repro/internal/storage"
+	"repro/internal/xmldb"
+)
+
+// Edge is the Edge-table baseline [Florescu/Kossman] with the three Lore
+// indices the paper reports as most useful: the value index (tag + value ->
+// node id), the forward link index (parent id + tag -> child id) and the
+// backward link index (child id -> parent). Path steps are evaluated by
+// joining through these indices one step at a time — the per-step-join cost
+// the paper's Figure 11 exposes.
+type Edge struct {
+	value    *btree.Tree // [tag][valuefield][nodeID] -> nil
+	forward  *btree.Tree // [parentID][tag][childID] -> nil
+	backward *btree.Tree // [childID] -> [parentID][parentTag]
+	dict     *pathdict.Dict
+}
+
+// BuildEdge constructs the edge table indices. Document roots are recorded
+// as children of the virtual root (parent id 0).
+func BuildEdge(pool *storage.Pool, store *xmldb.Store, dict *pathdict.Dict) (*Edge, error) {
+	var valEntries, fwdEntries, bwdEntries []btree.Entry
+	var walk func(n *xmldb.Node, parent *xmldb.Node)
+	walk = func(n, parent *xmldb.Node) {
+		sym := dict.Intern(n.Label)
+		var parentSym pathdict.Sym
+		var parentID int64
+		if parent != nil {
+			parentID = parent.ID
+			if parent.ID != 0 {
+				parentSym = dict.Intern(parent.Label)
+			}
+		}
+		if n.HasValue {
+			key := appendSym(nil, sym)
+			key = pathdict.AppendValueField(key, true, n.Value)
+			key = pathdict.AppendID(key, n.ID)
+			valEntries = append(valEntries, btree.Entry{Key: key})
+		}
+		fkey := pathdict.AppendID(nil, parentID)
+		fkey = appendSym(fkey, sym)
+		fkey = pathdict.AppendID(fkey, n.ID)
+		fwdEntries = append(fwdEntries, btree.Entry{Key: fkey})
+
+		bkey := pathdict.AppendID(nil, n.ID)
+		bval := pathdict.AppendID(nil, parentID)
+		bval = appendSym(bval, parentSym)
+		bwdEntries = append(bwdEntries, btree.Entry{Key: bkey, Val: bval})
+
+		for _, c := range n.Children {
+			walk(c, n)
+		}
+	}
+	for _, d := range store.Docs {
+		walk(d.Root, store.VirtualRoot)
+	}
+	value, err := bulk(pool, "Edge/value", valEntries)
+	if err != nil {
+		return nil, err
+	}
+	forward, err := bulk(pool, "Edge/forward", fwdEntries)
+	if err != nil {
+		return nil, err
+	}
+	backward, err := bulk(pool, "Edge/backward", bwdEntries)
+	if err != nil {
+		return nil, err
+	}
+	return &Edge{value: value, forward: forward, backward: backward, dict: dict}, nil
+}
+
+// ValueProbe returns the ids of nodes labeled label that carry the given
+// leaf value (the Lore value index).
+func (e *Edge) ValueProbe(label, value string, fn func(id int64) error) (int, error) {
+	sym, ok := e.dict.Sym(label)
+	if !ok {
+		return 0, nil
+	}
+	prefix := appendSym(nil, sym)
+	prefix = pathdict.AppendValueField(prefix, true, value)
+	it, err := e.value.SeekPrefix(prefix)
+	if err != nil {
+		return 0, err
+	}
+	defer it.Close()
+	rows := 0
+	for ; it.Valid(); it.Next() {
+		key := it.Key()
+		id, _, err := pathdict.DecodeID(key[len(key)-8:])
+		if err != nil {
+			return rows, err
+		}
+		rows++
+		if err := fn(id); err != nil {
+			return rows, err
+		}
+	}
+	return rows, it.Err()
+}
+
+// Children returns the child ids of parentID, optionally restricted to one
+// tag (the Lore forward link index). label == "" iterates all children.
+func (e *Edge) Children(parentID int64, label string, fn func(id int64) error) (int, error) {
+	prefix := pathdict.AppendID(nil, parentID)
+	if label != "" {
+		sym, ok := e.dict.Sym(label)
+		if !ok {
+			return 0, nil
+		}
+		prefix = appendSym(prefix, sym)
+	}
+	it, err := e.forward.SeekPrefix(prefix)
+	if err != nil {
+		return 0, err
+	}
+	defer it.Close()
+	rows := 0
+	for ; it.Valid(); it.Next() {
+		key := it.Key()
+		id, _, err := pathdict.DecodeID(key[len(key)-8:])
+		if err != nil {
+			return rows, err
+		}
+		rows++
+		if err := fn(id); err != nil {
+			return rows, err
+		}
+	}
+	return rows, it.Err()
+}
+
+// Parent returns the parent id and label of childID (the backward link
+// index). The virtual root's parent is reported as (0, "", false).
+func (e *Edge) Parent(childID int64) (parentID int64, label string, ok bool, err error) {
+	key := pathdict.AppendID(nil, childID)
+	val, found, err := e.backward.Get(key)
+	if err != nil || !found {
+		return 0, "", false, err
+	}
+	parentID, rest, err := pathdict.DecodeID(val)
+	if err != nil {
+		return 0, "", false, err
+	}
+	if len(rest) != 2 {
+		return 0, "", false, fmt.Errorf("index: corrupt backward link value")
+	}
+	sym := pathdict.Sym(binary.BigEndian.Uint16(rest))
+	return parentID, e.dict.Label(sym), true, nil
+}
+
+// Space reports the combined footprint of the three edge indices.
+func (e *Edge) Space() Space { return treeSpace(KindEdge, "Edge", e.value, e.forward, e.backward) }
+
+func appendSym(dst []byte, s pathdict.Sym) []byte {
+	return binary.BigEndian.AppendUint16(dst, uint16(s))
+}

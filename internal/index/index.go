@@ -1,0 +1,121 @@
+// Package index implements the paper's family of indices over the 4-ary
+// relation (Section 3, Figure 3):
+//
+//	Index         SchemaPath subset      IdList sublist   Indexed columns
+//	-----         -----------------      --------------   ---------------
+//	Edge/value    length-1 paths         last id          SchemaPath, LeafValue
+//	Edge/forward  length-1 paths         last id          HeadId, SchemaPath
+//	DataGuide     root-path prefixes     last id          SchemaPath
+//	Index Fabric  root-to-leaf paths     last id          SchemaPath, LeafValue
+//	ROOTPATHS     root-path prefixes     full IdList      LeafValue, rev SchemaPath
+//	DATAPATHS     all subpaths           full IdList      LeafValue, HeadId, rev SchemaPath
+//
+// plus the object/relational baselines the paper compares against: Access
+// Support Relations (one relation per distinct schema path, ids in separate
+// columns) and Join Indices (two B+-trees of endpoint pairs per distinct
+// schema path).
+//
+// Every structure is an ordinary B+-tree over order-preservingly encoded
+// byte keys, so all of them can be driven by a relational query processor —
+// the paper's central integration requirement.
+package index
+
+import (
+	"sort"
+
+	"repro/internal/btree"
+	"repro/internal/storage"
+)
+
+// Kind identifies a member of the index family.
+type Kind int
+
+const (
+	KindRootPaths Kind = iota
+	KindDataPaths
+	KindEdge
+	KindDataGuide
+	KindIndexFabric
+	KindASR
+	KindJoinIndex
+	KindXRel
+	// KindContainment is the region-encoded element-list index of the
+	// structural-join extension (package containment).
+	KindContainment
+)
+
+var kindNames = map[Kind]string{
+	KindRootPaths:   "ROOTPATHS",
+	KindDataPaths:   "DATAPATHS",
+	KindEdge:        "Edge",
+	KindDataGuide:   "DataGuide",
+	KindIndexFabric: "IndexFabric",
+	KindASR:         "ASR",
+	KindJoinIndex:   "JoinIndex",
+	KindXRel:        "XRel",
+	KindContainment: "Containment",
+}
+
+func (k Kind) String() string {
+	if n, ok := kindNames[k]; ok {
+		return n
+	}
+	return "unknown"
+}
+
+// Space summarises the footprint of an index structure.
+type Space struct {
+	Kind    Kind
+	Name    string
+	Bytes   int64
+	Pages   int64
+	Entries int64
+	Trees   int // number of B+-trees ("tables"); 1 for the unified indices
+}
+
+// sortEntries sorts bulk-load input by key (stable so equal keys keep
+// emission order).
+func sortEntries(entries []btree.Entry) {
+	sort.SliceStable(entries, func(i, j int) bool {
+		return compareBytes(entries[i].Key, entries[j].Key) < 0
+	})
+}
+
+func compareBytes(a, b []byte) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			if a[i] < b[i] {
+				return -1
+			}
+			return 1
+		}
+	}
+	switch {
+	case len(a) < len(b):
+		return -1
+	case len(a) > len(b):
+		return 1
+	}
+	return 0
+}
+
+func treeSpace(k Kind, name string, trees ...*btree.Tree) Space {
+	s := Space{Kind: k, Name: name, Trees: len(trees)}
+	for _, t := range trees {
+		st := t.Stats()
+		s.Bytes += st.Bytes
+		s.Pages += st.Pages
+		s.Entries += st.Entries
+	}
+	return s
+}
+
+// bulk builds one tree from unsorted entries.
+func bulk(pool *storage.Pool, name string, entries []btree.Entry) (*btree.Tree, error) {
+	sortEntries(entries)
+	return btree.BulkLoad(pool, name, entries)
+}

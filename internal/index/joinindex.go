@@ -1,0 +1,204 @@
+package index
+
+import (
+	"fmt"
+
+	"repro/internal/btree"
+	"repro/internal/pathdict"
+	"repro/internal/pathrel"
+	"repro/internal/storage"
+	"repro/internal/xmldb"
+)
+
+// JoinIndex implements Valduriez-style join indices adapted to XML paths as
+// the paper describes (Section 5.2.6): per distinct schema path a relation
+// of only the *endpoint* id pairs, with two B+-trees — a forward index
+// probed by head id and a backward index probed by leaf value / tail id.
+// Because only endpoints are stored, recovering an interior (branch-point)
+// node requires composing the join indices of the two halves of the path,
+// which is the extra join work (and the doubled index space) the paper
+// charges against JI.
+type JoinIndex struct {
+	fwd    map[pathdict.PathID]*btree.Tree // [head][valuefield][tail] -> nil
+	bwd    map[pathdict.PathID]*btree.Tree // [valuefield][tail][head] -> nil
+	ptab   *pathdict.PathTable
+	rooted map[pathdict.PathID]bool
+	roots  map[int64]bool
+	dict   *pathdict.Dict
+}
+
+// BuildJoinIndex constructs both B+-trees for every distinct schema path.
+func BuildJoinIndex(pool *storage.Pool, store *xmldb.Store, dict *pathdict.Dict) (*JoinIndex, error) {
+	j := &JoinIndex{
+		fwd:    map[pathdict.PathID]*btree.Tree{},
+		bwd:    map[pathdict.PathID]*btree.Tree{},
+		ptab:   pathdict.NewPathTable(),
+		rooted: map[pathdict.PathID]bool{},
+		roots:  map[int64]bool{},
+		dict:   dict,
+	}
+	for _, d := range store.Docs {
+		j.roots[d.Root.ID] = true
+	}
+	fwdPer := map[pathdict.PathID][]btree.Entry{}
+	bwdPer := map[pathdict.PathID][]btree.Entry{}
+	pathrel.EmitAllPaths(store, dict, func(r pathrel.Row) {
+		if r.HeadID == 0 {
+			return
+		}
+		id := j.ptab.Intern(r.Path)
+		if j.roots[r.HeadID] {
+			j.rooted[id] = true
+		}
+		tail := r.LastID()
+		fkey := pathdict.AppendID(nil, r.HeadID)
+		fkey = pathdict.AppendValueField(fkey, r.HasValue, r.Value)
+		fkey = pathdict.AppendID(fkey, tail)
+		fwdPer[id] = append(fwdPer[id], btree.Entry{Key: fkey})
+
+		bkey := pathdict.AppendValueField(nil, r.HasValue, r.Value)
+		bkey = pathdict.AppendID(bkey, tail)
+		bkey = pathdict.AppendID(bkey, r.HeadID)
+		bwdPer[id] = append(bwdPer[id], btree.Entry{Key: bkey})
+	})
+	var err error
+	j.ptab.All(func(id pathdict.PathID, p pathdict.Path) {
+		if err != nil {
+			return
+		}
+		name := p.String(dict)
+		if j.fwd[id], err = bulk(pool, "JI/fwd/"+name, fwdPer[id]); err != nil {
+			return
+		}
+		j.bwd[id], err = bulk(pool, "JI/bwd/"+name, bwdPer[id])
+	})
+	if err != nil {
+		return nil, err
+	}
+	return j, nil
+}
+
+// Paths exposes the relation registry.
+func (j *JoinIndex) Paths() *pathdict.PathTable { return j.ptab }
+
+// IsDocRoot reports whether id is a document root.
+func (j *JoinIndex) IsDocRoot(id int64) bool { return j.roots[id] }
+
+// NumTables returns the number of materialised relations.
+func (j *JoinIndex) NumTables() int { return len(j.fwd) }
+
+// MatchingPaths enumerates concrete paths matching a linear pattern.
+func (j *JoinIndex) MatchingPaths(pat []pathdict.PStep, rootedOnly bool) []pathdict.PathID {
+	var out []pathdict.PathID
+	j.ptab.All(func(id pathdict.PathID, p pathdict.Path) {
+		if rootedOnly && !j.rooted[id] {
+			return
+		}
+		if pathdict.MatchPath(pat, p) {
+			out = append(out, id)
+		}
+	})
+	return out
+}
+
+// BwdByValue scans the backward index by leaf value, yielding (tail, head)
+// pairs. With rootedOnly, pairs whose head is not a document root are
+// skipped.
+func (j *JoinIndex) BwdByValue(id pathdict.PathID, hasValue bool, value string, rootedOnly bool, fn func(tail, head int64) error) (int, error) {
+	t, ok := j.bwd[id]
+	if !ok {
+		return 0, fmt.Errorf("index: JI relation %d does not exist", id)
+	}
+	prefix := pathdict.AppendValueField(nil, hasValue, value)
+	return j.scanPairs(t, prefix, rootedOnly, fn)
+}
+
+// BwdByTail probes the backward index by (value, tail), yielding the heads
+// of instances ending at tail — the probe that verifies a candidate node
+// against the upper half of a path.
+func (j *JoinIndex) BwdByTail(id pathdict.PathID, hasValue bool, value string, tail int64, fn func(head int64) error) (int, error) {
+	t, ok := j.bwd[id]
+	if !ok {
+		return 0, fmt.Errorf("index: JI relation %d does not exist", id)
+	}
+	prefix := pathdict.AppendValueField(nil, hasValue, value)
+	prefix = pathdict.AppendID(prefix, tail)
+	return j.scanPairs(t, prefix, false, func(head, _ int64) error {
+		// bwd keys are [value][tail][head]: the decoded pair order is
+		// (tail, head); scanPairs yields (first, second) = (tail, head)
+		// for full-prefix scans, but here tail is fixed so the first
+		// decoded id is the head.
+		return fn(head)
+	})
+}
+
+// FwdByHead probes the forward index by head id (the index-nested-loop
+// probe), yielding tails with a matching value.
+func (j *JoinIndex) FwdByHead(id pathdict.PathID, headID int64, hasValue bool, value string, fn func(tail int64) error) (int, error) {
+	t, ok := j.fwd[id]
+	if !ok {
+		return 0, fmt.Errorf("index: JI relation %d does not exist", id)
+	}
+	prefix := pathdict.AppendID(nil, headID)
+	prefix = pathdict.AppendValueField(prefix, hasValue, value)
+	return j.scanPairs(t, prefix, false, func(tail, _ int64) error {
+		return fn(tail)
+	})
+}
+
+// scanPairs iterates entries with the given key prefix and decodes the
+// trailing 8 or 16 bytes after the prefix as one or two ids. fn receives
+// (first, second); second is 0 when only one id follows the prefix.
+func (j *JoinIndex) scanPairs(t *btree.Tree, prefix []byte, rootedOnly bool, fn func(a, b int64) error) (int, error) {
+	it, err := t.SeekPrefix(prefix)
+	if err != nil {
+		return 0, err
+	}
+	defer it.Close()
+	rows := 0
+	for ; it.Valid(); it.Next() {
+		key := it.Key()
+		rest := key[len(prefix):]
+		var a, b int64
+		switch len(rest) {
+		case 8:
+			a, _, err = pathdict.DecodeID(rest)
+		case 16:
+			a, rest, err = pathdict.DecodeID(rest)
+			if err == nil {
+				b, _, err = pathdict.DecodeID(rest)
+			}
+		default:
+			err = fmt.Errorf("index: JI key tail of %d bytes", len(rest))
+		}
+		if err != nil {
+			return rows, err
+		}
+		if rootedOnly && !j.roots[b] {
+			continue
+		}
+		rows++
+		if err := fn(a, b); err != nil {
+			return rows, err
+		}
+	}
+	return rows, it.Err()
+}
+
+// Space reports the combined footprint of all forward and backward trees.
+func (j *JoinIndex) Space() Space {
+	s := Space{Kind: KindJoinIndex, Name: "JoinIndex", Trees: len(j.fwd) + len(j.bwd)}
+	add := func(t *btree.Tree) {
+		st := t.Stats()
+		s.Bytes += st.Bytes
+		s.Pages += st.Pages
+		s.Entries += st.Entries
+	}
+	for _, t := range j.fwd {
+		add(t)
+	}
+	for _, t := range j.bwd {
+		add(t)
+	}
+	return s
+}

@@ -1,0 +1,203 @@
+package naive
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/xmldb"
+	"repro/internal/xpath"
+)
+
+// Figure 1 example with padded ids: book=1, title=2, allauthors=5,
+// author1=6 (fn=7 jane, ln=10 poe), author2=11 (fn=12 john, ln=13 doe),
+// author3=14 (fn=15 jane, ln=16 doe), year=17, chapter=18, title=19,
+// section=20, head=21.
+const bookXML = `
+<book>
+ <title>XML</title>
+ <pad1/><pad2/>
+ <allauthors>
+  <author><fn>jane</fn><pad3/><pad4/><ln>poe</ln></author>
+  <author><fn>john</fn><ln>doe</ln></author>
+  <author><fn>jane</fn><ln>doe</ln></author>
+ </allauthors>
+ <year>2000</year>
+ <chapter>
+  <title>XML</title>
+  <section><head>Origins</head></section>
+ </chapter>
+</book>`
+
+func bookStore(t testing.TB) *xmldb.Store {
+	t.Helper()
+	doc, err := xmldb.ParseString(bookXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := xmldb.NewStore()
+	s.AddDocument(doc)
+	return s
+}
+
+func run(t testing.TB, s *xmldb.Store, q string) []int64 {
+	t.Helper()
+	return Match(s, xpath.MustParse(q))
+}
+
+func TestPaperTwig(t *testing.T) {
+	s := bookStore(t)
+	// The twig of Figure 1(c): matches exactly the third author (id 15).
+	got := run(t, s, `/book[title='XML']//author[fn='jane' and ln='doe']`)
+	if !reflect.DeepEqual(got, []int64{14}) {
+		t.Fatalf("twig = %v, want [14]", got)
+	}
+}
+
+func TestLinearQueries(t *testing.T) {
+	s := bookStore(t)
+	cases := []struct {
+		q    string
+		want []int64
+	}{
+		{`/book`, []int64{1}},
+		{`/book/title`, []int64{2}},
+		{`/book/title[. = 'XML']`, []int64{2}},
+		{`/book/title[. = 'nope']`, nil},
+		{`//title`, []int64{2, 19}},
+		{`//title[. = 'XML']`, []int64{2, 19}},
+		{`/book//title`, []int64{2, 19}},
+		{`//author/fn[. = 'jane']`, []int64{7, 15}},
+		{`//author[fn = 'jane']`, []int64{6, 14}},
+		{`//section/head`, []int64{21}},
+		{`/book/chapter/section/head[. = 'Origins']`, []int64{21}},
+		{`/title`, nil}, // title is not a document root
+		{`//nosuch`, nil},
+	}
+	for _, c := range cases {
+		got := run(t, s, c.q)
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("%s = %v, want %v", c.q, got, c.want)
+		}
+	}
+}
+
+func TestBranchingQueries(t *testing.T) {
+	s := bookStore(t)
+	cases := []struct {
+		q    string
+		want []int64
+	}{
+		{`//author[fn='jane'][ln='poe']`, []int64{6}},
+		{`//author[fn='jane'][ln='doe']`, []int64{14}},
+		{`//author[fn='john'][ln='poe']`, nil},
+		{`/book[year='2000']//author[ln='doe']`, []int64{11, 14}},
+		{`/book[year='1999']//author[ln='doe']`, nil},
+		// Output above the branch point.
+		{`/book[chapter/section/head='Origins'][title='XML']`, []int64{1}},
+		// Branch below the output: the same c must have both d and e.
+		{`/book/allauthors/author[fn='jane']/ln`, []int64{10, 16}},
+	}
+	for _, c := range cases {
+		got := run(t, s, c.q)
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("%s = %v, want %v", c.q, got, c.want)
+		}
+	}
+}
+
+// TestSharedBranchNode pins the semantics that sibling predicates below an
+// interior node must be satisfied by the *same* binding of that node.
+func TestSharedBranchNode(t *testing.T) {
+	doc, err := xmldb.ParseString(`
+<r>
+ <c><d>1</d></c>
+ <c><e>2</e></c>
+</r>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := xmldb.NewStore()
+	s.AddDocument(doc)
+	// No single c has both d and e.
+	if got := run(t, s, `/r/c[d][e]`); got != nil {
+		t.Fatalf("/r/c[d][e] = %v, want none", got)
+	}
+	if got := run(t, s, `/r/c[d]`); len(got) != 1 {
+		t.Fatalf("/r/c[d] = %v, want one", got)
+	}
+	// But r has both a c/d and a c/e below it.
+	if got := run(t, s, `/r[c/d][c/e]`); len(got) != 1 {
+		t.Fatalf("/r[c/d][c/e] = %v, want r", got)
+	}
+}
+
+func TestRecursiveElements(t *testing.T) {
+	doc, err := xmldb.ParseString(`<a><a><a><b>x</b></a></a></a>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := xmldb.NewStore()
+	s.AddDocument(doc)
+	if got := run(t, s, `//a//a`); len(got) != 2 {
+		t.Fatalf("//a//a = %v, want 2 inner a's", got)
+	}
+	if got := run(t, s, `//a[b='x']`); len(got) != 1 {
+		t.Fatalf("//a[b='x'] = %v", got)
+	}
+	if got := run(t, s, `/a/a/a/b`); len(got) != 1 {
+		t.Fatalf("/a/a/a/b = %v", got)
+	}
+	if got := run(t, s, `//a//b`); len(got) != 1 {
+		t.Fatalf("//a//b = %v", got)
+	}
+}
+
+func TestAttributes(t *testing.T) {
+	doc, err := xmldb.ParseString(`
+<site>
+ <person income="100"><name>ann</name></person>
+ <person income="200"><name>bob</name></person>
+</site>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := xmldb.NewStore()
+	s.AddDocument(doc)
+	got := run(t, s, `/site/person[@income='200']/name`)
+	if len(got) != 1 {
+		t.Fatalf("attr query = %v, want bob's name", got)
+	}
+	if got := run(t, s, `/site/person[@income='300']`); got != nil {
+		t.Fatalf("absent attr = %v", got)
+	}
+}
+
+func TestMultipleDocuments(t *testing.T) {
+	s := xmldb.NewStore()
+	for _, x := range []string{`<b><t>X</t></b>`, `<b><t>Y</t></b>`, `<c><t>X</t></c>`} {
+		doc, err := xmldb.ParseString(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.AddDocument(doc)
+	}
+	if got := run(t, s, `/b/t[. = 'X']`); len(got) != 1 {
+		t.Fatalf("cross-document root anchor = %v", got)
+	}
+	if got := run(t, s, `//t[. = 'X']`); len(got) != 2 {
+		t.Fatalf("cross-document // = %v", got)
+	}
+}
+
+func TestOutputDistinct(t *testing.T) {
+	// b has two c children with v: /a[c]/.. patterns must not duplicate.
+	doc, err := xmldb.ParseString(`<a><c>v</c><c>v</c></a>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := xmldb.NewStore()
+	s.AddDocument(doc)
+	if got := run(t, s, `/a[c='v']`); len(got) != 1 {
+		t.Fatalf("output not distinct: %v", got)
+	}
+}

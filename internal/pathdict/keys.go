@@ -1,0 +1,154 @@
+package pathdict
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Order-preserving composite key encoding.
+//
+// Every index in the family is an ordinary B+-tree over byte strings; the
+// columns it indexes are concatenated so that bytewise key order equals the
+// column-order lexicographic order, and so that a query's fixed columns plus
+// a schema-path *prefix* form a key prefix (B+-trees are efficient at prefix
+// matches, paper Section 3.2):
+//
+//	value field:  0x01                       (null LeafValue)
+//	              0x02 esc(value) 0x00 0x01  (present; 0x00 -> 0x00 0xFF)
+//	node id:      8 bytes big-endian
+//	schema path:  2 bytes big-endian per designator (no terminator; it is
+//	              always the last field, so a path prefix is a key prefix)
+
+const (
+	markerNull  = 0x01
+	markerValue = 0x02
+)
+
+// AppendValueField appends the order-preserving encoding of an optional
+// leaf value.
+func AppendValueField(dst []byte, hasValue bool, value string) []byte {
+	if !hasValue {
+		return append(dst, markerNull)
+	}
+	dst = append(dst, markerValue)
+	for i := 0; i < len(value); i++ {
+		b := value[i]
+		dst = append(dst, b)
+		if b == 0x00 {
+			dst = append(dst, 0xFF)
+		}
+	}
+	return append(dst, 0x00, 0x01)
+}
+
+// DecodeValueField decodes a value field, returning the remainder of buf.
+func DecodeValueField(buf []byte) (hasValue bool, value string, rest []byte, err error) {
+	if len(buf) == 0 {
+		return false, "", nil, fmt.Errorf("pathdict: empty value field")
+	}
+	switch buf[0] {
+	case markerNull:
+		return false, "", buf[1:], nil
+	case markerValue:
+		buf = buf[1:]
+		var out []byte
+		for i := 0; i < len(buf); i++ {
+			b := buf[i]
+			if b != 0x00 {
+				out = append(out, b)
+				continue
+			}
+			if i+1 >= len(buf) {
+				return false, "", nil, fmt.Errorf("pathdict: unterminated value escape")
+			}
+			switch buf[i+1] {
+			case 0xFF:
+				out = append(out, 0x00)
+				i++
+			case 0x01:
+				return true, string(out), buf[i+2:], nil
+			default:
+				return false, "", nil, fmt.Errorf("pathdict: bad escape byte %#x", buf[i+1])
+			}
+		}
+		return false, "", nil, fmt.Errorf("pathdict: unterminated value field")
+	default:
+		return false, "", nil, fmt.Errorf("pathdict: bad value marker %#x", buf[0])
+	}
+}
+
+// AppendID appends a node id as 8 bytes big-endian.
+func AppendID(dst []byte, id int64) []byte {
+	return binary.BigEndian.AppendUint64(dst, uint64(id))
+}
+
+// DecodeID decodes a node id, returning the remainder of buf.
+func DecodeID(buf []byte) (int64, []byte, error) {
+	if len(buf) < 8 {
+		return 0, nil, fmt.Errorf("pathdict: short id field (%d bytes)", len(buf))
+	}
+	return int64(binary.BigEndian.Uint64(buf)), buf[8:], nil
+}
+
+// AppendPath appends a schema path, 2 bytes big-endian per designator.
+func AppendPath(dst []byte, p Path) []byte {
+	for _, s := range p {
+		dst = binary.BigEndian.AppendUint16(dst, uint16(s))
+	}
+	return dst
+}
+
+// DecodePath decodes an entire buffer as a schema path.
+func DecodePath(buf []byte) (Path, error) {
+	if len(buf)%2 != 0 {
+		return nil, fmt.Errorf("pathdict: path length %d not a multiple of 2", len(buf))
+	}
+	p := make(Path, 0, len(buf)/2)
+	for len(buf) > 0 {
+		p = append(p, Sym(binary.BigEndian.Uint16(buf)))
+		buf = buf[2:]
+	}
+	return p, nil
+}
+
+// RootPathsKey encodes the ROOTPATHS index key
+// LeafValue · ReverseSchemaPath (paper Section 3.2). Pass the path already
+// reversed. With a reverse-path *prefix* it is also the probe prefix for a
+// PCsubpath pattern with a leading //.
+func RootPathsKey(dst []byte, hasValue bool, value string, rev Path) []byte {
+	dst = AppendValueField(dst, hasValue, value)
+	return AppendPath(dst, rev)
+}
+
+// DecodeRootPathsKey splits a ROOTPATHS key back into its columns.
+func DecodeRootPathsKey(key []byte) (hasValue bool, value string, rev Path, err error) {
+	hasValue, value, rest, err := DecodeValueField(key)
+	if err != nil {
+		return false, "", nil, err
+	}
+	rev, err = DecodePath(rest)
+	return hasValue, value, rev, err
+}
+
+// DataPathsKey encodes the DATAPATHS index key
+// HeadId · LeafValue · ReverseSchemaPath (paper Section 3.3). HeadId 0 is
+// the virtual root, which turns a FreeIndex probe into a BoundIndex probe.
+func DataPathsKey(dst []byte, headID int64, hasValue bool, value string, rev Path) []byte {
+	dst = AppendID(dst, headID)
+	dst = AppendValueField(dst, hasValue, value)
+	return AppendPath(dst, rev)
+}
+
+// DecodeDataPathsKey splits a DATAPATHS key back into its columns.
+func DecodeDataPathsKey(key []byte) (headID int64, hasValue bool, value string, rev Path, err error) {
+	headID, rest, err := DecodeID(key)
+	if err != nil {
+		return 0, false, "", nil, err
+	}
+	hasValue, value, rest, err = DecodeValueField(rest)
+	if err != nil {
+		return 0, false, "", nil, err
+	}
+	rev, err = DecodePath(rest)
+	return headID, hasValue, value, rev, err
+}

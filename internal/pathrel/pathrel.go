@@ -1,0 +1,183 @@
+// Package pathrel enumerates the paper's 4-ary relational representation of
+// an XML database (Section 3.1, Figure 2):
+//
+//	(HeadId, SchemaPath, LeafValue, IdList)
+//
+// A row exists for every downward chain of nodes head..d: HeadId is the id
+// of the chain's first node, SchemaPath the labels along the chain
+// (including the head's own label), and IdList the ids along the chain
+// except the head's. Chains headed at the virtual root (HeadId 0) omit the
+// virtual root's empty label, which makes them exactly the root-path rows of
+// ROOTPATHS (Figure 4: SchemaPath "B", IdList [1]).
+//
+// For every chain whose last node carries a leaf string value, two rows are
+// emitted: one with a null LeafValue and one with the value — matching
+// Figure 2, where both (BT, null, [2]) and (BT, XML, [2]) appear.
+package pathrel
+
+import (
+	"repro/internal/pathdict"
+	"repro/internal/xmldb"
+)
+
+// Row is one tuple of the 4-ary relation. Path and IDs are only valid for
+// the duration of the emit callback; implementations that retain them must
+// copy.
+type Row struct {
+	HeadID   int64
+	Path     pathdict.Path // labels head..d (virtual-root label omitted)
+	HasValue bool
+	Value    string
+	IDs      []int64 // ids along the chain, excluding the head
+}
+
+// PosID returns the node id bound to path position i of this row, unifying
+// real heads (position 0 is the head itself) and virtual-root rows
+// (position i is IDs[i]).
+func (r Row) PosID(i int) int64 {
+	if r.HeadID == 0 {
+		return r.IDs[i]
+	}
+	if i == 0 {
+		return r.HeadID
+	}
+	return r.IDs[i-1]
+}
+
+// LastID returns the id of the chain's last node.
+func (r Row) LastID() int64 {
+	if len(r.IDs) > 0 {
+		return r.IDs[len(r.IDs)-1]
+	}
+	return r.HeadID
+}
+
+// EmitRootPaths enumerates only the rows headed at the virtual root — the
+// root-to-node path prefixes that ROOTPATHS stores. Labels encountered are
+// interned into dict.
+func EmitRootPaths(store *xmldb.Store, dict *pathdict.Dict, fn func(Row)) {
+	var (
+		syms pathdict.Path
+		ids  []int64
+	)
+	var rec func(n *xmldb.Node)
+	rec = func(n *xmldb.Node) {
+		syms = append(syms, dict.Intern(n.Label))
+		ids = append(ids, n.ID)
+		fn(Row{HeadID: 0, Path: syms, IDs: ids})
+		if n.HasValue {
+			fn(Row{HeadID: 0, Path: syms, HasValue: true, Value: n.Value, IDs: ids})
+		}
+		for _, c := range n.Children {
+			rec(c)
+		}
+		syms = syms[:len(syms)-1]
+		ids = ids[:len(ids)-1]
+	}
+	for _, d := range store.Docs {
+		rec(d.Root)
+	}
+}
+
+// EmitAllPaths enumerates every row of the 4-ary relation: for each node d,
+// one chain per ancestor head (plus the virtual root). This is the DATAPATHS
+// input; its size grows with data depth, which is the paper's explanation
+// for DATAPATHS being much larger on XMark than on shallow DBLP.
+func EmitAllPaths(store *xmldb.Store, dict *pathdict.Dict, fn func(Row)) {
+	var (
+		syms pathdict.Path
+		ids  []int64
+	)
+	var rec func(n *xmldb.Node)
+	rec = func(n *xmldb.Node) {
+		syms = append(syms, dict.Intern(n.Label))
+		ids = append(ids, n.ID)
+		k := len(syms)
+		// Virtual-root head.
+		fn(Row{HeadID: 0, Path: syms, IDs: ids})
+		if n.HasValue {
+			fn(Row{HeadID: 0, Path: syms, HasValue: true, Value: n.Value, IDs: ids})
+		}
+		// Real heads: chains starting at each ancestor (including d).
+		for s := 0; s < k; s++ {
+			r := Row{HeadID: ids[s], Path: syms[s:], IDs: ids[s+1:]}
+			fn(r)
+			if n.HasValue {
+				r.HasValue, r.Value = true, n.Value
+				fn(r)
+			}
+		}
+		for _, c := range n.Children {
+			rec(c)
+		}
+		syms = syms[:len(syms)-1]
+		ids = ids[:len(ids)-1]
+	}
+	for _, d := range store.Docs {
+		rec(d.Root)
+	}
+}
+
+// EmitSubtreeRows enumerates the rows whose chain *ends* inside the subtree
+// rooted at sub — exactly the rows ROOTPATHS (all=false) or DATAPATHS
+// (all=true) must insert when the subtree is attached, or delete when it is
+// detached. Any chain that touches a subtree node ends at one (chains run
+// downward), so this set is complete.
+//
+// The paper's Section 7 example is the all=false case: "inserting an author
+// with a certain name to an existing book requires inserting all prefixes
+// of the /book/author/name path" — here, one row per new node (plus value
+// rows), each carrying the full root path.
+func EmitSubtreeRows(store *xmldb.Store, dict *pathdict.Dict, sub *xmldb.Node, all bool, fn func(Row)) {
+	anc := store.Ancestors(sub)
+	syms := make(pathdict.Path, 0, len(anc)+4)
+	ids := make([]int64, 0, len(anc)+4)
+	for _, a := range anc {
+		syms = append(syms, dict.Intern(a.Label))
+		ids = append(ids, a.ID)
+	}
+	var rec func(n *xmldb.Node)
+	rec = func(n *xmldb.Node) {
+		syms = append(syms, dict.Intern(n.Label))
+		ids = append(ids, n.ID)
+		emit := func(hasVal bool, val string) {
+			fn(Row{HeadID: 0, Path: syms, HasValue: hasVal, Value: val, IDs: ids})
+			if all {
+				for s := 0; s < len(syms); s++ {
+					fn(Row{HeadID: ids[s], Path: syms[s:], HasValue: hasVal, Value: val, IDs: ids[s+1:]})
+				}
+			}
+		}
+		emit(false, "")
+		if n.HasValue {
+			emit(true, n.Value)
+		}
+		for _, c := range n.Children {
+			rec(c)
+		}
+		syms = syms[:len(syms)-1]
+		ids = ids[:len(ids)-1]
+	}
+	rec(sub)
+}
+
+// CountRows returns the number of rows each enumeration would produce;
+// used for pre-sizing and reporting.
+func CountRows(store *xmldb.Store) (rootRows, allRows int64) {
+	var rec func(n *xmldb.Node, d int)
+	rec = func(n *xmldb.Node, d int) {
+		rows := int64(1)
+		if n.HasValue {
+			rows = 2
+		}
+		rootRows += rows
+		allRows += rows * int64(d+1) // d real heads + the virtual root
+		for _, c := range n.Children {
+			rec(c, d+1)
+		}
+	}
+	for _, doc := range store.Docs {
+		rec(doc.Root, 1)
+	}
+	return rootRows, allRows
+}

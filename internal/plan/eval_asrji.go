@@ -1,0 +1,274 @@
+package plan
+
+import (
+	"fmt"
+
+	"repro/internal/pathdict"
+	"repro/internal/relop"
+	"repro/internal/xpath"
+)
+
+// anchorPattern returns a copy of pat with the leading // removed, so that
+// schema expansion enumerates each instance under exactly one concrete
+// relation (the subpath from the step-0 binding to the leaf).
+func anchorPattern(pat []pathdict.PStep) []pathdict.PStep {
+	out := append([]pathdict.PStep(nil), pat...)
+	out[0].Desc = false
+	return out
+}
+
+// asrEval implements the ASR strategy: every branch pattern is expanded
+// against the schema into its matching concrete paths, and one relation is
+// probed per concrete path. A // matching m concrete paths therefore costs
+// m relation accesses — the Section 5.2.6 effect ("the cost of accessing
+// many small indices is linear in the number of indices").
+type asrEval struct {
+	env *Env
+	es  *ExecStats
+}
+
+func (e *asrEval) CanBound() bool { return true }
+
+func (e *asrEval) Free(br xpath.Branch) ([]relop.Tuple, error) {
+	pat, ok := compileBranch(e.env.Dict, br)
+	if !ok {
+		return nil, nil
+	}
+	needRooted := !pat[0].Desc
+	anchored := anchorPattern(pat)
+	var out []relop.Tuple
+	for _, relID := range e.env.ASR.MatchingPaths(anchored, needRooted) {
+		concrete := e.env.ASR.Paths().Path(relID)
+		asn := pathdict.EnumerateMatches(anchored, concrete)
+		if len(asn) == 0 {
+			continue
+		}
+		e.es.IndexLookups++
+		e.es.touchRelation(relID)
+		rows, err := e.env.ASR.ProbeValue(relID, br.HasValue, br.Value, needRooted, func(ids []int64) error {
+			for _, pos := range asn {
+				t := make(relop.Tuple, len(pos))
+				for i, p := range pos {
+					t[i] = ids[p]
+				}
+				out = append(out, t)
+			}
+			return nil
+		})
+		e.es.RowsScanned += int64(rows)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func (e *asrEval) Bound(br xpath.Branch, jIdx int, jids []int64) (map[int64][]relop.Tuple, error) {
+	pat, ok := boundPattern(e.env.Dict, br, jIdx)
+	if !ok {
+		return map[int64][]relop.Tuple{}, nil
+	}
+	out := make(map[int64][]relop.Tuple, len(jids))
+	for _, relID := range e.env.ASR.MatchingPaths(pat, false) {
+		concrete := e.env.ASR.Paths().Path(relID)
+		asn := pathdict.EnumerateMatches(pat, concrete)
+		if len(asn) == 0 {
+			continue
+		}
+		for _, jid := range jids {
+			e.es.INLProbes++
+			e.es.IndexLookups++
+			e.es.touchRelation(relID)
+			rows, err := e.env.ASR.ProbeBound(relID, jid, br.HasValue, br.Value, func(ids []int64) error {
+				for _, pos := range asn {
+					t := make(relop.Tuple, 0, len(pos)-1)
+					for _, p := range pos[1:] {
+						t = append(t, ids[p])
+					}
+					out[jid] = append(out[jid], t)
+				}
+				return nil
+			})
+			e.es.RowsScanned += int64(rows)
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	return out, nil
+}
+
+// boundPattern compiles the branch below jIdx anchored at the head label.
+func boundPattern(dict *pathdict.Dict, br xpath.Branch, jIdx int) ([]pathdict.PStep, bool) {
+	sub := br.Steps[jIdx+1:]
+	descs := make([]bool, 0, len(sub)+1)
+	labels := make([]string, 0, len(sub)+1)
+	descs = append(descs, false)
+	labels = append(labels, br.Nodes[jIdx].Label)
+	for _, s := range sub {
+		descs = append(descs, s.Axis == xpath.Descendant)
+		labels = append(labels, s.Label)
+	}
+	return pathdict.CompileSteps(dict, descs, labels)
+}
+
+// jiEval implements the Join Index strategy. JI relations hold only
+// (head, tail) endpoint pairs, so recovering the ids at interior pattern
+// positions requires composing the join indices of adjacent position pairs —
+// strictly more probes than ASR's single full-tuple relation, matching the
+// paper's ranking in Figure 13.
+type jiEval struct {
+	env *Env
+	es  *ExecStats
+}
+
+func (e *jiEval) CanBound() bool { return true }
+
+// segments resolves the JI relation of each adjacent position pair of an
+// assignment over a concrete path.
+func (e *jiEval) segments(concrete pathdict.Path, pos []int) ([]pathdict.PathID, error) {
+	segs := make([]pathdict.PathID, len(pos)-1)
+	for m := 0; m+1 < len(pos); m++ {
+		sub := concrete[pos[m] : pos[m+1]+1]
+		id, ok := e.env.JI.Paths().Lookup(sub)
+		if !ok {
+			return nil, fmt.Errorf("plan: JI relation missing for subpath %s", sub.String(e.env.Dict))
+		}
+		segs[m] = id
+	}
+	return segs, nil
+}
+
+func (e *jiEval) Free(br xpath.Branch) ([]relop.Tuple, error) {
+	pat, ok := compileBranch(e.env.Dict, br)
+	if !ok {
+		return nil, nil
+	}
+	needRooted := !pat[0].Desc
+	anchored := anchorPattern(pat)
+	var out []relop.Tuple
+	for _, relID := range e.env.JI.MatchingPaths(anchored, needRooted) {
+		concrete := e.env.JI.Paths().Path(relID)
+		for _, pos := range pathdict.EnumerateMatches(anchored, concrete) {
+			k := len(pos)
+			if k == 1 {
+				// Single-node pattern: the length-1 relation's rows are
+				// (head == tail).
+				segID, ok := e.env.JI.Paths().Lookup(concrete[pos[0] : pos[0]+1])
+				if !ok {
+					continue
+				}
+				e.es.IndexLookups++
+				e.es.touchRelation(segID)
+				rows, err := e.env.JI.BwdByValue(segID, br.HasValue, br.Value, needRooted, func(tail, _ int64) error {
+					out = append(out, relop.Tuple{tail})
+					return nil
+				})
+				e.es.RowsScanned += int64(rows)
+				if err != nil {
+					return nil, err
+				}
+				continue
+			}
+			segs, err := e.segments(concrete, pos)
+			if err != nil {
+				return nil, err
+			}
+			// Seed from the last segment (it carries the value).
+			var partials []relop.Tuple // columns pos[m..k-1] as we extend left
+			last := segs[k-2]
+			e.es.IndexLookups++
+			e.es.touchRelation(last)
+			rows, err := e.env.JI.BwdByValue(last, br.HasValue, br.Value, false, func(tail, head int64) error {
+				partials = append(partials, relop.Tuple{head, tail})
+				return nil
+			})
+			e.es.RowsScanned += int64(rows)
+			if err != nil {
+				return nil, err
+			}
+			// Compose upward: one BwdByTail probe per tuple per segment.
+			for m := k - 3; m >= 0; m-- {
+				var next []relop.Tuple
+				for _, t := range partials {
+					e.es.IndexLookups++
+					e.es.touchRelation(segs[m])
+					rows, err := e.env.JI.BwdByTail(segs[m], false, "", t[0], func(head int64) error {
+						next = append(next, prepend(head, t))
+						return nil
+					})
+					e.es.RowsScanned += int64(rows)
+					if err != nil {
+						return nil, err
+					}
+				}
+				e.es.Join.TuplesIn += int64(len(partials))
+				e.es.Join.TuplesOut += int64(len(next))
+				partials = next
+			}
+			for _, t := range partials {
+				if needRooted && !e.env.JI.IsDocRoot(t[0]) {
+					continue
+				}
+				out = append(out, t)
+			}
+		}
+	}
+	return out, nil
+}
+
+func (e *jiEval) Bound(br xpath.Branch, jIdx int, jids []int64) (map[int64][]relop.Tuple, error) {
+	pat, ok := boundPattern(e.env.Dict, br, jIdx)
+	if !ok {
+		return map[int64][]relop.Tuple{}, nil
+	}
+	out := make(map[int64][]relop.Tuple, len(jids))
+	for _, relID := range e.env.JI.MatchingPaths(pat, false) {
+		concrete := e.env.JI.Paths().Path(relID)
+		for _, pos := range pathdict.EnumerateMatches(pat, concrete) {
+			k := len(pos)
+			if k < 2 {
+				continue // the head alone adds no new columns
+			}
+			segs, err := e.segments(concrete, pos)
+			if err != nil {
+				return nil, err
+			}
+			for _, jid := range jids {
+				e.es.INLProbes++
+				// Compose downward from the head.
+				partials := []relop.Tuple{{jid}} // columns pos[0..m]
+				for m := 0; m+1 < k; m++ {
+					hasVal, val := false, ""
+					if m+1 == k-1 {
+						hasVal, val = br.HasValue, br.Value
+					}
+					var next []relop.Tuple
+					for _, t := range partials {
+						e.es.IndexLookups++
+						e.es.touchRelation(segs[m])
+						rows, err := e.env.JI.FwdByHead(segs[m], t[len(t)-1], hasVal, val, func(tail int64) error {
+							nt := make(relop.Tuple, 0, len(t)+1)
+							nt = append(nt, t...)
+							nt = append(nt, tail)
+							next = append(next, nt)
+							return nil
+						})
+						e.es.RowsScanned += int64(rows)
+						if err != nil {
+							return nil, err
+						}
+					}
+					partials = next
+					if len(partials) == 0 {
+						break
+					}
+				}
+				for _, t := range partials {
+					out[jid] = append(out[jid], t[1:])
+				}
+			}
+		}
+	}
+	return out, nil
+}

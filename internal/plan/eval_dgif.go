@@ -1,0 +1,169 @@
+package plan
+
+import (
+	"repro/internal/pathdict"
+	"repro/internal/relop"
+	"repro/internal/xpath"
+)
+
+// dgEval implements the DG+Edge strategy: the DataGuide answers the
+// structural part (the extent of each concrete rooted path), the edge value
+// index answers the content part, and the two are joined — the separated
+// structure/value lookup whose cost Figure 11 isolates. Branch-point ids
+// are then recovered by climbing the backward link index, one join per
+// level (the paper's "5-way join for each branch").
+type dgEval struct {
+	env *Env
+	es  *ExecStats
+}
+
+func (e *dgEval) CanBound() bool { return true }
+
+func (e *dgEval) Free(br xpath.Branch) ([]relop.Tuple, error) {
+	pat, ok := compileBranch(e.env.Dict, br)
+	if !ok {
+		return nil, nil
+	}
+	var out []relop.Tuple
+	// DataGuide-as-summary: enumerate the concrete rooted paths matching
+	// the pattern (one, unless the pattern has //).
+	for _, concrete := range e.env.DG.MatchingPaths(pat) {
+		// Structure: the extent of the concrete path.
+		var leaves []int64
+		e.es.IndexLookups++
+		rows, err := e.env.DG.Extent(concrete, func(id int64) error {
+			leaves = append(leaves, id)
+			return nil
+		})
+		e.es.RowsScanned += int64(rows)
+		if err != nil {
+			return nil, err
+		}
+		// Content: the value index, joined against the extent.
+		if br.HasValue {
+			matching := map[int64]struct{}{}
+			e.es.IndexLookups++
+			rows, err := e.env.Edge.ValueProbe(br.Steps[len(br.Steps)-1].Label, br.Value, func(id int64) error {
+				matching[id] = struct{}{}
+				return nil
+			})
+			e.es.RowsScanned += int64(rows)
+			if err != nil {
+				return nil, err
+			}
+			tuples := make([]relop.Tuple, len(leaves))
+			for i, id := range leaves {
+				tuples[i] = relop.Tuple{id}
+			}
+			tuples = relop.SemiJoin(tuples, 0, matching, &e.es.Join)
+			leaves = relop.Project(tuples, 0)
+		}
+		ts, err := climbTuples(e.env, e.es, pat, concrete, leaves)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ts...)
+	}
+	return out, nil
+}
+
+// Bound delegates to the edge forward-link walk, which is how a DataGuide
+// plan would run an index-nested-loop join (the guide itself has no bound
+// access path).
+func (e *dgEval) Bound(br xpath.Branch, jIdx int, jids []int64) (map[int64][]relop.Tuple, error) {
+	ee := edgeEval{env: e.env, es: e.es}
+	return ee.Bound(br, jIdx, jids)
+}
+
+// ifEval implements the IF+Edge strategy: the simulated Index Fabric
+// answers (rooted path, leaf value) in a single lookup — its strength on
+// fully specified single paths — but branch points still require
+// backward-link climbs, and // requires expanding the pattern over the
+// schema summary.
+type ifEval struct {
+	env *Env
+	es  *ExecStats
+}
+
+func (e *ifEval) CanBound() bool { return true }
+
+func (e *ifEval) Free(br xpath.Branch) ([]relop.Tuple, error) {
+	pat, ok := compileBranch(e.env.Dict, br)
+	if !ok {
+		return nil, nil
+	}
+	var out []relop.Tuple
+	for _, concrete := range e.env.Stats.MatchingRootedPaths(pat) {
+		var leaves []int64
+		e.es.IndexLookups++
+		rows, err := e.env.IF.Probe(concrete, br.HasValue, br.Value, func(id int64) error {
+			leaves = append(leaves, id)
+			return nil
+		})
+		e.es.RowsScanned += int64(rows)
+		if err != nil {
+			return nil, err
+		}
+		ts, err := climbTuples(e.env, e.es, pat, concrete, leaves)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ts...)
+	}
+	return out, nil
+}
+
+func (e *ifEval) Bound(br xpath.Branch, jIdx int, jids []int64) (map[int64][]relop.Tuple, error) {
+	ee := edgeEval{env: e.env, es: e.es}
+	return ee.Bound(br, jIdx, jids)
+}
+
+// climbTuples recovers the ids at every pattern position by climbing the
+// backward link index from each leaf id along the known concrete path; a
+// Parent lookup per level is exactly the join cascade the paper charges to
+// the DataGuide and Index Fabric strategies.
+func climbTuples(env *Env, es *ExecStats, pat []pathdict.PStep, concrete pathdict.Path, leaves []int64) ([]relop.Tuple, error) {
+	asn := pathdict.EnumerateMatches(pat, concrete)
+	if len(asn) == 0 || len(leaves) == 0 {
+		return nil, nil
+	}
+	minPos := len(concrete)
+	for _, pos := range asn {
+		if pos[0] < minPos {
+			minPos = pos[0]
+		}
+	}
+	var out []relop.Tuple
+	chain := make([]int64, len(concrete))
+	for _, leaf := range leaves {
+		// Fill chain[minPos..len-1]; chain[i] is the node at path
+		// position i above this leaf.
+		chain[len(concrete)-1] = leaf
+		cur := leaf
+		okChain := true
+		for p := len(concrete) - 2; p >= minPos; p-- {
+			es.IndexLookups++
+			pid, _, ok, err := env.Edge.Parent(cur)
+			if err != nil {
+				return nil, err
+			}
+			if !ok || pid == 0 {
+				okChain = false
+				break
+			}
+			chain[p] = pid
+			cur = pid
+		}
+		if !okChain {
+			continue
+		}
+		for _, pos := range asn {
+			t := make(relop.Tuple, len(pos))
+			for i, p := range pos {
+				t[i] = chain[p]
+			}
+			out = append(out, t)
+		}
+	}
+	return out, nil
+}

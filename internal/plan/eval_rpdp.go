@@ -1,0 +1,120 @@
+package plan
+
+import (
+	"repro/internal/pathdict"
+	"repro/internal/relop"
+	"repro/internal/xpath"
+)
+
+// rpEval evaluates branches with single ROOTPATHS lookups (FreeIndex).
+// ROOTPATHS cannot probe by head id, so no bound probes: joins are always
+// materialize-and-hash/merge — the asymmetry behind Figure 12(d).
+type rpEval struct {
+	env *Env
+	es  *ExecStats
+}
+
+func (e *rpEval) CanBound() bool { return false }
+
+func (e *rpEval) Bound(xpath.Branch, int, []int64) (map[int64][]relop.Tuple, error) {
+	panic("plan: ROOTPATHS does not support bound probes")
+}
+
+func (e *rpEval) Free(br xpath.Branch) ([]relop.Tuple, error) {
+	pat, ok := compileBranch(e.env.Dict, br)
+	if !ok {
+		return nil, nil
+	}
+	suffix := suffixSyms(pat)
+	simple := len(suffix) == len(pat)
+	var out []relop.Tuple
+	e.es.IndexLookups++
+	rows, err := e.env.RP.Probe(br.HasValue, br.Value, suffix, func(fwd pathdict.Path, ids []int64) error {
+		for _, pos := range assignments(pat, fwd, simple) {
+			t := make(relop.Tuple, len(pos))
+			for i, p := range pos {
+				t[i] = ids[p] // virtual-root rows: position i binds ids[i]
+			}
+			out = append(out, t)
+		}
+		return nil
+	})
+	e.es.RowsScanned += int64(rows)
+	return out, err
+}
+
+// dpEval evaluates branches with DATAPATHS lookups: FreeIndex via the
+// virtual root (head 0) and BoundIndex via real head ids, the latter being
+// the index-nested-loop probe of Section 3.3.
+type dpEval struct {
+	env *Env
+	es  *ExecStats
+}
+
+func (e *dpEval) CanBound() bool { return true }
+
+func (e *dpEval) Free(br xpath.Branch) ([]relop.Tuple, error) {
+	pat, ok := compileBranch(e.env.Dict, br)
+	if !ok {
+		return nil, nil
+	}
+	suffix := suffixSyms(pat)
+	simple := len(suffix) == len(pat)
+	var out []relop.Tuple
+	e.es.IndexLookups++
+	rows, err := e.env.DP.Probe(0, br.HasValue, br.Value, suffix, func(fwd pathdict.Path, ids []int64) error {
+		for _, pos := range assignments(pat, fwd, simple) {
+			t := make(relop.Tuple, len(pos))
+			for i, p := range pos {
+				t[i] = ids[p]
+			}
+			out = append(out, t)
+		}
+		return nil
+	})
+	e.es.RowsScanned += int64(rows)
+	return out, err
+}
+
+func (e *dpEval) Bound(br xpath.Branch, jIdx int, jids []int64) (map[int64][]relop.Tuple, error) {
+	// The bound pattern is anchored at the head: head label first (child
+	// axis: the head binds path position 0 of every row), then the
+	// remaining steps.
+	head := br.Nodes[jIdx]
+	sub := br.Steps[jIdx+1:]
+	descs := make([]bool, 0, len(sub)+1)
+	labels := make([]string, 0, len(sub)+1)
+	descs = append(descs, false)
+	labels = append(labels, head.Label)
+	for _, s := range sub {
+		descs = append(descs, s.Axis == xpath.Descendant)
+		labels = append(labels, s.Label)
+	}
+	pat, ok := pathdict.CompileSteps(e.env.Dict, descs, labels)
+	if !ok {
+		return map[int64][]relop.Tuple{}, nil
+	}
+	suffix := suffixSyms(pat)
+	simple := len(suffix) == len(pat)
+	out := make(map[int64][]relop.Tuple, len(jids))
+	for _, jid := range jids {
+		e.es.INLProbes++
+		e.es.IndexLookups++
+		rows, err := e.env.DP.Probe(jid, br.HasValue, br.Value, suffix, func(fwd pathdict.Path, ids []int64) error {
+			for _, pos := range assignments(pat, fwd, simple) {
+				// Row positions: 0 is the head itself, i>0 is ids[i-1].
+				t := make(relop.Tuple, 0, len(pos)-1)
+				for _, p := range pos[1:] {
+					t = append(t, ids[p-1])
+				}
+				out[jid] = append(out[jid], t)
+			}
+			return nil
+		})
+		e.es.RowsScanned += int64(rows)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

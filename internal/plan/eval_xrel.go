@@ -1,0 +1,52 @@
+package plan
+
+import (
+	"repro/internal/relop"
+	"repro/internal/xpath"
+)
+
+// xrelEval implements the XRel+Edge strategy: the branch pattern is
+// resolved against the normalised path table into concrete path ids — a //
+// expands into *several* equality conditions, one lookup each, which is the
+// Section 5.2.6 recursion argument — then each path id is probed for
+// (value, node id) rows, and branch-point ids are recovered with
+// backward-link climbs as in the DataGuide plan.
+type xrelEval struct {
+	env *Env
+	es  *ExecStats
+}
+
+func (e *xrelEval) CanBound() bool { return true }
+
+func (e *xrelEval) Free(br xpath.Branch) ([]relop.Tuple, error) {
+	pat, ok := compileBranch(e.env.Dict, br)
+	if !ok {
+		return nil, nil
+	}
+	var out []relop.Tuple
+	for _, pid := range e.env.XRel.MatchingPathIDs(pat) {
+		concrete := e.env.XRel.Paths().Path(pid)
+		var leaves []int64
+		e.es.IndexLookups++
+		e.es.touchRelation(pid)
+		rows, err := e.env.XRel.Probe(pid, br.HasValue, br.Value, func(id int64) error {
+			leaves = append(leaves, id)
+			return nil
+		})
+		e.es.RowsScanned += int64(rows)
+		if err != nil {
+			return nil, err
+		}
+		ts, err := climbTuples(e.env, e.es, pat, concrete, leaves)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ts...)
+	}
+	return out, nil
+}
+
+func (e *xrelEval) Bound(br xpath.Branch, jIdx int, jids []int64) (map[int64][]relop.Tuple, error) {
+	ee := edgeEval{env: e.env, es: e.es}
+	return ee.Bound(br, jIdx, jids)
+}

@@ -1,0 +1,75 @@
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/xpath"
+)
+
+// Explain renders the plan the executor would run for the pattern under the
+// given strategy: the covering branches in execution order with their exact
+// cardinality estimates, the join node each branch attaches at, and whether
+// the strategy can turn the join into an index-nested-loop.
+func Explain(env *Env, strat Strategy, pat *xpath.Pattern) (string, error) {
+	if strat == StructuralJoinPlan {
+		if env.Containment == nil || env.Edge == nil {
+			return "", fmt.Errorf("plan: structural join requires the containment and edge indices")
+		}
+		var b strings.Builder
+		fmt.Fprintf(&b, "strategy SJ, %d twig node(s), output %s\n", pat.NodeCount(), pat.Output.Label)
+		b.WriteString("  1. fetch region candidate lists per twig node (element-list B+-tree / value index)\n")
+		b.WriteString("  2. bottom-up structural semi-joins (stack-based, per twig edge)\n")
+		b.WriteString("  3. top-down structural semi-joins, then project the output node\n")
+		return b.String(), nil
+	}
+	ev, err := newEvaluator(env, strat, &ExecStats{})
+	if err != nil {
+		return "", err
+	}
+	branches := coveringBranches(pat)
+	ests := make([]int64, len(branches))
+	for i, br := range branches {
+		ests[i] = estimateBranch(env, br)
+	}
+	order := make([]int, len(branches))
+	for i := range order {
+		order[i] = i
+	}
+	if !env.NoReorder {
+		for i := 1; i < len(order); i++ {
+			for j := i; j > 0 && ests[order[j]] < ests[order[j-1]]; j-- {
+				order[j], order[j-1] = order[j-1], order[j]
+			}
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "strategy %s, %d branch(es), output %s\n", strat, len(branches), pat.Output.Label)
+	seen := map[*xpath.Node]bool{}
+	for k, oi := range order {
+		br := branches[oi]
+		est := ests[oi]
+		if k == 0 {
+			fmt.Fprintf(&b, "  1. scan   %-55s est=%d rows\n", br.String(), est)
+		} else {
+			join := br.Nodes[0]
+			for i := len(br.Nodes) - 1; i >= 0; i-- {
+				if seen[br.Nodes[i]] {
+					join = br.Nodes[i]
+					break
+				}
+			}
+			kind := "hash-join"
+			if ev.CanBound() {
+				kind = "hash-join (INL if est >> |R|)"
+			}
+			fmt.Fprintf(&b, "  %d. %-6s %-55s est=%d rows, at %s, %s\n",
+				k+1, "join", br.String(), est, join.Label, kind)
+		}
+		for _, n := range br.Nodes {
+			seen[n] = true
+		}
+	}
+	return b.String(), nil
+}

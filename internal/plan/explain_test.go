@@ -1,0 +1,57 @@
+package plan_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/plan"
+	"repro/internal/xpath"
+)
+
+func TestExplainOrderMatchesEstimates(t *testing.T) {
+	db := buildDB(t, auctionXML)
+	pat := xpath.MustParse(`/site[people/person/profile/@income = 100]/open_auctions/open_auction[@increase = 3.00]`)
+	out, err := plan.Explain(db.Env(), plan.RootPathsPlan, pat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The income branch (1 row) must be scanned before the increase branch
+	// (2 rows in the fixture).
+	incomeAt := strings.Index(out, "@income")
+	increaseAt := strings.Index(out, "@increase")
+	if incomeAt < 0 || increaseAt < 0 || incomeAt > increaseAt {
+		t.Fatalf("branch order wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "1. scan") || !strings.Contains(out, "2. join") {
+		t.Fatalf("missing plan steps:\n%s", out)
+	}
+
+	// NoReorder keeps pattern order.
+	env := *db.Env()
+	env.NoReorder = true
+	out2, err := plan.Explain(&env, plan.RootPathsPlan, pat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out2, "scan") {
+		t.Fatalf("NoReorder explain broken:\n%s", out2)
+	}
+
+	// The structural-join plan has its own rendering.
+	sj, err := plan.Explain(db.Env(), plan.StructuralJoinPlan, pat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sj, "semi-join") {
+		t.Fatalf("SJ explain = %s", sj)
+	}
+
+	// Missing index errors.
+	envNone := plan.Env{Store: db.Store(), Dict: db.Dict()}
+	if _, err := plan.Explain(&envNone, plan.DataPathsPlan, pat); err == nil {
+		t.Fatalf("Explain without index: want error")
+	}
+	if _, err := plan.Explain(&envNone, plan.StructuralJoinPlan, pat); err == nil {
+		t.Fatalf("SJ explain without index: want error")
+	}
+}

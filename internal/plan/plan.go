@@ -1,0 +1,494 @@
+// Package plan translates query twig patterns into executable plans, one
+// evaluation strategy per member of the index family, and executes them.
+//
+// All strategies share the same twig evaluation skeleton, which mirrors how
+// a relational processor would run the paper's plans:
+//
+//  1. cover the twig with its root-to-leaf branch paths (Section 2.2);
+//  2. evaluate each branch to a relation of node-id tuples, one column per
+//     twig node on the branch — how a branch is evaluated is what
+//     distinguishes the strategies (one ROOTPATHS lookup vs. a cascade of
+//     edge joins vs. m ASR relation probes, ...);
+//  3. stitch the branch relations together with joins on the id of the
+//     deepest shared twig node, choosing index-nested-loop probes instead
+//     of materialize-and-merge when the statistics say the remaining branch
+//     is much less selective than the intermediate result and the strategy
+//     supports bound (BoundIndex-style) probes;
+//  4. project and deduplicate the output node's column.
+package plan
+
+import (
+	"fmt"
+
+	"repro/internal/containment"
+	"repro/internal/index"
+	"repro/internal/pathdict"
+	"repro/internal/relop"
+	"repro/internal/stats"
+	"repro/internal/xmldb"
+	"repro/internal/xpath"
+)
+
+// Strategy selects the index family member used to evaluate queries.
+type Strategy int
+
+const (
+	// RootPathsPlan evaluates every branch with one ROOTPATHS lookup and
+	// merges branches with hash joins. No bound probes (the paper's
+	// Figure 12(d) weakness).
+	RootPathsPlan Strategy = iota
+	// DataPathsPlan evaluates branches with DATAPATHS lookups; unselective
+	// branches are evaluated with index-nested-loop bound probes.
+	DataPathsPlan
+	// EdgePlan uses only the edge table's value/forward/backward link
+	// indices; every path step costs a join.
+	EdgePlan
+	// DataGuideEdgePlan looks up structure in the DataGuide and values in
+	// the edge value index, joining the two (the separated-structure cost
+	// of Figure 11).
+	DataGuideEdgePlan
+	// FabricEdgePlan looks up (path, value) pairs in the simulated Index
+	// Fabric and recovers branch points through backward-link joins.
+	FabricEdgePlan
+	// ASRPlan probes one Access Support Relation per concrete schema path
+	// matching each branch.
+	ASRPlan
+	// JoinIndexPlan probes per-path join indices, composing two of them
+	// whenever an interior node is needed.
+	JoinIndexPlan
+	// XRelPlan resolves paths through XRel's normalised path table (one
+	// lookup per matching path id) and climbs to branch points through the
+	// edge indices.
+	XRelPlan
+	// StructuralJoinPlan evaluates twigs with region-encoded binary
+	// structural semi-joins (the containment-join extension; not available
+	// to the paper inside DB2).
+	StructuralJoinPlan
+)
+
+var strategyNames = map[Strategy]string{
+	RootPathsPlan:      "RP",
+	DataPathsPlan:      "DP",
+	EdgePlan:           "Edge",
+	DataGuideEdgePlan:  "DG+Edge",
+	FabricEdgePlan:     "IF+Edge",
+	ASRPlan:            "ASR",
+	JoinIndexPlan:      "JI",
+	XRelPlan:           "XRel+Edge",
+	StructuralJoinPlan: "SJ",
+}
+
+func (s Strategy) String() string {
+	if n, ok := strategyNames[s]; ok {
+		return n
+	}
+	return "unknown"
+}
+
+// Env bundles the store and whatever indices have been built. A strategy
+// fails with a descriptive error if an index it needs is missing.
+type Env struct {
+	Store *xmldb.Store
+	Dict  *pathdict.Dict
+	Stats *stats.Stats
+
+	RP   *index.RootPaths
+	DP   *index.DataPaths
+	Edge *index.Edge
+	DG   *index.DataGuide
+	IF   *index.IndexFabric
+	ASR  *index.ASR
+	JI   *index.JoinIndex
+	XRel *index.XRel
+
+	// Containment is the region-encoded element-list index used by the
+	// structural-join extension strategy.
+	Containment *containment.Index
+
+	// INLFactor overrides the index-nested-loop threshold (0 uses the
+	// default; negative disables INL entirely). Exposed for the ablation
+	// benchmarks.
+	INLFactor int
+	// NoReorder disables statistics-driven branch ordering (branches run
+	// in pattern order); exposed for the ablation benchmarks.
+	NoReorder bool
+}
+
+// inlThreshold returns the effective INL factor.
+func (e *Env) inlThreshold() (int64, bool) {
+	switch {
+	case e.INLFactor < 0:
+		return 0, false
+	case e.INLFactor == 0:
+		return inlFactor, true
+	default:
+		return int64(e.INLFactor), true
+	}
+}
+
+// ExecStats reports the work a plan performed; these counters are the
+// machine-independent stand-ins for the paper's wall-clock measurements.
+type ExecStats struct {
+	IndexLookups   int64 // index probe operations (range scans started)
+	RowsScanned    int64 // index rows visited across all probes
+	INLProbes      int64 // bound probes performed by index-nested-loop joins
+	UsedINL        bool
+	RelationsUsed  int // distinct ASR/JI relations touched
+	Join           relop.Counters
+	BranchesJoined int
+
+	relations map[pathdict.PathID]struct{}
+}
+
+func (es *ExecStats) touchRelation(id pathdict.PathID) {
+	if es.relations == nil {
+		es.relations = map[pathdict.PathID]struct{}{}
+	}
+	es.relations[id] = struct{}{}
+	es.RelationsUsed = len(es.relations)
+}
+
+// inlFactor is the planner's threshold: a branch is evaluated with bound
+// probes when its estimated row count exceeds inlFactor times the current
+// intermediate result size.
+const inlFactor = 4
+
+// rel is an intermediate result: tuples with one column per twig node.
+type rel struct {
+	cols   []*xpath.Node
+	tuples []relop.Tuple
+}
+
+func (r *rel) col(n *xpath.Node) int {
+	for i, c := range r.cols {
+		if c == n {
+			return i
+		}
+	}
+	return -1
+}
+
+// project keeps only the columns in keep and deduplicates the tuples.
+func (r *rel) project(keep map[*xpath.Node]bool) {
+	var idx []int
+	var cols []*xpath.Node
+	for i, c := range r.cols {
+		if keep[c] {
+			idx = append(idx, i)
+			cols = append(cols, c)
+		}
+	}
+	if len(cols) == len(r.cols) {
+		r.tuples = relop.DistinctTuples(r.tuples)
+		return
+	}
+	out := make([]relop.Tuple, len(r.tuples))
+	for i, t := range r.tuples {
+		nt := make(relop.Tuple, len(idx))
+		for j, c := range idx {
+			nt[j] = t[c]
+		}
+		out[i] = nt
+	}
+	r.cols = cols
+	r.tuples = relop.DistinctTuples(out)
+}
+
+// evaluator is the strategy-specific branch machinery.
+type evaluator interface {
+	// Free evaluates a branch from scratch, returning tuples with one
+	// column per br.Nodes entry.
+	Free(br xpath.Branch) ([]relop.Tuple, error)
+	// CanBound reports whether bound (index-nested-loop) probes are
+	// supported.
+	CanBound() bool
+	// Bound evaluates the branch below br.Nodes[jIdx] for each head id in
+	// jids, returning tuples with one column per br.Nodes[jIdx+1:] entry.
+	Bound(br xpath.Branch, jIdx int, jids []int64) (map[int64][]relop.Tuple, error)
+}
+
+// Execute runs the pattern under the given strategy and returns the sorted
+// distinct ids of the output node's matches.
+func Execute(env *Env, strat Strategy, pat *xpath.Pattern) ([]int64, *ExecStats, error) {
+	es := &ExecStats{}
+	if strat == StructuralJoinPlan {
+		ids, err := executeStructural(env, pat, es)
+		es.BranchesJoined = len(pat.Branches())
+		return ids, es, err
+	}
+	ev, err := newEvaluator(env, strat, es)
+	if err != nil {
+		return nil, es, err
+	}
+
+	branches := coveringBranches(pat)
+	es.BranchesJoined = len(branches)
+
+	// Order branches by estimated (exact) match count, cheapest first, so
+	// the intermediate result starts small — the paper's optimizer would
+	// do the same from its collected statistics. Ties keep pattern order.
+	ests := make([]int64, len(branches))
+	for i, br := range branches {
+		ests[i] = estimateBranch(env, br)
+	}
+	order := make([]int, len(branches))
+	for i := range order {
+		order[i] = i
+	}
+	if !env.NoReorder {
+		for i := 1; i < len(order); i++ {
+			for j := i; j > 0 && ests[order[j]] < ests[order[j-1]]; j-- {
+				order[j], order[j-1] = order[j-1], order[j]
+			}
+		}
+	}
+
+	var r *rel
+	for k, oi := range order {
+		br := branches[oi]
+		if r == nil {
+			tuples, err := ev.Free(br)
+			if err != nil {
+				return nil, es, err
+			}
+			r = &rel{cols: append([]*xpath.Node(nil), br.Nodes...), tuples: relop.DistinctTuples(tuples)}
+		} else if err := extend(env, ev, es, r, br, ests[oi]); err != nil {
+			return nil, es, err
+		}
+		// Project away columns no future branch joins on and that are not
+		// the output, then deduplicate — the relational plan's DISTINCT
+		// on branch-point ids, without which predicate branches would
+		// cross-product (e.g. persons x items under one site element).
+		keep := map[*xpath.Node]bool{pat.Output: true}
+		for _, fi := range order[k+1:] {
+			for _, n := range branches[fi].Nodes {
+				keep[n] = true
+			}
+		}
+		r.project(keep)
+		if len(r.tuples) == 0 {
+			break
+		}
+	}
+	if r == nil {
+		return nil, es, fmt.Errorf("plan: pattern has no branches")
+	}
+	if len(r.tuples) == 0 {
+		return nil, es, nil
+	}
+	outCol := r.col(pat.Output)
+	if outCol < 0 {
+		return nil, es, fmt.Errorf("plan: output node %q not covered", pat.Output.Label)
+	}
+	ids := relop.DistinctInts(relop.Project(r.tuples, outCol))
+	return ids, es, nil
+}
+
+// extend folds branch br into r, joining on the deepest twig node of br
+// already present in r.
+func extend(env *Env, ev evaluator, es *ExecStats, r *rel, br xpath.Branch, est int64) error {
+	// Deepest shared node.
+	jIdx := -1
+	for i := len(br.Nodes) - 1; i >= 0; i-- {
+		if r.col(br.Nodes[i]) >= 0 {
+			jIdx = i
+			break
+		}
+	}
+	if jIdx < 0 {
+		return fmt.Errorf("plan: branch %s shares no node with the intermediate result", br)
+	}
+	newNodes := br.Nodes[jIdx+1:]
+	if len(newNodes) == 0 {
+		// Branch fully contained (a synthetic value branch on an interior
+		// node whose path is already covered): evaluate it and semi-join.
+		tuples, err := ev.Free(br)
+		if err != nil {
+			return err
+		}
+		keyCol := len(br.Nodes) - 1
+		keys := relop.KeySet(tuples, keyCol)
+		r.tuples = relop.SemiJoin(r.tuples, r.col(br.Nodes[keyCol]), keys, &es.Join)
+		return nil
+	}
+	jCol := r.col(br.Nodes[jIdx])
+
+	factor, inlAllowed := env.inlThreshold()
+	useINL := inlAllowed && ev.CanBound() && len(r.tuples) > 0 && est > factor*int64(len(r.tuples))
+	if useINL {
+		es.UsedINL = true
+		jids := relop.DistinctInts(relop.Project(r.tuples, jCol))
+		subs, err := ev.Bound(br, jIdx, jids)
+		if err != nil {
+			return err
+		}
+		var out []relop.Tuple
+		for _, t := range r.tuples {
+			for _, sub := range subs[t[jCol]] {
+				nt := make(relop.Tuple, 0, len(t)+len(sub))
+				nt = append(nt, t...)
+				nt = append(nt, sub...)
+				out = append(out, nt)
+			}
+		}
+		es.Join.TuplesIn += int64(len(r.tuples))
+		es.Join.TuplesOut += int64(len(out))
+		r.cols = append(r.cols, newNodes...)
+		r.tuples = relop.DistinctTuples(out)
+		return nil
+	}
+
+	tuples, err := ev.Free(br)
+	if err != nil {
+		return err
+	}
+	tuples = relop.DistinctTuples(tuples)
+	// Project the branch tuples down to join column + new columns.
+	proj := make([]relop.Tuple, len(tuples))
+	for i, t := range tuples {
+		nt := make(relop.Tuple, 0, 1+len(newNodes))
+		nt = append(nt, t[jIdx])
+		nt = append(nt, t[jIdx+1:]...)
+		proj[i] = nt
+	}
+	joined := relop.HashJoin(r.tuples, proj, jCol, 0, &es.Join)
+	// Drop the duplicated join column (first column of the right side).
+	width := len(r.cols)
+	for i, t := range joined {
+		joined[i] = append(t[:width], t[width+1:]...)
+	}
+	r.cols = append(r.cols, newNodes...)
+	r.tuples = relop.DistinctTuples(joined)
+	return nil
+}
+
+// coveringBranches returns the root-to-leaf branches of the pattern plus a
+// synthetic branch for every *interior* node carrying a value condition
+// (e.g. /a[. = 'v']/b), so that all node conditions are enforced.
+func coveringBranches(pat *xpath.Pattern) []xpath.Branch {
+	branches := pat.Branches()
+	var steps []xpath.Step
+	var nodes []*xpath.Node
+	var rec func(n *xpath.Node)
+	rec = func(n *xpath.Node) {
+		steps = append(steps, xpath.Step{Axis: n.Axis, Label: n.Label})
+		nodes = append(nodes, n)
+		if n.HasValue && len(n.Children) > 0 {
+			branches = append(branches, xpath.Branch{
+				Steps:    append([]xpath.Step(nil), steps...),
+				Nodes:    append([]*xpath.Node(nil), nodes...),
+				Value:    n.Value,
+				HasValue: true,
+			})
+		}
+		for _, c := range n.Children {
+			rec(c)
+		}
+		steps = steps[:len(steps)-1]
+		nodes = nodes[:len(nodes)-1]
+	}
+	rec(pat.Root)
+	return branches
+}
+
+// compileBranch converts a branch to a designator pattern. ok is false when
+// some label never occurs in the data (the branch matches nothing).
+func compileBranch(dict *pathdict.Dict, br xpath.Branch) ([]pathdict.PStep, bool) {
+	descs := make([]bool, len(br.Steps))
+	labels := make([]string, len(br.Steps))
+	for i, s := range br.Steps {
+		descs[i] = s.Axis == xpath.Descendant
+		labels[i] = s.Label
+	}
+	return pathdict.CompileSteps(dict, descs, labels)
+}
+
+// estimateBranch returns the exact row count a FreeIndex probe of the
+// branch would produce, from the collected statistics (0 when unknown).
+func estimateBranch(env *Env, br xpath.Branch) int64 {
+	if env.Stats == nil {
+		return 0
+	}
+	pat, ok := compileBranch(env.Dict, br)
+	if !ok {
+		return 0
+	}
+	return env.Stats.EstimateBranch(pat, br.HasValue, br.Value)
+}
+
+// assignments enumerates the bindings of pat to the concrete path fwd.
+// When simple (no interior //), the binding is unique and computed directly.
+func assignments(pat []pathdict.PStep, fwd pathdict.Path, simple bool) [][]int {
+	if simple {
+		k := len(pat)
+		if len(fwd) < k {
+			return nil
+		}
+		if !pat[0].Desc && len(fwd) != k {
+			return nil
+		}
+		pos := make([]int, k)
+		for i := range pos {
+			pos[i] = len(fwd) - k + i
+		}
+		return [][]int{pos}
+	}
+	return pathdict.EnumerateMatches(pat, fwd)
+}
+
+// suffixSyms returns the forward designator sequence of the deepest //-free
+// suffix of pat (the probe suffix).
+func suffixSyms(pat []pathdict.PStep) pathdict.Path {
+	k := pathdict.LongestAnchoredSuffix(pat)
+	out := make(pathdict.Path, k)
+	for i := 0; i < k; i++ {
+		out[i] = pat[len(pat)-k+i].Sym
+	}
+	return out
+}
+
+func newEvaluator(env *Env, strat Strategy, es *ExecStats) (evaluator, error) {
+	switch strat {
+	case RootPathsPlan:
+		if env.RP == nil {
+			return nil, fmt.Errorf("plan: ROOTPATHS index not built")
+		}
+		return &rpEval{env: env, es: es}, nil
+	case DataPathsPlan:
+		if env.DP == nil {
+			return nil, fmt.Errorf("plan: DATAPATHS index not built")
+		}
+		return &dpEval{env: env, es: es}, nil
+	case EdgePlan:
+		if env.Edge == nil {
+			return nil, fmt.Errorf("plan: Edge indices not built")
+		}
+		return &edgeEval{env: env, es: es}, nil
+	case DataGuideEdgePlan:
+		if env.DG == nil || env.Edge == nil {
+			return nil, fmt.Errorf("plan: DataGuide+Edge requires both indices")
+		}
+		return &dgEval{env: env, es: es}, nil
+	case FabricEdgePlan:
+		if env.IF == nil || env.Edge == nil || env.Stats == nil {
+			return nil, fmt.Errorf("plan: IndexFabric+Edge requires the fabric, edge indices and statistics")
+		}
+		return &ifEval{env: env, es: es}, nil
+	case ASRPlan:
+		if env.ASR == nil {
+			return nil, fmt.Errorf("plan: ASR relations not built")
+		}
+		return &asrEval{env: env, es: es}, nil
+	case JoinIndexPlan:
+		if env.JI == nil {
+			return nil, fmt.Errorf("plan: join indices not built")
+		}
+		return &jiEval{env: env, es: es}, nil
+	case XRelPlan:
+		if env.XRel == nil || env.Edge == nil {
+			return nil, fmt.Errorf("plan: XRel+Edge requires both indices")
+		}
+		return &xrelEval{env: env, es: es}, nil
+	}
+	return nil, fmt.Errorf("plan: unknown strategy %d", strat)
+}

@@ -1,0 +1,174 @@
+// Package relop implements the relational operators used to stitch together
+// index-lookup results: sort, merge join, hash join, projection and
+// duplicate elimination over tuples of node ids. Index-nested-loop join is
+// not here — it is a probing pattern against an index and lives with the
+// query plans — but the merge/hash machinery corresponds to the "merge or
+// hash join, both of which are commonly supported by relational query
+// processors" of paper Section 2.3.
+//
+// Every operator charges a Counters value so experiments can report the
+// work performed by each plan shape.
+package relop
+
+import "sort"
+
+// Tuple is one intermediate-result row: a tuple of node ids (the paper's
+// n-tuples (d1, ..., dn) identifying a match).
+type Tuple []int64
+
+// Counters accumulates operator work for an experiment run.
+type Counters struct {
+	TuplesIn    int64 // tuples consumed by joins
+	TuplesOut   int64 // tuples produced by joins
+	Comparisons int64 // key comparisons made by sorts and merges
+}
+
+// Add accumulates other into c.
+func (c *Counters) Add(other Counters) {
+	c.TuplesIn += other.TuplesIn
+	c.TuplesOut += other.TuplesOut
+	c.Comparisons += other.Comparisons
+}
+
+// SortBy sorts tuples in place by the given column.
+func SortBy(tuples []Tuple, col int, c *Counters) {
+	sort.Slice(tuples, func(i, j int) bool {
+		c.Comparisons++
+		return tuples[i][col] < tuples[j][col]
+	})
+}
+
+// MergeJoin joins left and right on left[lcol] == right[rcol], producing
+// concatenated tuples. Inputs are sorted internally (the common case is
+// unsorted index-lookup output, matching the paper's sort-merge plans).
+// Duplicate join keys produce the full cross product of their groups.
+func MergeJoin(left, right []Tuple, lcol, rcol int, c *Counters) []Tuple {
+	c.TuplesIn += int64(len(left) + len(right))
+	SortBy(left, lcol, c)
+	SortBy(right, rcol, c)
+	var out []Tuple
+	i, j := 0, 0
+	for i < len(left) && j < len(right) {
+		c.Comparisons++
+		lv, rv := left[i][lcol], right[j][rcol]
+		switch {
+		case lv < rv:
+			i++
+		case lv > rv:
+			j++
+		default:
+			// Find the right-side group of equal keys.
+			jEnd := j
+			for jEnd < len(right) && right[jEnd][rcol] == rv {
+				jEnd++
+			}
+			for ; i < len(left) && left[i][lcol] == lv; i++ {
+				for k := j; k < jEnd; k++ {
+					out = append(out, concatTuple(left[i], right[k]))
+				}
+			}
+			j = jEnd
+		}
+	}
+	c.TuplesOut += int64(len(out))
+	return out
+}
+
+// HashJoin joins left and right on left[lcol] == right[rcol].
+func HashJoin(left, right []Tuple, lcol, rcol int, c *Counters) []Tuple {
+	c.TuplesIn += int64(len(left) + len(right))
+	// Build on the smaller input.
+	build, probe, bcol, pcol, buildIsLeft := left, right, lcol, rcol, true
+	if len(right) < len(left) {
+		build, probe, bcol, pcol, buildIsLeft = right, left, rcol, lcol, false
+	}
+	ht := make(map[int64][]Tuple, len(build))
+	for _, t := range build {
+		ht[t[bcol]] = append(ht[t[bcol]], t)
+	}
+	var out []Tuple
+	for _, p := range probe {
+		for _, b := range ht[p[pcol]] {
+			if buildIsLeft {
+				out = append(out, concatTuple(b, p))
+			} else {
+				out = append(out, concatTuple(p, b))
+			}
+		}
+	}
+	c.TuplesOut += int64(len(out))
+	return out
+}
+
+// SemiJoin returns the left tuples whose lcol value appears in keys.
+func SemiJoin(left []Tuple, lcol int, keys map[int64]struct{}, c *Counters) []Tuple {
+	c.TuplesIn += int64(len(left))
+	var out []Tuple
+	for _, t := range left {
+		if _, ok := keys[t[lcol]]; ok {
+			out = append(out, t)
+		}
+	}
+	c.TuplesOut += int64(len(out))
+	return out
+}
+
+// Project returns single-column values of tuples.
+func Project(tuples []Tuple, col int) []int64 {
+	out := make([]int64, len(tuples))
+	for i, t := range tuples {
+		out[i] = t[col]
+	}
+	return out
+}
+
+// DistinctInts sorts and deduplicates ids in place, returning the result.
+func DistinctInts(ids []int64) []int64 {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	out := ids[:0]
+	var prev int64
+	for i, id := range ids {
+		if i > 0 && id == prev {
+			continue
+		}
+		out = append(out, id)
+		prev = id
+	}
+	return out
+}
+
+// DistinctTuples removes duplicate tuples (same values in every column).
+func DistinctTuples(tuples []Tuple) []Tuple {
+	seen := make(map[string]struct{}, len(tuples))
+	out := tuples[:0]
+	var key []byte
+	for _, t := range tuples {
+		key = key[:0]
+		for _, v := range t {
+			for s := 0; s < 64; s += 8 {
+				key = append(key, byte(uint64(v)>>s))
+			}
+		}
+		if _, ok := seen[string(key)]; ok {
+			continue
+		}
+		seen[string(key)] = struct{}{}
+		out = append(out, t)
+	}
+	return out
+}
+
+// KeySet builds a membership set over one column.
+func KeySet(tuples []Tuple, col int) map[int64]struct{} {
+	out := make(map[int64]struct{}, len(tuples))
+	for _, t := range tuples {
+		out[t[col]] = struct{}{}
+	}
+	return out
+}
+
+func concatTuple(a, b Tuple) Tuple {
+	out := make(Tuple, 0, len(a)+len(b))
+	out = append(out, a...)
+	return append(out, b...)
+}

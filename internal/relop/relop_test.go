@@ -1,0 +1,163 @@
+package relop
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+func tuples(vals ...[]int64) []Tuple {
+	out := make([]Tuple, len(vals))
+	for i, v := range vals {
+		out[i] = Tuple(v)
+	}
+	return out
+}
+
+func sortTuples(ts []Tuple) {
+	sort.Slice(ts, func(i, j int) bool {
+		a, b := ts[i], ts[j]
+		for k := range a {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return false
+	})
+}
+
+// nestedLoopJoin is the brute-force oracle.
+func nestedLoopJoin(left, right []Tuple, lcol, rcol int) []Tuple {
+	var out []Tuple
+	for _, l := range left {
+		for _, r := range right {
+			if l[lcol] == r[rcol] {
+				t := append(append(Tuple{}, l...), r...)
+				out = append(out, t)
+			}
+		}
+	}
+	return out
+}
+
+func TestMergeJoinBasic(t *testing.T) {
+	left := tuples([]int64{1, 10}, []int64{2, 20}, []int64{3, 30})
+	right := tuples([]int64{20, 2}, []int64{40, 4})
+	var c Counters
+	got := MergeJoin(left, right, 0, 1, &c)
+	want := tuples([]int64{2, 20, 20, 2})
+	sortTuples(got)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("MergeJoin = %v, want %v", got, want)
+	}
+	if c.TuplesIn != 5 || c.TuplesOut != 1 {
+		t.Fatalf("counters = %+v", c)
+	}
+}
+
+func TestJoinsMatchOracleRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		nl, nr := rng.Intn(30), rng.Intn(30)
+		mk := func(n int) []Tuple {
+			ts := make([]Tuple, n)
+			for i := range ts {
+				ts[i] = Tuple{int64(rng.Intn(8)), int64(rng.Intn(8))}
+			}
+			return ts
+		}
+		left, right := mk(nl), mk(nr)
+		lcol, rcol := rng.Intn(2), rng.Intn(2)
+
+		want := nestedLoopJoin(left, right, lcol, rcol)
+		sortTuples(want)
+
+		var c Counters
+		gotMerge := MergeJoin(append([]Tuple(nil), left...), append([]Tuple(nil), right...), lcol, rcol, &c)
+		sortTuples(gotMerge)
+		gotHash := HashJoin(left, right, lcol, rcol, &c)
+		sortTuples(gotHash)
+
+		if !reflect.DeepEqual(gotMerge, want) {
+			t.Fatalf("trial %d: MergeJoin = %v, want %v", trial, gotMerge, want)
+		}
+		if !reflect.DeepEqual(gotHash, want) {
+			t.Fatalf("trial %d: HashJoin = %v, want %v", trial, gotHash, want)
+		}
+	}
+}
+
+func TestMergeJoinDuplicateCrossProduct(t *testing.T) {
+	left := tuples([]int64{5}, []int64{5}, []int64{5})
+	right := tuples([]int64{5}, []int64{5})
+	var c Counters
+	got := MergeJoin(left, right, 0, 0, &c)
+	if len(got) != 6 {
+		t.Fatalf("duplicate cross product = %d tuples, want 6", len(got))
+	}
+}
+
+func TestSemiJoin(t *testing.T) {
+	left := tuples([]int64{1}, []int64{2}, []int64{3})
+	var c Counters
+	got := SemiJoin(left, 0, map[int64]struct{}{2: {}, 3: {}}, &c)
+	if len(got) != 2 || got[0][0] != 2 || got[1][0] != 3 {
+		t.Fatalf("SemiJoin = %v", got)
+	}
+}
+
+func TestProjectAndDistinct(t *testing.T) {
+	ts := tuples([]int64{3, 1}, []int64{1, 2}, []int64{3, 3})
+	ids := Project(ts, 0)
+	if !reflect.DeepEqual(ids, []int64{3, 1, 3}) {
+		t.Fatalf("Project = %v", ids)
+	}
+	d := DistinctInts(ids)
+	if !reflect.DeepEqual(d, []int64{1, 3}) {
+		t.Fatalf("DistinctInts = %v", d)
+	}
+	if got := DistinctInts(nil); len(got) != 0 {
+		t.Fatalf("DistinctInts(nil) = %v", got)
+	}
+}
+
+func TestDistinctTuples(t *testing.T) {
+	ts := tuples([]int64{1, 2}, []int64{1, 2}, []int64{2, 1})
+	got := DistinctTuples(ts)
+	if len(got) != 2 {
+		t.Fatalf("DistinctTuples = %v", got)
+	}
+}
+
+func TestKeySet(t *testing.T) {
+	ts := tuples([]int64{7, 1}, []int64{8, 1})
+	ks := KeySet(ts, 0)
+	if len(ks) != 2 {
+		t.Fatalf("KeySet = %v", ks)
+	}
+	if _, ok := ks[7]; !ok {
+		t.Fatalf("missing key")
+	}
+}
+
+func TestCountersAdd(t *testing.T) {
+	a := Counters{TuplesIn: 1, TuplesOut: 2, Comparisons: 3}
+	b := Counters{TuplesIn: 10, TuplesOut: 20, Comparisons: 30}
+	a.Add(b)
+	if a.TuplesIn != 11 || a.TuplesOut != 22 || a.Comparisons != 33 {
+		t.Fatalf("Add = %+v", a)
+	}
+}
+
+func TestSortBy(t *testing.T) {
+	ts := tuples([]int64{3, 0}, []int64{1, 1}, []int64{2, 2})
+	var c Counters
+	SortBy(ts, 0, &c)
+	if ts[0][0] != 1 || ts[1][0] != 2 || ts[2][0] != 3 {
+		t.Fatalf("SortBy = %v", ts)
+	}
+	if c.Comparisons == 0 {
+		t.Fatalf("no comparisons counted")
+	}
+}

@@ -1,0 +1,128 @@
+// Package stats collects the exact cardinality statistics the planner uses
+// to order branches and choose between index-nested-loop and merge joins.
+// The paper runs RUNSTATS-style collection before querying ("we collected
+// detailed statistics on all relations and indices before running our
+// queries"); here the statistics are exact per-rooted-path and
+// per-(rooted-path, value) match counts.
+package stats
+
+import (
+	"sync"
+
+	"repro/internal/pathdict"
+	"repro/internal/pathrel"
+	"repro/internal/xmldb"
+)
+
+// Stats holds match counts over the rooted schema paths of a store.
+type Stats struct {
+	ptab      *pathdict.PathTable // rooted paths
+	pathCount map[pathdict.PathID]int64
+	valCount  map[valKey]int64
+	byLast    map[pathdict.Sym][]pathdict.PathID // rooted paths by final designator
+
+	mu       sync.Mutex
+	estCache map[string]int64
+}
+
+type valKey struct {
+	path  pathdict.PathID
+	value string
+}
+
+// Collect walks the store once and builds the statistics. Labels are
+// interned into dict.
+func Collect(store *xmldb.Store, dict *pathdict.Dict) *Stats {
+	s := &Stats{
+		ptab:      pathdict.NewPathTable(),
+		pathCount: map[pathdict.PathID]int64{},
+		valCount:  map[valKey]int64{},
+		byLast:    map[pathdict.Sym][]pathdict.PathID{},
+		estCache:  map[string]int64{},
+	}
+	pathrel.EmitRootPaths(store, dict, func(r pathrel.Row) {
+		id := s.ptab.Intern(r.Path)
+		if r.HasValue {
+			s.valCount[valKey{id, r.Value}]++
+		} else {
+			s.pathCount[id]++
+		}
+	})
+	s.ptab.All(func(id pathdict.PathID, p pathdict.Path) {
+		last := p[len(p)-1]
+		s.byLast[last] = append(s.byLast[last], id)
+	})
+	return s
+}
+
+// RootedPaths returns the registry of distinct rooted schema paths; the
+// planner uses it to expand // patterns against the schema (DataGuide-style
+// summary traversal).
+func (s *Stats) RootedPaths() *pathdict.PathTable { return s.ptab }
+
+// PathCount returns the number of instances of an exact rooted path.
+func (s *Stats) PathCount(id pathdict.PathID) int64 { return s.pathCount[id] }
+
+// ValueCount returns the number of instances of an exact rooted path whose
+// end node carries the given leaf value.
+func (s *Stats) ValueCount(id pathdict.PathID, value string) int64 {
+	return s.valCount[valKey{id, value}]
+}
+
+// EstimateBranch returns the exact number of index rows a FreeIndex probe
+// for the given linear pattern would visit: the sum of (value-restricted)
+// counts over every rooted path matching the pattern. Matching is anchored
+// at the path end, so only paths ending with the pattern's last designator
+// are examined; results are memoised (the paper excludes optimization time
+// from its measurements, so estimation must stay off the critical path).
+func (s *Stats) EstimateBranch(pat []pathdict.PStep, hasValue bool, value string) int64 {
+	key := estKey(pat, hasValue, value)
+	s.mu.Lock()
+	if v, ok := s.estCache[key]; ok {
+		s.mu.Unlock()
+		return v
+	}
+	s.mu.Unlock()
+
+	var total int64
+	for _, id := range s.byLast[pat[len(pat)-1].Sym] {
+		if !pathdict.MatchPath(pat, s.ptab.Path(id)) {
+			continue
+		}
+		if hasValue {
+			total += s.ValueCount(id, value)
+		} else {
+			total += s.PathCount(id)
+		}
+	}
+	s.mu.Lock()
+	s.estCache[key] = total
+	s.mu.Unlock()
+	return total
+}
+
+func estKey(pat []pathdict.PStep, hasValue bool, value string) string {
+	b := make([]byte, 0, len(pat)*3+len(value)+2)
+	for _, st := range pat {
+		if st.Desc {
+			b = append(b, '~')
+		}
+		b = append(b, byte(st.Sym>>8), byte(st.Sym))
+	}
+	if hasValue {
+		b = append(b, 1)
+		b = append(b, value...)
+	}
+	return string(b)
+}
+
+// MatchingRootedPaths returns the rooted paths matching a linear pattern.
+func (s *Stats) MatchingRootedPaths(pat []pathdict.PStep) []pathdict.Path {
+	var out []pathdict.Path
+	s.ptab.All(func(_ pathdict.PathID, p pathdict.Path) {
+		if pathdict.MatchPath(pat, p) {
+			out = append(out, p)
+		}
+	})
+	return out
+}

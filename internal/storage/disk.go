@@ -1,0 +1,87 @@
+// Package storage provides the paged storage substrate beneath every index
+// structure: a simulated disk of fixed-size pages and an LRU buffer pool
+// with pin/unpin semantics and I/O counters.
+//
+// The paper runs on DB2 with a 40MB buffer pool over a non-memory-resident
+// data set so that the number of index/page accesses dominates query time.
+// Here the disk is in-memory, but every page crossing the pool boundary is
+// copied and counted, so the *relative* costs the paper measures (one index
+// lookup vs. a cascade of joins; 1 relation vs. m relations) are preserved
+// and observable via Stats.
+package storage
+
+import (
+	"fmt"
+	"sync"
+)
+
+// PageSize is the size of every page in bytes (8KB, a common RDBMS default).
+const PageSize = 8192
+
+// PageID identifies a page on the disk. Valid ids start at 0.
+type PageID int32
+
+// InvalidPage is the zero-like sentinel for "no page".
+const InvalidPage PageID = -1
+
+// Disk is a simulated disk: a growable array of pages. Reads and writes copy
+// whole pages and are counted; the counters stand in for the I/O cost a real
+// system would pay.
+type Disk struct {
+	mu     sync.Mutex
+	pages  [][]byte
+	reads  int64
+	writes int64
+}
+
+// NewDisk returns an empty disk.
+func NewDisk() *Disk { return &Disk{} }
+
+// Allocate reserves a new zeroed page and returns its id.
+func (d *Disk) Allocate() PageID {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.pages = append(d.pages, make([]byte, PageSize))
+	return PageID(len(d.pages) - 1)
+}
+
+// Read copies page id into buf (which must be PageSize bytes).
+func (d *Disk) Read(id PageID, buf []byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if int(id) < 0 || int(id) >= len(d.pages) {
+		return fmt.Errorf("storage: read of unallocated page %d", id)
+	}
+	d.reads++
+	copy(buf, d.pages[id])
+	return nil
+}
+
+// Write copies buf (PageSize bytes) to page id.
+func (d *Disk) Write(id PageID, buf []byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if int(id) < 0 || int(id) >= len(d.pages) {
+		return fmt.Errorf("storage: write of unallocated page %d", id)
+	}
+	d.writes++
+	copy(d.pages[id], buf)
+	return nil
+}
+
+// NumPages returns the number of allocated pages.
+func (d *Disk) NumPages() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.pages)
+}
+
+// SizeBytes returns the total allocated size in bytes.
+func (d *Disk) SizeBytes() int64 { return int64(d.NumPages()) * PageSize }
+
+// Counters returns cumulative (reads, writes).
+func (d *Disk) Counters() (reads, writes int64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.reads, d.writes
+}

@@ -1,0 +1,203 @@
+package storage
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+)
+
+// Page is a pinned page in the buffer pool. Data is valid until Unpin.
+type Page struct {
+	ID   PageID
+	Data []byte
+
+	frame *frame
+}
+
+type frame struct {
+	id    PageID
+	data  []byte
+	pins  int
+	dirty bool
+	lru   *list.Element // nil while pinned
+}
+
+// PoolStats are cumulative buffer pool counters. PageReads is the paper's
+// stand-in for physical I/O: the number of pages faulted in from the disk.
+type PoolStats struct {
+	PageReads  int64 // disk reads (misses)
+	PageWrites int64 // disk writes (evictions + flushes of dirty pages)
+	Hits       int64 // fetches satisfied from the pool
+	Fetches    int64 // total fetches
+}
+
+// Pool is an LRU buffer pool over a Disk. All access to page contents goes
+// through Fetch/Unpin; pinned pages are never evicted.
+type Pool struct {
+	mu       sync.Mutex
+	disk     *Disk
+	capacity int
+	frames   map[PageID]*frame
+	lru      *list.List // unpinned frames, front = least recently used
+	stats    PoolStats
+}
+
+// NewPool returns a pool holding at most capacityBytes of pages (minimum
+// one page).
+func NewPool(disk *Disk, capacityBytes int64) *Pool {
+	capPages := int(capacityBytes / PageSize)
+	if capPages < 1 {
+		capPages = 1
+	}
+	return &Pool{
+		disk:     disk,
+		capacity: capPages,
+		frames:   make(map[PageID]*frame),
+		lru:      list.New(),
+	}
+}
+
+// Capacity returns the pool capacity in pages.
+func (p *Pool) Capacity() int { return p.capacity }
+
+// Stats returns a snapshot of the pool counters.
+func (p *Pool) Stats() PoolStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// ResetStats zeroes the counters (between experiment runs).
+func (p *Pool) ResetStats() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.stats = PoolStats{}
+}
+
+// Fetch pins page id and returns it. The caller must Unpin it.
+func (p *Pool) Fetch(id PageID) (*Page, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.stats.Fetches++
+	if f, ok := p.frames[id]; ok {
+		p.stats.Hits++
+		p.pin(f)
+		return &Page{ID: id, Data: f.data, frame: f}, nil
+	}
+	f, err := p.fault(id)
+	if err != nil {
+		return nil, err
+	}
+	return &Page{ID: id, Data: f.data, frame: f}, nil
+}
+
+// Allocate creates a new zeroed page on disk, pins it, and returns it.
+func (p *Pool) Allocate() (*Page, error) {
+	id := p.disk.Allocate()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if err := p.makeRoom(); err != nil {
+		return nil, err
+	}
+	f := &frame{id: id, data: make([]byte, PageSize), pins: 1, dirty: true}
+	p.frames[id] = f
+	return &Page{ID: id, Data: f.data, frame: f}, nil
+}
+
+// Unpin releases the page; dirty marks it modified so eviction writes it
+// back.
+func (p *Pool) Unpin(pg *Page, dirty bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	f := pg.frame
+	if f == nil || f.pins <= 0 {
+		panic(fmt.Sprintf("storage: unpin of unpinned page %d", pg.ID))
+	}
+	if dirty {
+		f.dirty = true
+	}
+	f.pins--
+	if f.pins == 0 {
+		f.lru = p.lru.PushBack(f)
+	}
+}
+
+// FlushAll writes every dirty frame back to disk (does not evict).
+func (p *Pool) FlushAll() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, f := range p.frames {
+		if f.dirty {
+			if err := p.disk.Write(f.id, f.data); err != nil {
+				return err
+			}
+			p.stats.PageWrites++
+			f.dirty = false
+		}
+	}
+	return nil
+}
+
+// DropAll flushes and empties the pool; used to cold-start an experiment.
+func (p *Pool) DropAll() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for id, f := range p.frames {
+		if f.pins > 0 {
+			return fmt.Errorf("storage: DropAll with pinned page %d", id)
+		}
+		if f.dirty {
+			if err := p.disk.Write(f.id, f.data); err != nil {
+				return err
+			}
+			p.stats.PageWrites++
+		}
+		delete(p.frames, id)
+	}
+	p.lru.Init()
+	return nil
+}
+
+func (p *Pool) pin(f *frame) {
+	if f.lru != nil {
+		p.lru.Remove(f.lru)
+		f.lru = nil
+	}
+	f.pins++
+}
+
+func (p *Pool) fault(id PageID) (*frame, error) {
+	if err := p.makeRoom(); err != nil {
+		return nil, err
+	}
+	f := &frame{id: id, data: make([]byte, PageSize), pins: 1}
+	if err := p.disk.Read(id, f.data); err != nil {
+		return nil, err
+	}
+	p.stats.PageReads++
+	p.frames[id] = f
+	return f, nil
+}
+
+// makeRoom evicts the least recently used unpinned frame if the pool is
+// full.
+func (p *Pool) makeRoom() error {
+	if len(p.frames) < p.capacity {
+		return nil
+	}
+	el := p.lru.Front()
+	if el == nil {
+		return fmt.Errorf("storage: buffer pool exhausted (%d pages, all pinned)", p.capacity)
+	}
+	victim := el.Value.(*frame)
+	p.lru.Remove(el)
+	victim.lru = nil
+	if victim.dirty {
+		if err := p.disk.Write(victim.id, victim.data); err != nil {
+			return err
+		}
+		p.stats.PageWrites++
+	}
+	delete(p.frames, victim.id)
+	return nil
+}

@@ -1,0 +1,64 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/xpath"
+)
+
+func TestAllQueriesParse(t *testing.T) {
+	for _, q := range All() {
+		pat, err := xpath.Parse(q.XPath)
+		if err != nil {
+			t.Errorf("%s does not parse: %v", q.ID, err)
+			continue
+		}
+		if got := len(pat.Branches()); got != q.Branches {
+			t.Errorf("%s: %d branches, workload says %d", q.ID, got, q.Branches)
+		}
+		if pat.HasDescendant() != q.Recursive {
+			t.Errorf("%s: recursive flag mismatch", q.ID)
+		}
+	}
+}
+
+func TestWorkloadShape(t *testing.T) {
+	if len(XMark()) != 15 {
+		t.Fatalf("XMark workload has %d queries, want 15 (Q1x..Q15x)", len(XMark()))
+	}
+	if len(DBLP()) != 3 {
+		t.Fatalf("DBLP workload has %d queries, want 3 (Q1d..Q3d)", len(DBLP()))
+	}
+	if _, ok := ByID("Q10x"); !ok {
+		t.Fatalf("ByID(Q10x) not found")
+	}
+	if _, ok := ByID("Q99"); ok {
+		t.Fatalf("ByID(Q99) found")
+	}
+	if got := len(ByGroup(GroupRecursive)); got != 4 {
+		t.Fatalf("recursive group has %d queries, want 4", got)
+	}
+	for _, q := range ByGroup(GroupRecursive) {
+		if !q.Recursive {
+			t.Errorf("%s in recursive group but not recursive", q.ID)
+		}
+	}
+}
+
+func TestFigureGroups(t *testing.T) {
+	// Figure 10's grouping: branch counts per group.
+	for _, q := range ByGroup(GroupSelective) {
+		if q.Branches < 2 || q.Branches > 3 {
+			t.Errorf("%s: selective group branches = %d", q.ID, q.Branches)
+		}
+	}
+	singles := ByGroup(GroupSinglePath)
+	if len(singles) != 6 { // Q1x-Q3x + Q1d-Q3d
+		t.Fatalf("single-path group = %d, want 6", len(singles))
+	}
+	for _, q := range singles {
+		if q.Branches != 1 {
+			t.Errorf("%s: single-path group but %d branches", q.ID, q.Branches)
+		}
+	}
+}

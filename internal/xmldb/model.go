@@ -1,0 +1,294 @@
+// Package xmldb implements the XML data model used throughout the library:
+// a forest of rooted, ordered, labeled trees in which non-leaf nodes are
+// elements and attributes (labeled by tag or attribute name) and leaf string
+// values hang off the node that contains them. Every element and attribute
+// node carries a unique numeric identifier assigned in document (pre-order)
+// order, exactly as in Figure 1 of the paper; value leaves carry no id.
+package xmldb
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// AttrPrefix distinguishes attribute labels from element tags in schema
+// paths. An attribute named "income" is labeled "@income".
+const AttrPrefix = "@"
+
+// Node is a single element or attribute node in an XML tree.
+//
+// Leaf string values are not separate nodes: a node that directly contains
+// character data (or an attribute's value) records it in Value with HasValue
+// set. This mirrors the paper's 4-ary relation, where IdList contains only
+// element/attribute ids and the leaf value is a separate column.
+type Node struct {
+	// ID is the unique document-order identifier. The virtual root that
+	// parents all documents has ID 0; real nodes start at 1.
+	ID int64
+
+	// Label is the element tag, or AttrPrefix + name for attributes.
+	Label string
+
+	// Value is the leaf string value directly contained by this node.
+	Value string
+
+	// HasValue reports whether Value is meaningful (distinguishes an
+	// empty string value from no value at all).
+	HasValue bool
+
+	Parent   *Node
+	Children []*Node
+}
+
+// IsAttr reports whether the node is an attribute node.
+func (n *Node) IsAttr() bool { return strings.HasPrefix(n.Label, AttrPrefix) }
+
+// AddChild appends c to n's children and sets the parent pointer.
+func (n *Node) AddChild(c *Node) {
+	c.Parent = n
+	n.Children = append(n.Children, c)
+}
+
+// Path returns the slash-separated label path from the document root to n,
+// e.g. "site/regions/namerica/item". Useful in error messages and tests.
+func (n *Node) Path() string {
+	var labels []string
+	for cur := n; cur != nil && cur.ID != 0; cur = cur.Parent {
+		labels = append(labels, cur.Label)
+	}
+	for i, j := 0, len(labels)-1; i < j; i, j = i+1, j-1 {
+		labels[i], labels[j] = labels[j], labels[i]
+	}
+	return strings.Join(labels, "/")
+}
+
+// Document is a single XML tree.
+type Document struct {
+	Root *Node
+}
+
+// Store is a forest of documents sharing one id space, rooted at a virtual
+// root node with id 0 (the paper's Section 3.3 device that lets DATAPATHS
+// answer FreeIndex as a BoundIndex on the virtual root).
+type Store struct {
+	VirtualRoot *Node
+	Docs        []*Document
+
+	nextID int64
+	byID   map[int64]*Node
+}
+
+// NewStore returns an empty store whose next node id is 1.
+func NewStore() *Store {
+	vr := &Node{ID: 0, Label: ""}
+	return &Store{
+		VirtualRoot: vr,
+		nextID:      1,
+		byID:        map[int64]*Node{0: vr},
+	}
+}
+
+// NextID returns the next unassigned node id without consuming it.
+func (s *Store) NextID() int64 { return s.nextID }
+
+// AddDocument numbers every node of doc in pre-order, registers the nodes,
+// and attaches the document root under the virtual root.
+func (s *Store) AddDocument(doc *Document) {
+	if doc == nil || doc.Root == nil {
+		return
+	}
+	s.number(doc.Root)
+	doc.Root.Parent = s.VirtualRoot
+	s.VirtualRoot.Children = append(s.VirtualRoot.Children, doc.Root)
+	s.Docs = append(s.Docs, doc)
+}
+
+func (s *Store) number(n *Node) {
+	n.ID = s.nextID
+	s.nextID++
+	s.byID[n.ID] = n
+	for _, c := range n.Children {
+		s.number(c)
+	}
+}
+
+// NodeByID returns the node with the given id, or nil if unknown.
+func (s *Store) NodeByID(id int64) *Node { return s.byID[id] }
+
+// AttachSubtree numbers the nodes of sub (which must not yet have ids) and
+// attaches it as the last child of parent. Pre-order id assignment
+// continues from the store's id counter, so new ids are larger than all
+// existing ones; document order among ids is preserved only per subtree,
+// which is all the indices require (ids are opaque join keys).
+func (s *Store) AttachSubtree(parent *Node, sub *Node) error {
+	if parent == nil {
+		return fmt.Errorf("xmldb: attach to nil parent")
+	}
+	if s.byID[parent.ID] != parent {
+		return fmt.Errorf("xmldb: parent #%d is not part of this store", parent.ID)
+	}
+	if sub.ID != 0 || sub.Parent != nil {
+		return fmt.Errorf("xmldb: subtree already attached")
+	}
+	s.number(sub)
+	sub.Parent = parent
+	parent.Children = append(parent.Children, sub)
+	return nil
+}
+
+// DetachSubtree removes n (and its subtree) from the store and from its
+// parent's child list. The virtual root and document roots cannot be
+// detached.
+func (s *Store) DetachSubtree(n *Node) error {
+	if n == nil || n.ID == 0 {
+		return fmt.Errorf("xmldb: cannot detach the virtual root")
+	}
+	if s.byID[n.ID] != n {
+		return fmt.Errorf("xmldb: node #%d is not part of this store", n.ID)
+	}
+	p := n.Parent
+	if p == nil || p.ID == 0 {
+		return fmt.Errorf("xmldb: cannot detach a document root")
+	}
+	idx := -1
+	for i, c := range p.Children {
+		if c == n {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return fmt.Errorf("xmldb: node #%d missing from its parent's children", n.ID)
+	}
+	p.Children = append(p.Children[:idx], p.Children[idx+1:]...)
+	var unregister func(n *Node)
+	unregister = func(n *Node) {
+		delete(s.byID, n.ID)
+		for _, c := range n.Children {
+			unregister(c)
+		}
+	}
+	unregister(n)
+	n.Parent = nil
+	return nil
+}
+
+// Ancestors returns the nodes from the document root down to n's parent
+// (excluding the virtual root and n itself).
+func (s *Store) Ancestors(n *Node) []*Node {
+	var up []*Node
+	for cur := n.Parent; cur != nil && cur.ID != 0; cur = cur.Parent {
+		up = append(up, cur)
+	}
+	for i, j := 0, len(up)-1; i < j; i, j = i+1, j-1 {
+		up[i], up[j] = up[j], up[i]
+	}
+	return up
+}
+
+// NodeCount returns the number of element/attribute nodes in the store
+// (excluding the virtual root).
+func (s *Store) NodeCount() int { return len(s.byID) - 1 }
+
+// Walk calls fn for every node of every document in pre-order. Returning
+// false from fn skips the node's subtree.
+func (s *Store) Walk(fn func(*Node) bool) {
+	var rec func(n *Node)
+	rec = func(n *Node) {
+		if !fn(n) {
+			return
+		}
+		for _, c := range n.Children {
+			rec(c)
+		}
+	}
+	for _, d := range s.Docs {
+		rec(d.Root)
+	}
+}
+
+// Stats summarises structural properties of the store.
+type Stats struct {
+	Nodes           int
+	MaxDepth        int
+	DistinctLabels  int
+	DistinctRootSPs int // distinct root-originating schema paths
+}
+
+// CollectStats walks the store once and computes Stats.
+func (s *Store) CollectStats() Stats {
+	st := Stats{Nodes: s.NodeCount()}
+	labels := map[string]struct{}{}
+	paths := map[string]struct{}{}
+	var rec func(n *Node, depth int, path string)
+	rec = func(n *Node, depth int, path string) {
+		if depth > st.MaxDepth {
+			st.MaxDepth = depth
+		}
+		labels[n.Label] = struct{}{}
+		p := path + "/" + n.Label
+		paths[p] = struct{}{}
+		for _, c := range n.Children {
+			rec(c, depth+1, p)
+		}
+	}
+	for _, d := range s.Docs {
+		rec(d.Root, 1, "")
+	}
+	st.DistinctLabels = len(labels)
+	st.DistinctRootSPs = len(paths)
+	return st
+}
+
+// Elem constructs an element node with the given children; a convenience
+// builder used by tests and the data generators.
+func Elem(label string, children ...*Node) *Node {
+	n := &Node{Label: label}
+	for _, c := range children {
+		n.AddChild(c)
+	}
+	return n
+}
+
+// Text constructs an element node holding a leaf string value.
+func Text(label, value string) *Node {
+	return &Node{Label: label, Value: value, HasValue: true}
+}
+
+// Attr constructs an attribute node holding a leaf string value.
+func Attr(name, value string) *Node {
+	return &Node{Label: AttrPrefix + name, Value: value, HasValue: true}
+}
+
+// Dump renders the subtree rooted at n as an indented one-line-per-node
+// string; intended for debugging and test failure messages.
+func Dump(n *Node) string {
+	var b strings.Builder
+	var rec func(n *Node, indent int)
+	rec = func(n *Node, indent int) {
+		fmt.Fprintf(&b, "%s%s#%d", strings.Repeat("  ", indent), n.Label, n.ID)
+		if n.HasValue {
+			fmt.Fprintf(&b, "=%q", n.Value)
+		}
+		b.WriteByte('\n')
+		for _, c := range n.Children {
+			rec(c, indent+1)
+		}
+	}
+	rec(n, 0)
+	return b.String()
+}
+
+// SortValue returns children sorted by label then value; used only by tests
+// that need deterministic comparison of generated subtrees.
+func SortValue(nodes []*Node) []*Node {
+	out := append([]*Node(nil), nodes...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Label != out[j].Label {
+			return out[i].Label < out[j].Label
+		}
+		return out[i].Value < out[j].Value
+	})
+	return out
+}

@@ -1,0 +1,155 @@
+package xmldb
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Parse reads one XML document from r and returns its tree. Node ids are
+// assigned when the document is added to a Store, not here.
+//
+// The mapping follows the paper's data model:
+//   - elements become nodes labeled by their tag;
+//   - attributes become child nodes labeled "@name" holding the attribute
+//     value as their leaf value;
+//   - character data directly contained by an element becomes the element's
+//     leaf value. Whitespace-only text is ignored. If an element has both
+//     element children and non-whitespace text (mixed content), the text is
+//     retained as the element's value.
+func Parse(r io.Reader) (*Document, error) {
+	dec := xml.NewDecoder(r)
+	var (
+		root  *Node
+		stack []*Node
+	)
+	for {
+		tok, err := dec.RawToken()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("xmldb: parse: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			n := &Node{Label: t.Name.Local}
+			for _, a := range t.Attr {
+				if a.Name.Space == "xmlns" || a.Name.Local == "xmlns" {
+					continue
+				}
+				n.AddChild(&Node{
+					Label:    AttrPrefix + a.Name.Local,
+					Value:    a.Value,
+					HasValue: true,
+				})
+			}
+			if len(stack) == 0 {
+				if root != nil {
+					return nil, fmt.Errorf("xmldb: parse: multiple root elements")
+				}
+				root = n
+			} else {
+				stack[len(stack)-1].AddChild(n)
+			}
+			stack = append(stack, n)
+		case xml.EndElement:
+			if len(stack) == 0 {
+				return nil, fmt.Errorf("xmldb: parse: unmatched end tag </%s>", t.Name.Local)
+			}
+			top := stack[len(stack)-1]
+			if top.Label != t.Name.Local {
+				return nil, fmt.Errorf("xmldb: parse: mismatched end tag </%s> for <%s>", t.Name.Local, top.Label)
+			}
+			stack = stack[:len(stack)-1]
+		case xml.CharData:
+			if len(stack) == 0 {
+				continue
+			}
+			text := strings.TrimSpace(string(t))
+			if text == "" {
+				continue
+			}
+			top := stack[len(stack)-1]
+			if top.HasValue {
+				top.Value += text
+			} else {
+				top.Value = text
+				top.HasValue = true
+			}
+		}
+	}
+	if root == nil {
+		return nil, fmt.Errorf("xmldb: parse: empty document")
+	}
+	if len(stack) != 0 {
+		return nil, fmt.Errorf("xmldb: parse: unclosed element <%s>", stack[len(stack)-1].Label)
+	}
+	return &Document{Root: root}, nil
+}
+
+// ParseString is Parse over a string; a convenience for tests and examples.
+func ParseString(s string) (*Document, error) {
+	return Parse(strings.NewReader(s))
+}
+
+// WriteXML serialises the subtree rooted at n as XML to w. Attribute child
+// nodes are emitted as attributes; value-bearing elements emit their value
+// as character data. The output round-trips through Parse.
+func WriteXML(w io.Writer, n *Node) error {
+	bw := &errWriter{w: w}
+	writeNode(bw, n, 0)
+	return bw.err
+}
+
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) writeString(s string) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = io.WriteString(e.w, s)
+}
+
+func writeNode(w *errWriter, n *Node, depth int) {
+	indent := strings.Repeat(" ", depth)
+	w.writeString(indent + "<" + n.Label)
+	var elemChildren []*Node
+	for _, c := range n.Children {
+		if c.IsAttr() {
+			w.writeString(" " + c.Label[len(AttrPrefix):] + `="` + escapeXML(c.Value) + `"`)
+		} else {
+			elemChildren = append(elemChildren, c)
+		}
+	}
+	switch {
+	case len(elemChildren) == 0 && !n.HasValue:
+		w.writeString("/>\n")
+	case len(elemChildren) == 0:
+		w.writeString(">" + escapeXML(n.Value) + "</" + n.Label + ">\n")
+	default:
+		w.writeString(">")
+		if n.HasValue {
+			w.writeString(escapeXML(n.Value))
+		}
+		w.writeString("\n")
+		for _, c := range elemChildren {
+			writeNode(w, c, depth+1)
+		}
+		w.writeString(indent + "</" + n.Label + ">\n")
+	}
+}
+
+var xmlEscaper = strings.NewReplacer(
+	"&", "&amp;",
+	"<", "&lt;",
+	">", "&gt;",
+	`"`, "&quot;",
+	"'", "&apos;",
+)
+
+func escapeXML(s string) string { return xmlEscaper.Replace(s) }

@@ -1,0 +1,359 @@
+package xpath
+
+import (
+	"fmt"
+	"unicode"
+)
+
+// Parse parses a query twig pattern from the XPath subset used in the paper:
+//
+//	path      := ('/' | '//') step ( ('/' | '//') step )*
+//	step      := nametest predicate*
+//	nametest  := NAME | '@' NAME
+//	predicate := '[' predexpr ( 'and' predexpr )* ']'
+//	predexpr  := relpath ( '=' literal )?
+//	relpath   := '.' | ('//')? step ( ('/' | '//') step )*
+//	literal   := '...' | "..." | bare number
+//
+// Examples from the paper:
+//
+//	/book[title='XML']//author[fn='jane' and ln='doe']
+//	/site[people/person/profile/@income = 46814.17]/open_auctions/open_auction[@increase = 75.00]
+//	/site//item[quantity = 2][location = 'United States']/mailbox/mail/to
+//
+// The result node (Output) is the last step of the outermost path.
+func Parse(query string) (*Pattern, error) {
+	p := &parser{lex: newLexer(query), src: query}
+	pat, err := p.parse()
+	if err != nil {
+		return nil, fmt.Errorf("xpath: parse %q: %w", query, err)
+	}
+	return pat, nil
+}
+
+// MustParse is Parse that panics on error; for tests and package literals.
+func MustParse(query string) *Pattern {
+	pat, err := Parse(query)
+	if err != nil {
+		panic(err)
+	}
+	return pat
+}
+
+type tokKind uint8
+
+const (
+	tokSlash tokKind = iota
+	tokDSlash
+	tokLBracket
+	tokRBracket
+	tokEq
+	tokDot
+	tokAnd
+	tokName // element or @attribute name
+	tokLit  // quoted string or bare number
+	tokEOF
+)
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokSlash:
+		return "'/'"
+	case tokDSlash:
+		return "'//'"
+	case tokLBracket:
+		return "'['"
+	case tokRBracket:
+		return "']'"
+	case tokEq:
+		return "'='"
+	case tokDot:
+		return "'.'"
+	case tokAnd:
+		return "'and'"
+	case tokName:
+		return fmt.Sprintf("name %q", t.text)
+	case tokLit:
+		return fmt.Sprintf("literal %q", t.text)
+	default:
+		return "end of input"
+	}
+}
+
+type lexer struct {
+	in   string
+	pos  int
+	toks []token
+}
+
+func newLexer(in string) *lexer {
+	return &lexer{in: in}
+}
+
+func isNameRune(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '-' || r == ':'
+}
+
+// lex tokenises the whole input. Bare numbers (digits, '.', '-') are
+// literals; '.' alone is the self step; names follow XML name rules
+// approximately.
+func (l *lexer) lex() error {
+	in := l.in
+	i := 0
+	emit := func(k tokKind, text string, pos int) {
+		l.toks = append(l.toks, token{kind: k, text: text, pos: pos})
+	}
+	for i < len(in) {
+		c := in[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '/':
+			if i+1 < len(in) && in[i+1] == '/' {
+				emit(tokDSlash, "//", i)
+				i += 2
+			} else {
+				emit(tokSlash, "/", i)
+				i++
+			}
+		case c == '[':
+			emit(tokLBracket, "[", i)
+			i++
+		case c == ']':
+			emit(tokRBracket, "]", i)
+			i++
+		case c == '=':
+			emit(tokEq, "=", i)
+			i++
+		case c == '\'' || c == '"':
+			quote := c
+			j := i + 1
+			for j < len(in) && in[j] != quote {
+				j++
+			}
+			if j >= len(in) {
+				return fmt.Errorf("unterminated string literal at offset %d", i)
+			}
+			emit(tokLit, in[i+1:j], i)
+			i = j + 1
+		case c == '.':
+			// '.' followed by a digit is part of a bare number literal
+			// (e.g. ".5"); a lone '.' is the self step.
+			if i+1 < len(in) && in[i+1] >= '0' && in[i+1] <= '9' {
+				j := i
+				for j < len(in) && (in[j] == '.' || (in[j] >= '0' && in[j] <= '9')) {
+					j++
+				}
+				emit(tokLit, in[i:j], i)
+				i = j
+			} else {
+				emit(tokDot, ".", i)
+				i++
+			}
+		case c >= '0' && c <= '9':
+			j := i
+			for j < len(in) && (in[j] == '.' || (in[j] >= '0' && in[j] <= '9')) {
+				j++
+			}
+			emit(tokLit, in[i:j], i)
+			i = j
+		case c == '@':
+			j := i + 1
+			for j < len(in) {
+				r := rune(in[j])
+				if !isNameRune(r) {
+					break
+				}
+				j++
+			}
+			if j == i+1 {
+				return fmt.Errorf("bare '@' at offset %d", i)
+			}
+			emit(tokName, in[i:j], i) // keep the @ prefix in the label
+			i = j
+		default:
+			r := rune(c)
+			if !unicode.IsLetter(r) && r != '_' {
+				return fmt.Errorf("unexpected character %q at offset %d", c, i)
+			}
+			j := i
+			for j < len(in) && isNameRune(rune(in[j])) {
+				j++
+			}
+			word := in[i:j]
+			if word == "and" {
+				emit(tokAnd, word, i)
+			} else {
+				emit(tokName, word, i)
+			}
+			i = j
+		}
+	}
+	emit(tokEOF, "", len(in))
+	return nil
+}
+
+type parser struct {
+	lex *lexer
+	src string
+	i   int
+}
+
+func (p *parser) peek() token { return p.lex.toks[p.i] }
+
+func (p *parser) next() token {
+	t := p.lex.toks[p.i]
+	if t.kind != tokEOF {
+		p.i++
+	}
+	return t
+}
+
+func (p *parser) expect(k tokKind) (token, error) {
+	t := p.next()
+	if t.kind != k {
+		return t, fmt.Errorf("unexpected %s at offset %d", t, t.pos)
+	}
+	return t, nil
+}
+
+func (p *parser) parse() (*Pattern, error) {
+	if err := p.lex.lex(); err != nil {
+		return nil, err
+	}
+	axis, ok := p.axis()
+	if !ok {
+		return nil, fmt.Errorf("query must start with '/' or '//'")
+	}
+	root, last, err := p.path(axis)
+	if err != nil {
+		return nil, err
+	}
+	if t := p.peek(); t.kind != tokEOF {
+		return nil, fmt.Errorf("trailing %s at offset %d", t, t.pos)
+	}
+	last.Output = true
+	return &Pattern{Root: root, Output: last, Source: p.src}, nil
+}
+
+// axis consumes a leading '/' or '//' if present.
+func (p *parser) axis() (Axis, bool) {
+	switch p.peek().kind {
+	case tokSlash:
+		p.next()
+		return Child, true
+	case tokDSlash:
+		p.next()
+		return Descendant, true
+	}
+	return Child, false
+}
+
+// path parses step ( ('/'|'//') step )* and returns the first and last
+// nodes of the chain.
+func (p *parser) path(first Axis) (head, tail *Node, err error) {
+	head, err = p.step(first)
+	if err != nil {
+		return nil, nil, err
+	}
+	tail = head
+	for {
+		axis, ok := p.axis()
+		if !ok {
+			return head, tail, nil
+		}
+		n, err := p.step(axis)
+		if err != nil {
+			return nil, nil, err
+		}
+		tail.AddChild(n)
+		tail = n
+	}
+}
+
+// step parses a name test followed by any number of predicates.
+func (p *parser) step(axis Axis) (*Node, error) {
+	name, err := p.expect(tokName)
+	if err != nil {
+		return nil, err
+	}
+	n := &Node{Axis: axis, Label: name.text}
+	for p.peek().kind == tokLBracket {
+		p.next()
+		if err := p.predicateList(n); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRBracket); err != nil {
+			return nil, err
+		}
+	}
+	return n, nil
+}
+
+// predicateList parses predexpr ('and' predexpr)* inside brackets, attaching
+// the resulting condition subtrees to n.
+func (p *parser) predicateList(n *Node) error {
+	for {
+		if err := p.predExpr(n); err != nil {
+			return err
+		}
+		if p.peek().kind != tokAnd {
+			return nil
+		}
+		p.next()
+	}
+}
+
+// predExpr parses a single predicate: either a value condition on the
+// current node (. = 'v'), an existence path (a/b//c), or a path with a value
+// condition at its leaf (a/b = 'v').
+func (p *parser) predExpr(n *Node) error {
+	if p.peek().kind == tokDot {
+		p.next()
+		if _, err := p.expect(tokEq); err != nil {
+			return err
+		}
+		lit, err := p.expect(tokLit)
+		if err != nil {
+			return err
+		}
+		if n.HasValue && n.Value != lit.text {
+			return fmt.Errorf("conflicting value conditions %q and %q on %s", n.Value, lit.text, n.Label)
+		}
+		n.Value = lit.text
+		n.HasValue = true
+		return nil
+	}
+	axis := Child
+	if p.peek().kind == tokDSlash {
+		p.next()
+		axis = Descendant
+	} else if p.peek().kind == tokSlash {
+		// tolerate an explicit leading '/' in a predicate path
+		p.next()
+	}
+	head, tail, err := p.path(axis)
+	if err != nil {
+		return err
+	}
+	if p.peek().kind == tokEq {
+		p.next()
+		lit, err := p.expect(tokLit)
+		if err != nil {
+			return err
+		}
+		if tail.HasValue && tail.Value != lit.text {
+			return fmt.Errorf("conflicting value conditions %q and %q on %s", tail.Value, lit.text, tail.Label)
+		}
+		tail.Value = lit.text
+		tail.HasValue = true
+	}
+	n.AddChild(head)
+	return nil
+}

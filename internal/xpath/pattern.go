@@ -1,0 +1,251 @@
+// Package xpath implements the query twig patterns of the paper: a subset of
+// XPath with child (/) and descendant (//) axes, name and attribute tests,
+// and equality predicates on leaf string values, parsed into node-labeled
+// twig patterns (paper Section 2.1).
+package xpath
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Axis is the structural relationship between a twig node and its parent.
+type Axis uint8
+
+const (
+	// Child is a parent-child edge (single line in the paper's figures).
+	Child Axis = iota
+	// Descendant is an ancestor-descendant edge of unbounded depth
+	// (double line in the paper's figures), written //.
+	Descendant
+)
+
+func (a Axis) String() string {
+	if a == Descendant {
+		return "//"
+	}
+	return "/"
+}
+
+// Node is one node of a query twig pattern. Labels are element tags or
+// "@name" for attributes. A value equality condition ([. = 'v'] or an
+// implicit one from [child = 'v']) is recorded on the node itself, matching
+// the data model where leaf values hang off element/attribute nodes.
+type Node struct {
+	Axis     Axis // edge from parent (for the root: from the virtual root)
+	Label    string
+	Value    string
+	HasValue bool
+	Output   bool // this node's matches are the query result
+
+	Children []*Node
+	Parent   *Node
+}
+
+// AddChild appends c and sets its parent pointer.
+func (n *Node) AddChild(c *Node) {
+	c.Parent = n
+	n.Children = append(n.Children, c)
+}
+
+// Pattern is a parsed query twig.
+type Pattern struct {
+	Root   *Node
+	Output *Node
+	// Source is the original query text (for diagnostics).
+	Source string
+}
+
+// String renders the pattern back to XPath-like syntax. The rendering
+// re-parses to an equivalent pattern (used by property tests).
+func (p *Pattern) String() string {
+	var b strings.Builder
+	writeTrunk(&b, p.Root, p.Output)
+	return b.String()
+}
+
+// writeTrunk renders the path from n down to the output node, attaching all
+// off-trunk subtrees as predicates.
+func writeTrunk(b *strings.Builder, n, output *Node) {
+	b.WriteString(n.Axis.String())
+	b.WriteString(n.Label)
+	trunkChild := trunkChildToward(n, output)
+	for _, c := range n.Children {
+		if c == trunkChild {
+			continue
+		}
+		b.WriteString("[")
+		writePredicate(b, c)
+		b.WriteString("]")
+	}
+	if n.HasValue {
+		fmt.Fprintf(b, "[. = '%s']", n.Value)
+	}
+	if trunkChild != nil {
+		writeTrunk(b, trunkChild, output)
+	}
+}
+
+// trunkChildToward returns the child of n on the path to target, or nil.
+func trunkChildToward(n, target *Node) *Node {
+	for _, c := range n.Children {
+		for cur := target; cur != nil; cur = cur.Parent {
+			if cur == c {
+				return c
+			}
+		}
+	}
+	return nil
+}
+
+func writePredicate(b *strings.Builder, n *Node) {
+	if n.Axis == Descendant {
+		b.WriteString("//")
+	}
+	b.WriteString(n.Label)
+	for _, c := range n.Children {
+		b.WriteString("[")
+		writePredicate(b, c)
+		b.WriteString("]")
+	}
+	if n.HasValue {
+		fmt.Fprintf(b, " = '%s'", n.Value)
+	}
+}
+
+// Step is one (axis, label) pair of a linear path.
+type Step struct {
+	Axis  Axis
+	Label string
+}
+
+// Branch is one root-to-leaf path of a twig pattern, the unit the planner
+// evaluates with a single index lookup (paper Section 2.2: every twig is
+// covered by a set of subpath patterns).
+type Branch struct {
+	Steps []Step
+	// Nodes[i] is the twig node matched by Steps[i]; used to find the
+	// positions of branch points and the output node inside a match.
+	Nodes []*Node
+	// Value is the equality condition on the leaf of this branch.
+	Value    string
+	HasValue bool
+}
+
+// String renders the branch as a linear path expression.
+func (br Branch) String() string {
+	var b strings.Builder
+	for _, s := range br.Steps {
+		b.WriteString(s.Axis.String())
+		b.WriteString(s.Label)
+	}
+	if br.HasValue {
+		fmt.Fprintf(&b, "[. = '%s']", br.Value)
+	}
+	return b.String()
+}
+
+// OutputIndex returns the index within the branch of the pattern's output
+// node, or -1 if the output node is not on this branch.
+func (br Branch) OutputIndex(output *Node) int {
+	for i, n := range br.Nodes {
+		if n == output {
+			return i
+		}
+	}
+	return -1
+}
+
+// IndexOf returns the index within the branch of the given twig node, or -1.
+func (br Branch) IndexOf(n *Node) int {
+	for i, bn := range br.Nodes {
+		if bn == n {
+			return i
+		}
+	}
+	return -1
+}
+
+// Branches enumerates all root-to-leaf paths of the twig in left-to-right
+// order.
+func (p *Pattern) Branches() []Branch {
+	var out []Branch
+	var steps []Step
+	var nodes []*Node
+	var rec func(n *Node)
+	rec = func(n *Node) {
+		steps = append(steps, Step{Axis: n.Axis, Label: n.Label})
+		nodes = append(nodes, n)
+		if len(n.Children) == 0 {
+			out = append(out, Branch{
+				Steps:    append([]Step(nil), steps...),
+				Nodes:    append([]*Node(nil), nodes...),
+				Value:    n.Value,
+				HasValue: n.HasValue,
+			})
+		}
+		for _, c := range n.Children {
+			rec(c)
+		}
+		steps = steps[:len(steps)-1]
+		nodes = nodes[:len(nodes)-1]
+	}
+	rec(p.Root)
+	return out
+}
+
+// BranchPoint returns the deepest twig node shared by all branches (the
+// lowest common ancestor of all leaves). For a single-branch pattern this is
+// the leaf itself.
+func (p *Pattern) BranchPoint() *Node {
+	n := p.Root
+	for len(n.Children) == 1 {
+		n = n.Children[0]
+	}
+	return n
+}
+
+// IsLinear reports whether the pattern has no branching (a single path).
+func (p *Pattern) IsLinear() bool {
+	for n := p.Root; ; {
+		switch len(n.Children) {
+		case 0:
+			return true
+		case 1:
+			n = n.Children[0]
+		default:
+			return false
+		}
+	}
+}
+
+// HasDescendant reports whether any edge of the pattern is a // edge.
+func (p *Pattern) HasDescendant() bool {
+	found := false
+	var rec func(n *Node)
+	rec = func(n *Node) {
+		if n.Axis == Descendant {
+			found = true
+			return
+		}
+		for _, c := range n.Children {
+			rec(c)
+		}
+	}
+	rec(p.Root)
+	return found
+}
+
+// NodeCount returns the number of nodes in the pattern.
+func (p *Pattern) NodeCount() int {
+	count := 0
+	var rec func(n *Node)
+	rec = func(n *Node) {
+		count++
+		for _, c := range n.Children {
+			rec(c)
+		}
+	}
+	rec(p.Root)
+	return count
+}

@@ -1,0 +1,213 @@
+package xpath
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParsePaperTwig(t *testing.T) {
+	// Figure 1(c): /book[title='XML']//author[fn='jane' and ln='doe']
+	p := MustParse(`/book[title='XML']//author[fn='jane' and ln='doe']`)
+	root := p.Root
+	if root.Label != "book" || root.Axis != Child {
+		t.Fatalf("root = %+v", root)
+	}
+	if len(root.Children) != 2 {
+		t.Fatalf("book children = %d, want 2 (title predicate + author trunk)", len(root.Children))
+	}
+	title := root.Children[0]
+	if title.Label != "title" || !title.HasValue || title.Value != "XML" || title.Axis != Child {
+		t.Fatalf("title = %+v", title)
+	}
+	author := root.Children[1]
+	if author.Label != "author" || author.Axis != Descendant {
+		t.Fatalf("author = %+v", author)
+	}
+	if len(author.Children) != 2 {
+		t.Fatalf("author children = %d, want 2", len(author.Children))
+	}
+	fn, ln := author.Children[0], author.Children[1]
+	if fn.Label != "fn" || fn.Value != "jane" || ln.Label != "ln" || ln.Value != "doe" {
+		t.Fatalf("fn=%+v ln=%+v", fn, ln)
+	}
+	if p.Output != author || !author.Output {
+		t.Fatalf("output node = %+v, want author", p.Output)
+	}
+}
+
+func TestParseAttributesAndNumbers(t *testing.T) {
+	p := MustParse(`/site[people/person/profile/@income = 46814.17]/open_auctions/open_auction[@increase = 75.00]`)
+	site := p.Root
+	if site.Label != "site" {
+		t.Fatalf("root = %q", site.Label)
+	}
+	pred := site.Children[0]
+	labels := []string{}
+	for n := pred; n != nil; {
+		labels = append(labels, n.Label)
+		if len(n.Children) > 0 {
+			n = n.Children[0]
+		} else {
+			if !n.HasValue || n.Value != "46814.17" {
+				t.Fatalf("income leaf = %+v", n)
+			}
+			n = nil
+		}
+	}
+	if strings.Join(labels, "/") != "people/person/profile/@income" {
+		t.Fatalf("predicate path = %v", labels)
+	}
+	oa := p.Output
+	if oa.Label != "open_auction" {
+		t.Fatalf("output = %q", oa.Label)
+	}
+	inc := oa.Children[0]
+	if inc.Label != "@increase" || inc.Value != "75.00" {
+		t.Fatalf("increase = %+v", inc)
+	}
+}
+
+func TestParseSelfValue(t *testing.T) {
+	p := MustParse(`/site/regions/namerica/item/quantity[. = 5]`)
+	q := p.Output
+	if q.Label != "quantity" || !q.HasValue || q.Value != "5" || len(q.Children) != 0 {
+		t.Fatalf("quantity = %+v", q)
+	}
+	if !p.IsLinear() {
+		t.Fatalf("single-path query reported as branching")
+	}
+}
+
+func TestParseLeadingDescendant(t *testing.T) {
+	p := MustParse(`//author[fn='jane']`)
+	if p.Root.Axis != Descendant || p.Root.Label != "author" {
+		t.Fatalf("root = %+v", p.Root)
+	}
+}
+
+func TestParseInternalDescendant(t *testing.T) {
+	p := MustParse(`/site//item[incategory/category = 'category440']/mailbox/mail/date`)
+	if !p.HasDescendant() {
+		t.Fatalf("HasDescendant = false")
+	}
+	brs := p.Branches()
+	if len(brs) != 2 {
+		t.Fatalf("branches = %d, want 2", len(brs))
+	}
+	if got := brs[0].String(); got != `/site//item/incategory/category[. = 'category440']` {
+		t.Fatalf("branch 0 = %s", got)
+	}
+	if got := brs[1].String(); got != `/site//item/mailbox/mail/date` {
+		t.Fatalf("branch 1 = %s", got)
+	}
+	if brs[1].OutputIndex(p.Output) != 4 {
+		t.Fatalf("output index = %d", brs[1].OutputIndex(p.Output))
+	}
+	if brs[0].OutputIndex(p.Output) != -1 {
+		t.Fatalf("output on wrong branch")
+	}
+}
+
+func TestBranchPoint(t *testing.T) {
+	p := MustParse(`/site//item[quantity = 2][location = 'United States']/mailbox/mail/to`)
+	bp := p.BranchPoint()
+	if bp.Label != "item" {
+		t.Fatalf("branch point = %q, want item", bp.Label)
+	}
+	brs := p.Branches()
+	if len(brs) != 3 {
+		t.Fatalf("branches = %d, want 3", len(brs))
+	}
+	for _, br := range brs {
+		if br.IndexOf(bp) != 1 {
+			t.Fatalf("branch %s: IndexOf(item) = %d, want 1", br, br.IndexOf(bp))
+		}
+	}
+}
+
+func TestBranchPointLinear(t *testing.T) {
+	p := MustParse(`/a/b/c`)
+	if bp := p.BranchPoint(); bp.Label != "c" {
+		t.Fatalf("linear branch point = %q", bp.Label)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		``,
+		`book`,                  // missing leading slash
+		`/book[`,                // unterminated predicate
+		`/book[title=]`,         // missing literal
+		`/book[title='x]`,       // unterminated string
+		`/book]`,                // stray bracket
+		`/book/`,                // trailing slash
+		`//`,                    // no name
+		`/book[@]`,              // bare @
+		`/a[.='x' and .='y']`,   // conflicting self values
+		`/a[b='x' and b ~ 'y']`, // bad operator
+	}
+	for _, q := range bad {
+		if _, err := Parse(q); err == nil {
+			t.Errorf("Parse(%q): want error, got nil", q)
+		}
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	queries := []string{
+		`/book[title = 'XML']//author[fn = 'jane'][ln = 'doe']`,
+		`/site/regions/namerica/item/quantity[. = '5']`,
+		`//author[fn = 'jane']`,
+		`/site//item[quantity = '2'][location = 'United States']/mailbox/mail/to`,
+		`/site[people/person/profile/@income = '9876.00'][regions/namerica/item/location = 'united states']/open_auctions/open_auction[@increase = '3.00']`,
+	}
+	for _, q := range queries {
+		p := MustParse(q)
+		s := p.String()
+		p2, err := Parse(s)
+		if err != nil {
+			t.Fatalf("re-parse of %q (from %q): %v", s, q, err)
+		}
+		if s2 := p2.String(); s2 != s {
+			t.Errorf("String not stable: %q -> %q", s, s2)
+		}
+		if p2.NodeCount() != p.NodeCount() {
+			t.Errorf("node count changed %d -> %d for %q", p.NodeCount(), p2.NodeCount(), q)
+		}
+	}
+}
+
+func TestBranchesCoverEveryNode(t *testing.T) {
+	p := MustParse(`/site[people/person/profile/@income = '9876.00'][regions/namerica/item/location = 'united states']/open_auctions/open_auction[@increase = '3.00']`)
+	seen := map[*Node]bool{}
+	for _, br := range p.Branches() {
+		if len(br.Steps) != len(br.Nodes) {
+			t.Fatalf("steps/nodes length mismatch")
+		}
+		for _, n := range br.Nodes {
+			seen[n] = true
+		}
+	}
+	if got, want := len(seen), p.NodeCount(); got != want {
+		t.Fatalf("branches cover %d nodes, pattern has %d", got, want)
+	}
+	if len(p.Branches()) != 3 {
+		t.Fatalf("branches = %d, want 3", len(p.Branches()))
+	}
+}
+
+func TestAndEquivalentToTwoPredicates(t *testing.T) {
+	a := MustParse(`/r/a[b='1' and c='2']`)
+	b := MustParse(`/r/a[b='1'][c='2']`)
+	if a.String() != b.String() {
+		t.Fatalf("and-form %q != bracket-form %q", a.String(), b.String())
+	}
+}
+
+func TestWhitespaceTolerance(t *testing.T) {
+	a := MustParse(`/r/a[ b = '1' ]`)
+	b := MustParse(`/r/a[b='1']`)
+	if a.String() != b.String() {
+		t.Fatalf("whitespace changes parse: %q vs %q", a.String(), b.String())
+	}
+}

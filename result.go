@@ -1,0 +1,68 @@
+package twigdb
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/xmldb"
+)
+
+// Result is the outcome of one query: the distinct, document-order-sorted
+// ids of the nodes matching the query's output node, plus execution
+// counters.
+type Result struct {
+	Query    string
+	Strategy Strategy
+	IDs      []int64
+	Stats    ExecStats
+
+	db *DB
+}
+
+// Count returns the number of matches.
+func (r *Result) Count() int { return len(r.IDs) }
+
+// Node is a read-only view of a matched XML node.
+type Node struct {
+	ID    int64
+	Label string // element tag or "@name" for attributes
+	Value string // leaf string value, if any
+	Path  string // slash-separated label path from the document root
+}
+
+// Nodes materialises the matched nodes.
+func (r *Result) Nodes() []Node {
+	out := make([]Node, 0, len(r.IDs))
+	for _, id := range r.IDs {
+		n := r.db.eng.Store().NodeByID(id)
+		if n == nil {
+			continue
+		}
+		out = append(out, Node{ID: id, Label: n.Label, Value: n.Value, Path: n.Path()})
+	}
+	return out
+}
+
+// WriteXML serialises the subtree of one matched node to w.
+func (r *Result) WriteXML(w io.Writer, id int64) error {
+	n := r.db.eng.Store().NodeByID(id)
+	if n == nil {
+		return fmt.Errorf("twigdb: no node with id %d", id)
+	}
+	return xmldb.WriteXML(w, n)
+}
+
+// String summarises the result for logs and examples.
+func (r *Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d match(es) for %s via %s", len(r.IDs), r.Query, r.Strategy)
+	if r.Stats.IndexLookups > 0 {
+		fmt.Fprintf(&b, " (lookups=%d rows=%d", r.Stats.IndexLookups, r.Stats.RowsScanned)
+		if r.Stats.UsedINL {
+			fmt.Fprintf(&b, " inl=%d", r.Stats.INLProbes)
+		}
+		b.WriteString(")")
+	}
+	return b.String()
+}

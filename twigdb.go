@@ -1,0 +1,358 @@
+// Package twigdb is a library for indexing XML documents and matching XML
+// twig (branching path) queries with value conditions using relational
+// access methods — a reproduction of Chen, Gehrke, Korn, Koudas,
+// Shanmugasundaram, Srivastava: "Index Structures for Matching XML Twigs
+// Using Relational Query Processors" (ICDE 2005).
+//
+// The library implements the paper's whole index family over one paged,
+// buffer-pool-backed B+-tree substrate: the two proposed indices ROOTPATHS
+// and DATAPATHS (which answer any parent-child subpath pattern — including
+// ones starting with // — in a single index lookup and return the full list
+// of node ids along each matching path), and the baselines it compares
+// against (edge-table link indices, DataGuide, a B+-tree-simulated Index
+// Fabric, Access Support Relations and Join Indices).
+//
+// # Quick start
+//
+//	db := twigdb.Open(nil)
+//	if err := db.LoadXMLString(`<book><title>XML</title></book>`); err != nil { ... }
+//	if err := db.Build(twigdb.RootPaths, twigdb.DataPaths); err != nil { ... }
+//	res, err := db.Query(`/book[title='XML']`)
+//	fmt.Println(res.IDs) // ids of matching book elements
+//
+// Every query can be executed under any strategy via QueryWith, and Result
+// carries the work counters (index lookups, rows scanned, join tuples,
+// index-nested-loop probes) that the repository's benchmarks use to
+// regenerate the paper's tables and figures.
+package twigdb
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/engine"
+	"repro/internal/index"
+	"repro/internal/naive"
+	"repro/internal/plan"
+	"repro/internal/xmldb"
+	"repro/internal/xpath"
+)
+
+// IndexKind selects a member of the index family to build.
+type IndexKind int
+
+const (
+	// RootPaths is the paper's ROOTPATHS index: B+-tree on
+	// LeafValue · reverse(SchemaPath) over root-to-node path prefixes,
+	// returning full IdLists (Section 3.2).
+	RootPaths IndexKind = iota
+	// DataPaths is the paper's DATAPATHS index: B+-tree on
+	// HeadId · LeafValue · reverse(SchemaPath) over all subpaths,
+	// supporting bound (index-nested-loop) probes (Section 3.3).
+	DataPaths
+	// Edge is the edge table with Lore-style value, forward-link and
+	// backward-link indices.
+	Edge
+	// DataGuide is the structure-only path summary with extents.
+	DataGuide
+	// IndexFabric is the B+-tree simulation of the Index Fabric.
+	IndexFabric
+	// ASR builds one Access Support Relation per distinct schema path.
+	ASR
+	// JoinIndex builds forward and backward join indices per distinct
+	// schema path.
+	JoinIndex
+	// XRel normalises rooted paths into a path table and stores path ids
+	// with the data (the XRel baseline of Section 5.2.6).
+	XRel
+	// Containment is the region-encoded element-list index used by the
+	// structural-join extension strategy.
+	Containment
+)
+
+var kindToInternal = map[IndexKind]index.Kind{
+	RootPaths:   index.KindRootPaths,
+	DataPaths:   index.KindDataPaths,
+	Edge:        index.KindEdge,
+	DataGuide:   index.KindDataGuide,
+	IndexFabric: index.KindIndexFabric,
+	ASR:         index.KindASR,
+	JoinIndex:   index.KindJoinIndex,
+	XRel:        index.KindXRel,
+	Containment: index.KindContainment,
+}
+
+// String returns the paper's name for the index.
+func (k IndexKind) String() string {
+	if ik, ok := kindToInternal[k]; ok {
+		return ik.String()
+	}
+	return "unknown"
+}
+
+// Strategy selects the evaluation strategy for a query.
+type Strategy int
+
+const (
+	// Auto picks the best strategy among the built indices.
+	Auto Strategy = iota
+	// StrategyRootPaths evaluates every branch with one ROOTPATHS lookup.
+	StrategyRootPaths
+	// StrategyDataPaths uses DATAPATHS free and bound lookups.
+	StrategyDataPaths
+	// StrategyEdge joins through the edge link indices step by step.
+	StrategyEdge
+	// StrategyDataGuideEdge combines DataGuide extents with the value
+	// index.
+	StrategyDataGuideEdge
+	// StrategyFabricEdge combines Index Fabric lookups with backward-link
+	// joins.
+	StrategyFabricEdge
+	// StrategyASR probes one Access Support Relation per concrete path.
+	StrategyASR
+	// StrategyJoinIndex composes per-path join indices.
+	StrategyJoinIndex
+	// StrategyXRel resolves paths through the XRel path table (one lookup
+	// per matching path id) plus edge climbs.
+	StrategyXRel
+	// StrategyStructuralJoin evaluates twigs with region-encoded binary
+	// structural semi-joins (requires the Containment and Edge indices).
+	StrategyStructuralJoin
+	// Oracle evaluates with the naive in-memory matcher (no indices);
+	// intended for testing and validation.
+	Oracle
+)
+
+var strategyToInternal = map[Strategy]plan.Strategy{
+	StrategyRootPaths:      plan.RootPathsPlan,
+	StrategyDataPaths:      plan.DataPathsPlan,
+	StrategyEdge:           plan.EdgePlan,
+	StrategyDataGuideEdge:  plan.DataGuideEdgePlan,
+	StrategyFabricEdge:     plan.FabricEdgePlan,
+	StrategyASR:            plan.ASRPlan,
+	StrategyJoinIndex:      plan.JoinIndexPlan,
+	StrategyXRel:           plan.XRelPlan,
+	StrategyStructuralJoin: plan.StructuralJoinPlan,
+}
+
+// String names the strategy as the paper's figures do.
+func (s Strategy) String() string {
+	switch s {
+	case Auto:
+		return "Auto"
+	case Oracle:
+		return "Oracle"
+	default:
+		if ps, ok := strategyToInternal[s]; ok {
+			return ps.String()
+		}
+		return "unknown"
+	}
+}
+
+// Options configures a database instance.
+type Options struct {
+	// BufferPoolBytes sizes the buffer pool shared by all indices.
+	// Defaults to 40MB, the paper's setting.
+	BufferPoolBytes int64
+
+	// CompressSchemaPaths enables the lossy SchemaPathId compression of
+	// Section 4.2 on ROOTPATHS/DATAPATHS: smaller indices, but queries
+	// containing // fail.
+	CompressSchemaPaths bool
+
+	// RawIDLists disables the differential IdList encoding of Section
+	// 4.1 (mainly useful to measure its benefit).
+	RawIDLists bool
+
+	// KeepHead, when set, prunes DATAPATHS rows headed at data nodes for
+	// which it returns false (Section 4.3 workload-based pruning).
+	KeepHead func(int64) bool
+}
+
+// DB is an XML database instance: a forest of loaded documents plus any
+// subset of the index family.
+type DB struct {
+	eng *engine.DB
+}
+
+// Open creates an empty database. A nil opts uses the defaults.
+func Open(opts *Options) *DB {
+	cfg := engine.DefaultConfig()
+	if opts != nil {
+		if opts.BufferPoolBytes > 0 {
+			cfg.BufferPoolBytes = opts.BufferPoolBytes
+		}
+		cfg.PathsOptions = index.PathsOptions{
+			RawIDs:     opts.RawIDLists,
+			PathIDKeys: opts.CompressSchemaPaths,
+			KeepHead:   opts.KeepHead,
+		}
+	}
+	return &DB{eng: engine.New(cfg)}
+}
+
+// LoadXML parses one XML document from r and adds it to the database.
+// Load all documents before building indices.
+func (db *DB) LoadXML(r io.Reader) error { return db.eng.LoadXML(r) }
+
+// LoadXMLString parses one XML document from a string.
+func (db *DB) LoadXMLString(s string) error { return db.eng.LoadXML(strings.NewReader(s)) }
+
+// Build constructs the given index structures (rebuilding any that exist).
+func (db *DB) Build(kinds ...IndexKind) error {
+	internal := make([]index.Kind, len(kinds))
+	for i, k := range kinds {
+		ik, ok := kindToInternal[k]
+		if !ok {
+			return fmt.Errorf("twigdb: unknown index kind %d", k)
+		}
+		internal[i] = ik
+	}
+	return db.eng.Build(internal...)
+}
+
+// BuildAll constructs the entire index family.
+func (db *DB) BuildAll() error { return db.eng.BuildAll() }
+
+// Query evaluates an XPath twig query under the best available strategy.
+//
+// The supported query language is the paper's twig patterns: / and // axes,
+// element and @attribute name tests, and predicates of the forms [p],
+// [p = 'value'], [. = 'value'] and [p1 and p2], where p is a relative path.
+func (db *DB) Query(q string) (*Result, error) { return db.QueryWith(Auto, q) }
+
+// QueryWith evaluates a query under an explicit strategy.
+func (db *DB) QueryWith(strat Strategy, q string) (*Result, error) {
+	pat, err := xpath.Parse(q)
+	if err != nil {
+		return nil, err
+	}
+	if strat == Oracle {
+		ids := naive.Match(db.eng.Store(), pat)
+		return &Result{Query: q, Strategy: Oracle, IDs: ids, db: db}, nil
+	}
+	ps := strategyToInternal[strat]
+	if strat == Auto {
+		ps, err = db.eng.DefaultStrategy()
+		if err != nil {
+			return nil, err
+		}
+	}
+	ids, es, err := db.eng.QueryPattern(pat, ps)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Query: q, Strategy: strat, IDs: ids, db: db}
+	if strat == Auto {
+		for pub, internal := range strategyToInternal {
+			if internal == ps {
+				res.Strategy = pub
+				break
+			}
+		}
+	}
+	if es != nil {
+		res.Stats = ExecStats{
+			IndexLookups:   es.IndexLookups,
+			RowsScanned:    es.RowsScanned,
+			INLProbes:      es.INLProbes,
+			UsedINL:        es.UsedINL,
+			RelationsUsed:  es.RelationsUsed,
+			JoinTuplesIn:   es.Join.TuplesIn,
+			JoinTuplesOut:  es.Join.TuplesOut,
+			BranchesJoined: es.BranchesJoined,
+		}
+	}
+	return res, nil
+}
+
+// ExecStats reports the work a query performed — the machine-independent
+// counters behind the repository's reproduction of the paper's timings.
+type ExecStats struct {
+	IndexLookups   int64 // index probes (range scans started)
+	RowsScanned    int64 // index rows visited
+	INLProbes      int64 // bound probes by index-nested-loop joins
+	UsedINL        bool  // whether any join ran as index-nested-loop
+	RelationsUsed  int   // distinct ASR/JI relations touched
+	JoinTuplesIn   int64
+	JoinTuplesOut  int64
+	BranchesJoined int
+}
+
+// Explain returns a textual description of the plan QueryWith would run:
+// the covering branch paths in execution order, their exact cardinality
+// estimates from the collected statistics, and the join shape.
+func (db *DB) Explain(strat Strategy, q string) (string, error) {
+	pat, err := xpath.Parse(q)
+	if err != nil {
+		return "", err
+	}
+	ps := strategyToInternal[strat]
+	if strat == Auto {
+		if ps, err = db.eng.DefaultStrategy(); err != nil {
+			return "", err
+		}
+	} else if strat == Oracle {
+		return "naive in-memory twig matching (no indices)\n", nil
+	}
+	return db.eng.Explain(pat, ps)
+}
+
+// Insert parses xmlFragment as a standalone element and attaches it as the
+// last child of the node with id parentID. The ROOTPATHS and DATAPATHS
+// indices are maintained incrementally (the paper's Section 7 update
+// scheme: one entry per root-path prefix of each new node); the other index
+// structures cannot be maintained incrementally and are dropped — rebuild
+// them with Build if needed. Returns the id of the new subtree's root.
+func (db *DB) Insert(parentID int64, xmlFragment string) (int64, error) {
+	doc, err := xmldb.ParseString(xmlFragment)
+	if err != nil {
+		return 0, err
+	}
+	if err := db.eng.InsertSubtree(parentID, doc.Root); err != nil {
+		return 0, err
+	}
+	return doc.Root.ID, nil
+}
+
+// Delete removes the node with the given id and its whole subtree,
+// maintaining ROOTPATHS/DATAPATHS incrementally and dropping the other
+// index structures (as with Insert).
+func (db *DB) Delete(nodeID int64) error {
+	return db.eng.DeleteSubtree(nodeID)
+}
+
+// IndexSpace describes the footprint of one built index structure.
+type IndexSpace struct {
+	Kind    IndexKind
+	Name    string
+	Bytes   int64
+	Pages   int64
+	Entries int64
+	Trees   int // B+-trees / relations materialised
+}
+
+// IndexSpaces reports the footprint of every built index (the data behind
+// the paper's Figure 9).
+func (db *DB) IndexSpaces() []IndexSpace {
+	var out []IndexSpace
+	for _, s := range db.eng.Spaces() {
+		var pub IndexKind
+		for k, ik := range kindToInternal {
+			if ik == s.Kind {
+				pub = k
+				break
+			}
+		}
+		out = append(out, IndexSpace{
+			Kind: pub, Name: s.Name, Bytes: s.Bytes, Pages: s.Pages,
+			Entries: s.Entries, Trees: s.Trees,
+		})
+	}
+	return out
+}
+
+// NodeCount returns the number of element and attribute nodes loaded.
+func (db *DB) NodeCount() int { return db.eng.Store().NodeCount() }

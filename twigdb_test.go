@@ -1,0 +1,194 @@
+package twigdb_test
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	twigdb "repro"
+)
+
+const bookXML = `
+<book>
+ <title>XML</title>
+ <allauthors>
+  <author><fn>jane</fn><ln>poe</ln></author>
+  <author><fn>john</fn><ln>doe</ln></author>
+  <author><fn>jane</fn><ln>doe</ln></author>
+ </allauthors>
+ <year>2000</year>
+</book>`
+
+func openBook(t testing.TB, kinds ...twigdb.IndexKind) *twigdb.DB {
+	t.Helper()
+	db := twigdb.Open(&twigdb.Options{BufferPoolBytes: 8 << 20})
+	if err := db.LoadXMLString(bookXML); err != nil {
+		t.Fatal(err)
+	}
+	if len(kinds) == 0 {
+		if err := db.BuildAll(); err != nil {
+			t.Fatal(err)
+		}
+	} else if err := db.Build(kinds...); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestQuickStartFlow(t *testing.T) {
+	db := openBook(t, twigdb.RootPaths, twigdb.DataPaths)
+	res, err := db.Query(`/book//author[fn='jane' and ln='doe']`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count() != 1 {
+		t.Fatalf("count = %d, want 1", res.Count())
+	}
+	nodes := res.Nodes()
+	if len(nodes) != 1 || nodes[0].Label != "author" || nodes[0].Path != "book/allauthors/author" {
+		t.Fatalf("nodes = %+v", nodes)
+	}
+	var b strings.Builder
+	if err := res.WriteXML(&b, res.IDs[0]); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "<fn>jane</fn>") {
+		t.Fatalf("WriteXML = %s", b.String())
+	}
+	if s := res.String(); !strings.Contains(s, "1 match(es)") {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func TestAllStrategiesAgreeViaPublicAPI(t *testing.T) {
+	db := openBook(t)
+	strategies := []twigdb.Strategy{
+		twigdb.StrategyRootPaths, twigdb.StrategyDataPaths,
+		twigdb.StrategyEdge, twigdb.StrategyDataGuideEdge,
+		twigdb.StrategyFabricEdge, twigdb.StrategyASR,
+		twigdb.StrategyJoinIndex, twigdb.StrategyXRel, twigdb.Oracle,
+	}
+	queries := []string{
+		`/book`, `//author[fn='jane']`, `/book[title='XML']//author[ln='doe']`,
+	}
+	for _, q := range queries {
+		var want []int64
+		for i, s := range strategies {
+			res, err := db.QueryWith(s, q)
+			if err != nil {
+				t.Fatalf("%v: %s: %v", s, q, err)
+			}
+			if i == 0 {
+				want = res.IDs
+				continue
+			}
+			if len(res.IDs) == 0 && len(want) == 0 {
+				continue
+			}
+			if !reflect.DeepEqual(res.IDs, want) {
+				t.Fatalf("%v: %s = %v, want %v", s, q, res.IDs, want)
+			}
+		}
+	}
+}
+
+func TestAutoStrategySelection(t *testing.T) {
+	db := openBook(t, twigdb.RootPaths)
+	res, err := db.Query(`/book/title`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Strategy != twigdb.StrategyRootPaths {
+		t.Fatalf("auto picked %v, want RP", res.Strategy)
+	}
+	db2 := openBook(t, twigdb.RootPaths, twigdb.DataPaths)
+	res, err = db2.Query(`/book/title`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Strategy != twigdb.StrategyDataPaths {
+		t.Fatalf("auto picked %v, want DP", res.Strategy)
+	}
+}
+
+func TestQueryErrors(t *testing.T) {
+	db := twigdb.Open(nil)
+	if err := db.LoadXMLString(bookXML); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Query(`/book`); err == nil {
+		t.Fatalf("query with no index: want error")
+	}
+	if err := db.Build(twigdb.RootPaths); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Query(`not a query`); err == nil {
+		t.Fatalf("bad query: want parse error")
+	}
+	if _, err := db.QueryWith(twigdb.StrategyASR, `/book`); err == nil {
+		t.Fatalf("strategy without its index: want error")
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	db := twigdb.Open(nil)
+	if err := db.LoadXMLString(`<unclosed>`); err == nil {
+		t.Fatalf("bad XML: want error")
+	}
+}
+
+func TestIndexSpaces(t *testing.T) {
+	db := openBook(t)
+	spaces := db.IndexSpaces()
+	if len(spaces) != 8 {
+		t.Fatalf("spaces = %d entries, want 8", len(spaces))
+	}
+	byName := map[string]twigdb.IndexSpace{}
+	for _, s := range spaces {
+		if s.Bytes <= 0 || s.Pages <= 0 {
+			t.Fatalf("empty space report: %+v", s)
+		}
+		byName[s.Name] = s
+	}
+	if byName["DATAPATHS"].Entries <= byName["ROOTPATHS"].Entries {
+		t.Fatalf("DATAPATHS should have more entries than ROOTPATHS: %+v vs %+v",
+			byName["DATAPATHS"], byName["ROOTPATHS"])
+	}
+	if byName["JoinIndex"].Trees != 2*byName["ASR"].Trees {
+		t.Fatalf("JI should have twice ASR's trees")
+	}
+}
+
+func TestCompressionOptions(t *testing.T) {
+	// SchemaPathId compression: exact-path queries would need planner
+	// support; the public contract is that // queries fail loudly.
+	db := twigdb.Open(&twigdb.Options{CompressSchemaPaths: true})
+	if err := db.LoadXMLString(bookXML); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Build(twigdb.RootPaths); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.QueryWith(twigdb.StrategyRootPaths, `//author`); err == nil {
+		t.Fatalf("// query on compressed index: want error")
+	}
+}
+
+func TestKindAndStrategyStrings(t *testing.T) {
+	if twigdb.DataPaths.String() != "DATAPATHS" || twigdb.RootPaths.String() != "ROOTPATHS" {
+		t.Fatalf("kind strings wrong")
+	}
+	if twigdb.StrategyDataGuideEdge.String() != "DG+Edge" || twigdb.Auto.String() != "Auto" {
+		t.Fatalf("strategy strings wrong")
+	}
+	if twigdb.Oracle.String() != "Oracle" {
+		t.Fatalf("oracle string wrong")
+	}
+}
+
+func TestNodeCount(t *testing.T) {
+	db := openBook(t, twigdb.RootPaths)
+	if db.NodeCount() != 13 { // book title allauthors 3*(author fn ln) year
+		t.Fatalf("NodeCount = %d", db.NodeCount())
+	}
+}

@@ -1,0 +1,99 @@
+package twigdb_test
+
+import (
+	"testing"
+
+	twigdb "repro"
+)
+
+func TestInsertDeleteViaPublicAPI(t *testing.T) {
+	db := openBook(t, twigdb.RootPaths, twigdb.DataPaths)
+
+	// Section 7's example: insert an author into the existing book.
+	res, err := db.Query(`/book/allauthors`)
+	if err != nil || res.Count() != 1 {
+		t.Fatalf("allauthors: %v %v", res, err)
+	}
+	allauthorsID := res.IDs[0]
+
+	before, err := db.Query(`//author[fn='mary']`)
+	if err != nil || before.Count() != 0 {
+		t.Fatalf("pre-insert: %v %v", before, err)
+	}
+
+	newID, err := db.Insert(allauthorsID, `<author><fn>mary</fn><ln>shelley</ln></author>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if newID <= 0 {
+		t.Fatalf("new id = %d", newID)
+	}
+
+	after, err := db.Query(`//author[fn='mary'][ln='shelley']`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Count() != 1 || after.IDs[0] != newID {
+		t.Fatalf("post-insert: %v, want [%d]", after.IDs, newID)
+	}
+	// Oracle agrees (the store itself was updated).
+	oracle, err := db.QueryWith(twigdb.Oracle, `//author[fn='mary']`)
+	if err != nil || oracle.Count() != 1 {
+		t.Fatalf("oracle post-insert: %v %v", oracle, err)
+	}
+
+	// Both strategies see the update.
+	for _, s := range []twigdb.Strategy{twigdb.StrategyRootPaths, twigdb.StrategyDataPaths} {
+		r, err := db.QueryWith(s, `/book//author[ln='shelley']`)
+		if err != nil || r.Count() != 1 {
+			t.Fatalf("%v post-insert: %v %v", s, r, err)
+		}
+	}
+
+	// Delete the subtree again.
+	if err := db.Delete(newID); err != nil {
+		t.Fatal(err)
+	}
+	gone, err := db.Query(`//author[fn='mary']`)
+	if err != nil || gone.Count() != 0 {
+		t.Fatalf("post-delete: %v %v", gone, err)
+	}
+}
+
+func TestUpdateInvalidatesOtherIndices(t *testing.T) {
+	db := openBook(t) // all indices
+	res, err := db.Query(`/book`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Insert(res.IDs[0], `<appendix>notes</appendix>`); err != nil {
+		t.Fatal(err)
+	}
+	// Edge-family strategies were invalidated and must error until rebuilt.
+	if _, err := db.QueryWith(twigdb.StrategyEdge, `/book/appendix`); err == nil {
+		t.Fatalf("stale Edge strategy: want error")
+	}
+	if err := db.Build(twigdb.Edge); err != nil {
+		t.Fatal(err)
+	}
+	r, err := db.QueryWith(twigdb.StrategyEdge, `/book/appendix`)
+	if err != nil || r.Count() != 1 {
+		t.Fatalf("rebuilt Edge: %v %v", r, err)
+	}
+}
+
+func TestUpdateErrors(t *testing.T) {
+	db := openBook(t, twigdb.RootPaths)
+	if _, err := db.Insert(99999, `<x/>`); err == nil {
+		t.Fatalf("insert under unknown parent: want error")
+	}
+	if _, err := db.Insert(1, `<not closed`); err == nil {
+		t.Fatalf("insert of bad XML: want error")
+	}
+	if err := db.Delete(99999); err == nil {
+		t.Fatalf("delete of unknown node: want error")
+	}
+	if err := db.Delete(1); err == nil {
+		t.Fatalf("delete of a document root: want error")
+	}
+}
