@@ -1,0 +1,29 @@
+GO ?= go
+
+# Benchmarks added with the in-place write path / sharded pool PR; see
+# docs/PERF.md for methodology and recorded baselines.
+BENCHES = BenchmarkInsert|BenchmarkBuildAll|BenchmarkConcurrentQuery
+
+.PHONY: all build vet test race bench
+
+all: test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+# Tier-1 verification flow: build, vet, full test suite.
+test: build vet
+	$(GO) test ./...
+
+# Full suite under the race detector (exercises the sharded buffer pool's
+# concurrent-reader tests).
+race:
+	$(GO) test -race ./...
+
+# Micro-benchmarks with allocation reporting; machine-readable trajectory
+# entry goes to BENCH_1.json (later PRs append BENCH_2.json, ...).
+bench:
+	$(GO) test -run '^$$' -bench '$(BENCHES)' -benchmem -json ./internal/btree/ | tee BENCH_1.json

@@ -1,0 +1,111 @@
+package btree
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sort"
+	"testing"
+
+	"repro/internal/storage"
+)
+
+// benchKeys returns n distinct keys shaped like the family's index keys: a
+// shared structural prefix, a varying middle, and a numeric tail.
+func benchKeys(n int) [][]byte {
+	rng := rand.New(rand.NewSource(42))
+	keys := make([][]byte, n)
+	for i := range keys {
+		k := make([]byte, 0, 32)
+		k = append(k, "site/people/person/"...)
+		k = append(k, byte('a'+rng.Intn(26)), byte('a'+rng.Intn(26)))
+		k = binary.BigEndian.AppendUint64(k, uint64(rng.Int63()))
+		keys[i] = k
+	}
+	return keys
+}
+
+var benchVal = []byte("0123456789abcdef")
+
+// BenchmarkInsert measures amortised single-key inserts into a growing tree,
+// the write path behind incremental index maintenance (paper Section 7).
+func BenchmarkInsert(b *testing.B) {
+	pool := storage.NewPool(storage.NewDisk(), 64<<20)
+	tr, err := New(pool, "bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	keys := benchKeys(1 << 16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := tr.Insert(keys[i%len(keys)], benchVal); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBuildAll measures building a complete tree from scratch by
+// successive inserts (the non-bulk build path); one op = one full build.
+func BenchmarkBuildAll(b *testing.B) {
+	keys := benchKeys(1 << 14)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pool := storage.NewPool(storage.NewDisk(), 64<<20)
+		tr, err := New(pool, "bench")
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, k := range keys {
+			if err := tr.Insert(k, benchVal); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkConcurrentQuery measures point lookups through the buffer pool
+// from parallel readers, the tree's documented concurrent-read mode.
+func BenchmarkConcurrentQuery(b *testing.B) {
+	for _, procs := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("goroutines=%d", procs), func(b *testing.B) {
+			pool := storage.NewPool(storage.NewDisk(), 64<<20)
+			keys := benchKeys(1 << 16)
+			entries := make([]Entry, len(keys))
+			for i, k := range keys {
+				entries[i] = Entry{Key: k, Val: benchVal}
+			}
+			sort.Slice(entries, func(i, j int) bool {
+				return bytes.Compare(entries[i].Key, entries[j].Key) < 0
+			})
+			tr, err := BulkLoad(pool, "bench", entries)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.SetParallelism(1)
+			prev := runtime.GOMAXPROCS(procs)
+			defer runtime.GOMAXPROCS(prev)
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				i := 0
+				for pb.Next() {
+					k := keys[i%len(keys)]
+					i++
+					it, err := tr.Seek(k)
+					if err != nil {
+						b.Error(err)
+						return
+					}
+					if it.Valid() {
+						_ = it.Value()
+					}
+					it.Close()
+				}
+			})
+		})
+	}
+}

@@ -3,7 +3,6 @@ package btree
 import (
 	"bytes"
 	"fmt"
-	"sort"
 
 	"repro/internal/storage"
 )
@@ -115,6 +114,11 @@ func (t *Tree) Insert(key, val []byte) error {
 
 // insertAt inserts into the subtree rooted at id (at the given height,
 // 1 = leaf). On split it returns the separator key and new right sibling.
+//
+// The common case mutates the slotted page in place — binary search on the
+// encoded slot array, cell appended at the heap floor, slots memmoved —
+// without decoding a single entry. Only when the page needs compaction, a
+// prefix change, or a split does it fall back to the decode/re-encode path.
 func (t *Tree) insertAt(id storage.PageID, key, val []byte, height int) ([]byte, storage.PageID, error) {
 	pg, err := t.pool.Fetch(id)
 	if err != nil {
@@ -133,21 +137,26 @@ func (t *Tree) insertAt(id storage.PageID, key, val []byte, height int) ([]byte,
 		if err != nil {
 			return nil, storage.InvalidPage, err
 		}
+		pos := childIdx + 1 // separator goes right after the descended child
+		if insertInternalInPlace(pg.Data, pos, sep, right) {
+			t.pool.Unpin(pg, true)
+			return nil, storage.InvalidPage, nil
+		}
 		pc := decodePage(pg.Data)
 		t.pool.Unpin(pg, false)
-		e := entry{key: sep, child: right}
-		pos := childIdx + 1 // separator goes right after the descended child
 		pc.entries = append(pc.entries, entry{})
 		copy(pc.entries[pos+1:], pc.entries[pos:])
-		pc.entries[pos] = e
+		pc.entries[pos] = entry{key: sep, child: right}
 		return t.storeSplit(id, &pc)
 	}
 	// Leaf.
+	pos := searchCell(pg.Data, key)
+	if insertLeafInPlace(pg.Data, pos, key, val) {
+		t.pool.Unpin(pg, true)
+		return nil, storage.InvalidPage, nil
+	}
 	pc := decodePage(pg.Data)
 	t.pool.Unpin(pg, false)
-	pos := sort.Search(len(pc.entries), func(i int) bool {
-		return bytes.Compare(pc.entries[i].key, key) >= 0
-	})
 	e := entry{key: append([]byte(nil), key...), val: append([]byte(nil), val...)}
 	pc.entries = append(pc.entries, entry{})
 	copy(pc.entries[pos+1:], pc.entries[pos:])
@@ -199,17 +208,7 @@ func (t *Tree) storeSplit(id storage.PageID, pc *pageContent) ([]byte, storage.P
 // equal separator must route to the child *before* it; the linked leaf
 // chain makes landing early harmless.
 func descendChild(d []byte, key []byte) (int, storage.PageID) {
-	n := pageNumCells(d)
-	lo, hi := 0, n // find first separator >= key
-	for lo < hi {
-		mid := (lo + hi) / 2
-		if compareCellKey(d, mid, key) < 0 {
-			lo = mid + 1
-		} else {
-			hi = mid
-		}
-	}
-	idx := lo - 1 // last separator < key
+	idx := searchCell(d, key) - 1 // last separator < key
 	if idx < 0 {
 		return -1, pageAux(d)
 	}
@@ -217,15 +216,29 @@ func descendChild(d []byte, key []byte) (int, storage.PageID) {
 	return idx, child
 }
 
-// Get returns the value of the first entry with exactly the given key.
+// Get returns the value of the first entry with exactly the given key. The
+// returned slice is a private copy; internal callers that can tolerate
+// value-lifetime rules should prefer GetRef.
 func (t *Tree) Get(key []byte) (val []byte, ok bool, err error) {
+	err = t.GetRef(key, func(v []byte) error {
+		val = append([]byte(nil), v...)
+		ok = true
+		return nil
+	})
+	return val, ok, err
+}
+
+// GetRef invokes fn with a zero-copy view of the value of the first entry
+// with exactly the given key; fn is not called if the key is absent. The
+// view aliases buffer-pool memory and is valid only for the duration of fn.
+func (t *Tree) GetRef(key []byte, fn func(val []byte) error) error {
 	it, err := t.Seek(key)
 	if err != nil {
-		return nil, false, err
+		return err
 	}
 	defer it.Close()
 	if it.Valid() && bytes.Equal(it.Key(), key) {
-		return append([]byte(nil), it.Value()...), true, nil
+		return fn(it.ValueRef())
 	}
-	return nil, false, it.Err()
+	return it.Err()
 }

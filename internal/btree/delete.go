@@ -46,14 +46,10 @@ func (t *Tree) Delete(key, val []byte) (bool, error) {
 			if !bytes.Equal(cellVal, val) {
 				continue
 			}
-			// Found: rewrite the leaf without entry i.
-			pc := decodePage(pg.Data)
-			pc.entries = append(pc.entries[:i], pc.entries[i+1:]...)
-			err := encodePage(&pc, pg.Data)
+			// Found: drop slot i in place. The cell bytes linger as heap
+			// garbage until a later insert forces a compacting re-encode.
+			deleteCellInPlace(pg.Data, i)
 			t.pool.Unpin(pg, true)
-			if err != nil {
-				return false, err
-			}
 			t.entries--
 			return true, nil
 		}

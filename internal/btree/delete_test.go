@@ -68,7 +68,7 @@ func TestDeleteAmongDuplicatesAcrossLeaves(t *testing.T) {
 	defer it.Close()
 	count := 0
 	for ; it.Valid() && bytes.Equal(it.Key(), []byte("dup")); it.Next() {
-		if bytes.Equal(it.Value(), target) {
+		if bytes.Equal(it.ValueRef(), target) {
 			t.Fatalf("deleted value still present")
 		}
 		count++

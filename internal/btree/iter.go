@@ -2,13 +2,13 @@ package btree
 
 import (
 	"bytes"
-	"sort"
 
 	"repro/internal/storage"
 )
 
-// Iterator walks leaf entries in key order. Key and Value return slices that
-// are valid only until the next call to Next or Close; copy them to retain.
+// Iterator walks leaf entries in key order. Key and ValueRef return slices
+// that are valid only until the next call to Next or Close; Value returns a
+// private copy.
 //
 // Usage:
 //
@@ -16,12 +16,12 @@ import (
 //	if err != nil { ... }
 //	defer it.Close()
 //	for ; it.Valid(); it.Next() {
-//		use(it.Key(), it.Value())
+//		use(it.Key(), it.ValueRef())
 //	}
 //	if err := it.Err(); err != nil { ... }
 type Iterator struct {
 	tree *Tree
-	pg   *storage.Page // pinned current leaf, nil when done
+	pg   storage.Page // pinned current leaf; Data == nil when done
 	idx  int
 	err  error
 	key  []byte // reusable buffer for prefix+suffix
@@ -45,10 +45,7 @@ func (t *Tree) Seek(key []byte) (*Iterator, error) {
 	}
 	it := &Iterator{tree: t, pg: pg}
 	// First entry >= key within this leaf.
-	n := pageNumCells(pg.Data)
-	it.idx = sort.Search(n, func(i int) bool {
-		return compareCellKey(pg.Data, i, key) >= 0
-	})
+	it.idx = searchCell(pg.Data, key)
 	it.skipExhausted()
 	return it, nil
 }
@@ -60,10 +57,10 @@ func (t *Tree) Scan() (*Iterator, error) {
 
 // skipExhausted advances across empty / finished leaves via the leaf chain.
 func (it *Iterator) skipExhausted() {
-	for it.pg != nil && it.idx >= pageNumCells(it.pg.Data) {
+	for it.pg.Data != nil && it.idx >= pageNumCells(it.pg.Data) {
 		next := pageAux(it.pg.Data)
 		it.tree.pool.Unpin(it.pg, false)
-		it.pg = nil
+		it.pg = storage.Page{}
 		if next == storage.InvalidPage {
 			return
 		}
@@ -78,7 +75,7 @@ func (it *Iterator) skipExhausted() {
 }
 
 // Valid reports whether the iterator is positioned at an entry.
-func (it *Iterator) Valid() bool { return it.pg != nil && it.err == nil }
+func (it *Iterator) Valid() bool { return it.pg.Data != nil && it.err == nil }
 
 // Next advances to the next entry.
 func (it *Iterator) Next() {
@@ -89,7 +86,8 @@ func (it *Iterator) Next() {
 	it.skipExhausted()
 }
 
-// Key returns the current full key (prefix rejoined with suffix).
+// Key returns the current full key (prefix rejoined with suffix). The slice
+// is reused by the next Key call; copy to retain.
 func (it *Iterator) Key() []byte {
 	suffix, _ := leafCell(it.pg.Data, it.idx)
 	it.key = append(it.key[:0], pagePrefix(it.pg.Data)...)
@@ -97,10 +95,16 @@ func (it *Iterator) Key() []byte {
 	return it.key
 }
 
-// Value returns the current value.
-func (it *Iterator) Value() []byte {
+// ValueRef returns the current value as a zero-copy view into buffer-pool
+// memory, valid only until the next call to Next or Close.
+func (it *Iterator) ValueRef() []byte {
 	_, val := leafCell(it.pg.Data, it.idx)
 	return val
+}
+
+// Value returns a private copy of the current value.
+func (it *Iterator) Value() []byte {
+	return append([]byte(nil), it.ValueRef()...)
 }
 
 // Err returns the first error encountered while iterating.
@@ -108,9 +112,9 @@ func (it *Iterator) Err() error { return it.err }
 
 // Close releases the iterator's pinned page. It is safe to call twice.
 func (it *Iterator) Close() {
-	if it.pg != nil {
+	if it.pg.Data != nil {
 		it.tree.pool.Unpin(it.pg, false)
-		it.pg = nil
+		it.pg = storage.Page{}
 	}
 }
 

@@ -25,7 +25,10 @@ const (
 
 	headerSize = 12
 	// offType = 0; numCells at 1..2; prefixLen at 3..4; aux (next-leaf id
-	// for leaves, leftmost-child id for internal nodes) at 5..8.
+	// for leaves, leftmost-child id for internal nodes) at 5..8; heapStart
+	// (lowest cell offset, 0 meaning "empty heap") at 9..10. Byte 11 is
+	// reserved. Readers never consult heapStart, so pages stay readable by
+	// iterator/scan code that predates it.
 
 	// MaxEntrySize bounds key+value so that any entry fits comfortably in
 	// a page even with minimal fanout.
@@ -65,6 +68,21 @@ func pagePrefix(d []byte) []byte      { return d[headerSize : headerSize+pagePre
 func slotBase(d []byte) int           { return headerSize + pagePrefixLen(d) }
 func cellOffset(d []byte, i int) int  { return u16(d[slotBase(d)+2*i:]) }
 
+// pageHeapStart returns the lowest cell offset: the floor of the cell heap,
+// which grows downward from the end of the page. 0 encodes an empty heap.
+func pageHeapStart(d []byte) int {
+	if v := u16(d[9:11]); v != 0 {
+		return v
+	}
+	return storage.PageSize
+}
+
+// pageFreeGap returns the contiguous free bytes between the end of the slot
+// array and the heap floor — the space available to in-place inserts.
+func pageFreeGap(d []byte) int {
+	return pageHeapStart(d) - (slotBase(d) + 2*pageNumCells(d))
+}
+
 // leafCell returns the key suffix and value of leaf cell i.
 func leafCell(d []byte, i int) (suffix, val []byte) {
 	off := cellOffset(d, i)
@@ -81,6 +99,103 @@ func internalCell(d []byte, i int) (suffix []byte, child storage.PageID) {
 	child = storage.PageID(i32(d[off+2:]))
 	off += 6
 	return d[off : off+klen], child
+}
+
+// searchCell returns the index of the first cell whose key is >= key,
+// binary-searching the slot array directly on the encoded page.
+func searchCell(d []byte, key []byte) int {
+	lo, hi := 0, pageNumCells(d)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if compareCellKey(d, mid, key) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// insertLeafInPlace writes (key, val) as leaf cell pos without re-encoding
+// the page: the cell is appended at the heap floor and the slot array is
+// shifted by one. It reports false — leaving the page untouched — when the
+// stored prefix does not cover key or the contiguous free gap is too small;
+// the caller then falls back to a full decode/re-encode, which compacts the
+// heap and recomputes the prefix.
+func insertLeafInPlace(d []byte, pos int, key, val []byte) bool {
+	plen := pagePrefixLen(d)
+	if len(key) < plen || !bytes.Equal(key[:plen], pagePrefix(d)) {
+		return false
+	}
+	suffix := key[plen:]
+	cellLen := 4 + len(suffix) + len(val)
+	if cellLen+2 > pageFreeGap(d) {
+		return false
+	}
+	heap := pageHeapStart(d) - cellLen
+	putU16(d[heap:], len(suffix))
+	putU16(d[heap+2:], len(val))
+	copy(d[heap+4:], suffix)
+	copy(d[heap+4+len(suffix):], val)
+	insertSlot(d, pos, heap)
+	return true
+}
+
+// insertInternalInPlace writes (key, child) as internal cell pos without
+// re-encoding; same contract as insertLeafInPlace.
+func insertInternalInPlace(d []byte, pos int, key []byte, child storage.PageID) bool {
+	plen := pagePrefixLen(d)
+	if len(key) < plen || !bytes.Equal(key[:plen], pagePrefix(d)) {
+		return false
+	}
+	suffix := key[plen:]
+	cellLen := 6 + len(suffix)
+	if cellLen+2 > pageFreeGap(d) {
+		return false
+	}
+	heap := pageHeapStart(d) - cellLen
+	putU16(d[heap:], len(suffix))
+	putI32(d[heap+2:], int32(child))
+	copy(d[heap+6:], suffix)
+	insertSlot(d, pos, heap)
+	return true
+}
+
+// insertSlot opens slot pos (shifting later slots right), points it at the
+// freshly written cell at off, and updates numCells and the heap floor.
+func insertSlot(d []byte, pos, off int) {
+	n := pageNumCells(d)
+	sb := slotBase(d)
+	copy(d[sb+2*pos+2:sb+2*n+2], d[sb+2*pos:sb+2*n])
+	putU16(d[sb+2*pos:], off)
+	putU16(d[1:3], n+1)
+	putU16(d[9:11], off)
+}
+
+// deleteCellInPlace removes slot i by shifting later slots left. The cell
+// bytes become heap garbage reclaimed at the next fallback re-encode, except
+// when the cell sits exactly at the heap floor, in which case the floor is
+// raised immediately (so delete-then-insert of similar-size entries never
+// needs compaction).
+func deleteCellInPlace(d []byte, i int) {
+	n := pageNumCells(d)
+	sb := slotBase(d)
+	off := cellOffset(d, i)
+	if off == pageHeapStart(d) {
+		var cellLen int
+		if pageType(d) == pageLeaf {
+			cellLen = 4 + u16(d[off:]) + u16(d[off+2:])
+		} else {
+			cellLen = 6 + u16(d[off:])
+		}
+		floor := off + cellLen
+		if floor >= storage.PageSize {
+			floor = 0 // heap empty again
+		}
+		putU16(d[9:11], floor)
+	}
+	copy(d[sb+2*i:sb+2*n-2], d[sb+2*i+2:sb+2*n])
+	putU16(d[1:3], n-1)
 }
 
 // compareCellKey compares the full key of cell i (prefix + suffix) with key.
@@ -203,6 +318,9 @@ func encodePage(pc *pageContent, d []byte) error {
 			putI32(d[heap+2:], int32(e.child))
 			copy(d[heap+6:], suffix)
 		}
+	}
+	if heap < storage.PageSize {
+		putU16(d[9:11], heap)
 	}
 	return nil
 }

@@ -119,7 +119,7 @@ func (ix *Index) Candidates(label string, fn func(Region) error) (int, error) {
 	defer it.Close()
 	rows := 0
 	for ; it.Valid(); it.Next() {
-		key, val := it.Key(), it.Value()
+		key, val := it.Key(), it.ValueRef()
 		if len(val) != 20 {
 			return rows, fmt.Errorf("containment: corrupt element entry (%d bytes)", len(val))
 		}

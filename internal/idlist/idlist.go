@@ -61,18 +61,54 @@ func DecodeDeltaAt(buf []byte, i int) (int64, error) {
 	}
 }
 
-// Len returns the number of ids in an encoded list.
+// Len returns the number of ids in an encoded list. It counts varint
+// terminators (bytes with the continuation bit clear) in a single pass over
+// the buffer, without decoding any value. Unterminated and overlong
+// (> MaxVarintLen64 bytes) varints are reported as corrupt, matching what a
+// full decode would reject.
 func Len(buf []byte) (int, error) {
-	count := 0
-	for len(buf) > 0 {
-		_, n := binary.Varint(buf)
-		if n <= 0 {
-			return 0, fmt.Errorf("idlist: corrupt varint")
+	count, run := 0, 0
+	for _, b := range buf {
+		if b&0x80 == 0 {
+			// A 10th byte may only carry the final bit (binary.Varint's
+			// overflow rule for 64-bit values).
+			if run == binary.MaxVarintLen64-1 && b > 1 {
+				return 0, fmt.Errorf("idlist: corrupt varint (overflow)")
+			}
+			count++
+			run = 0
+		} else {
+			run++
+			if run >= binary.MaxVarintLen64 {
+				return 0, fmt.Errorf("idlist: corrupt varint (overlong)")
+			}
 		}
-		buf = buf[n:]
-		count++
+	}
+	if run != 0 {
+		return 0, fmt.Errorf("idlist: corrupt varint at tail %d", len(buf))
 	}
 	return count, nil
+}
+
+// DecodeDeltaInto is DecodeDelta with allocation discipline for hot probe
+// paths: it pre-counts the ids (one continuation-bit pass) and grows dst at
+// most once, so a caller recycling dst[:0] across rows settles into a
+// steady-state buffer with zero per-row allocation and — because each id
+// occupies at least one encoded byte, letting ample spare capacity prove
+// itself — no counting pass either.
+func DecodeDeltaInto(dst []int64, buf []byte) ([]int64, error) {
+	if cap(dst)-len(dst) < len(buf) {
+		n, err := Len(buf)
+		if err != nil {
+			return nil, err
+		}
+		if need := len(dst) + n; cap(dst) < need {
+			grown := make([]int64, len(dst), need)
+			copy(grown, dst)
+			dst = grown
+		}
+	}
+	return DecodeDelta(dst, buf)
 }
 
 // EncodeRaw appends the uncompressed fixed-width (8 bytes per id) encoding;

@@ -89,6 +89,79 @@ func TestLen(t *testing.T) {
 	}
 }
 
+// TestDecodeDeltaInto checks the pre-sized decode agrees with DecodeDelta,
+// preserves any existing dst prefix, and reuses a recycled buffer without
+// further allocation.
+func TestDecodeDeltaInto(t *testing.T) {
+	cases := [][]int64{nil, {1}, {1, 5, 6, 7}, {100, 2, 300, 1}, {1 << 40, 1<<40 + 1}}
+	for _, ids := range cases {
+		enc := EncodeDelta(nil, ids)
+		got, err := DecodeDeltaInto(nil, enc)
+		if err != nil {
+			t.Fatalf("DecodeDeltaInto(%v): %v", ids, err)
+		}
+		if len(got) != len(ids) {
+			t.Fatalf("DecodeDeltaInto(%v) = %v", ids, got)
+		}
+		for i := range ids {
+			if got[i] != ids[i] {
+				t.Fatalf("DecodeDeltaInto(%v) = %v", ids, got)
+			}
+		}
+	}
+	// Appends after an existing prefix.
+	enc := EncodeDelta(nil, []int64{7, 8})
+	got, err := DecodeDeltaInto([]int64{99}, enc)
+	if err != nil || len(got) != 3 || got[0] != 99 || got[1] != 7 || got[2] != 8 {
+		t.Fatalf("DecodeDeltaInto append = %v, %v", got, err)
+	}
+	// Steady-state reuse: recycling dst[:0] must not allocate per call.
+	ids := []int64{10, 11, 13, 20, 21, 22, 40}
+	enc = EncodeDelta(nil, ids)
+	buf, err := DecodeDeltaInto(nil, enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		var e error
+		buf, e = DecodeDeltaInto(buf[:0], enc)
+		if e != nil {
+			t.Fatal(e)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state DecodeDeltaInto allocates %.1f per call", allocs)
+	}
+	if _, err := DecodeDeltaInto(nil, []byte{0x80}); err == nil {
+		t.Fatalf("corrupt DecodeDeltaInto: want error")
+	}
+}
+
+// TestLenMatchesDecode cross-checks the continuation-bit counter against a
+// full decode on random inputs.
+func TestLenMatchesDecode(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		n := rng.Intn(50)
+		ids := make([]int64, n)
+		for i := range ids {
+			ids[i] = rng.Int63n(1<<44) - (1 << 43)
+		}
+		enc := EncodeDelta(nil, ids)
+		got, err := Len(enc)
+		if err != nil {
+			t.Fatalf("Len: %v", err)
+		}
+		dec, err := DecodeDelta(nil, enc)
+		if err != nil {
+			t.Fatalf("DecodeDelta: %v", err)
+		}
+		if got != len(dec) {
+			t.Fatalf("Len = %d, decode yields %d", got, len(dec))
+		}
+	}
+}
+
 func TestCorruptInput(t *testing.T) {
 	// A lone 0x80 is an unterminated varint.
 	if _, err := DecodeDelta(nil, []byte{0x80}); err == nil {
@@ -96,6 +169,21 @@ func TestCorruptInput(t *testing.T) {
 	}
 	if _, err := Len([]byte{0x80}); err == nil {
 		t.Fatalf("corrupt len: want error")
+	}
+	// Overlong varint (11 bytes): rejected by a full decode, so Len must
+	// reject it too rather than report a count.
+	overlong := []byte{0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x01}
+	if _, err := Len(overlong); err == nil {
+		t.Fatalf("overlong varint len: want error")
+	}
+	// 10-byte varint whose final byte overflows int64: binary.Varint
+	// returns n=-10, so Len must reject it too.
+	overflow := []byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x02}
+	if _, err := DecodeDelta(nil, overflow); err == nil {
+		t.Fatalf("overflow varint decode: want error (test premise)")
+	}
+	if _, err := Len(overflow); err == nil {
+		t.Fatalf("overflow varint len: want error")
 	}
 	if _, err := DecodeDeltaAt([]byte{0x80}, 0); err == nil {
 		t.Fatalf("corrupt at: want error")

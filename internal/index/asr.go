@@ -125,7 +125,7 @@ func (a *ASR) scan(id pathdict.PathID, prefix []byte, rootedOnly bool, fn func(i
 	rows := 0
 	var ids []int64
 	for ; it.Valid(); it.Next() {
-		ids, err = idlist.DecodeRaw(ids[:0], it.Value())
+		ids, err = idlist.DecodeRaw(ids[:0], it.ValueRef())
 		if err != nil {
 			return rows, err
 		}

@@ -83,7 +83,7 @@ func (dg *DataGuide) Extent(p pathdict.Path, fn func(id int64) error) (int, erro
 	rows := 0
 	var ids []int64
 	for ; it.Valid(); it.Next() {
-		ids, err = idlist.DecodeDelta(ids[:0], it.Value())
+		ids, err = idlist.DecodeDeltaInto(ids[:0], it.ValueRef())
 		if err != nil {
 			return rows, err
 		}

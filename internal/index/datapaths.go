@@ -86,7 +86,7 @@ func (dp *DataPaths) Probe(headID int64, hasValue bool, value string, suffix pat
 			return rows, err
 		}
 		fwd = reverseInto(fwd[:0], rev)
-		ids, err = decodeIDs(ids[:0], it.Value(), dp.opts.RawIDs)
+		ids, err = decodeIDs(ids[:0], it.ValueRef(), dp.opts.RawIDs)
 		if err != nil {
 			return rows, err
 		}
@@ -119,7 +119,7 @@ func (dp *DataPaths) ProbePathID(headID int64, hasValue bool, value string, path
 	rows := 0
 	var ids []int64
 	for ; it.Valid(); it.Next() {
-		ids, err = decodeIDs(ids[:0], it.Value(), dp.opts.RawIDs)
+		ids, err = decodeIDs(ids[:0], it.ValueRef(), dp.opts.RawIDs)
 		if err != nil {
 			return rows, err
 		}

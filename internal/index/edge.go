@@ -140,18 +140,23 @@ func (e *Edge) Children(parentID int64, label string, fn func(id int64) error) (
 // index). The virtual root's parent is reported as (0, "", false).
 func (e *Edge) Parent(childID int64) (parentID int64, label string, ok bool, err error) {
 	key := pathdict.AppendID(nil, childID)
-	val, found, err := e.backward.Get(key)
-	if err != nil || !found {
+	var sym pathdict.Sym
+	err = e.backward.GetRef(key, func(val []byte) error {
+		id, rest, err := pathdict.DecodeID(val)
+		if err != nil {
+			return err
+		}
+		if len(rest) != 2 {
+			return fmt.Errorf("index: corrupt backward link value")
+		}
+		parentID = id
+		sym = pathdict.Sym(binary.BigEndian.Uint16(rest))
+		ok = true
+		return nil
+	})
+	if err != nil || !ok {
 		return 0, "", false, err
 	}
-	parentID, rest, err := pathdict.DecodeID(val)
-	if err != nil {
-		return 0, "", false, err
-	}
-	if len(rest) != 2 {
-		return 0, "", false, fmt.Errorf("index: corrupt backward link value")
-	}
-	sym := pathdict.Sym(binary.BigEndian.Uint16(rest))
 	return parentID, e.dict.Label(sym), true, nil
 }
 

@@ -103,7 +103,7 @@ func (rp *RootPaths) Probe(hasValue bool, value string, suffix pathdict.Path, fn
 			return rows, err
 		}
 		fwd = reverseInto(fwd[:0], rev)
-		ids, err = decodeIDs(ids[:0], it.Value(), rp.opts.RawIDs)
+		ids, err = decodeIDs(ids[:0], it.ValueRef(), rp.opts.RawIDs)
 		if err != nil {
 			return rows, err
 		}
@@ -135,7 +135,7 @@ func (rp *RootPaths) ProbePathID(hasValue bool, value string, path pathdict.Path
 	rows := 0
 	var ids []int64
 	for ; it.Valid(); it.Next() {
-		ids, err = decodeIDs(ids[:0], it.Value(), rp.opts.RawIDs)
+		ids, err = decodeIDs(ids[:0], it.ValueRef(), rp.opts.RawIDs)
 		if err != nil {
 			return rows, err
 		}
@@ -164,7 +164,7 @@ func decodeIDs(dst []int64, buf []byte, raw bool) ([]int64, error) {
 	if raw {
 		return idlist.DecodeRaw(dst, buf)
 	}
-	return idlist.DecodeDelta(dst, buf)
+	return idlist.DecodeDeltaInto(dst, buf)
 }
 
 func reverseInto(dst, src pathdict.Path) pathdict.Path {

@@ -24,7 +24,7 @@ func treeEntries(t *testing.T, tr *btree.Tree) []btree.Entry {
 	for ; it.Valid(); it.Next() {
 		out = append(out, btree.Entry{
 			Key: append([]byte(nil), it.Key()...),
-			Val: append([]byte(nil), it.Value()...),
+			Val: append([]byte(nil), it.ValueRef()...),
 		})
 	}
 	if err := it.Err(); err != nil {

@@ -13,6 +13,7 @@ package storage
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // PageSize is the size of every page in bytes (8KB, a common RDBMS default).
@@ -26,12 +27,14 @@ const InvalidPage PageID = -1
 
 // Disk is a simulated disk: a growable array of pages. Reads and writes copy
 // whole pages and are counted; the counters stand in for the I/O cost a real
-// system would pay.
+// system would pay. Reads of distinct pages proceed in parallel (RWMutex +
+// atomic counters) so concurrent faults from different pool shards do not
+// serialize on the disk.
 type Disk struct {
-	mu     sync.Mutex
+	mu     sync.RWMutex
 	pages  [][]byte
-	reads  int64
-	writes int64
+	reads  atomic.Int64
+	writes atomic.Int64
 }
 
 // NewDisk returns an empty disk.
@@ -47,12 +50,12 @@ func (d *Disk) Allocate() PageID {
 
 // Read copies page id into buf (which must be PageSize bytes).
 func (d *Disk) Read(id PageID, buf []byte) error {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	if int(id) < 0 || int(id) >= len(d.pages) {
 		return fmt.Errorf("storage: read of unallocated page %d", id)
 	}
-	d.reads++
+	d.reads.Add(1)
 	copy(buf, d.pages[id])
 	return nil
 }
@@ -64,7 +67,7 @@ func (d *Disk) Write(id PageID, buf []byte) error {
 	if int(id) < 0 || int(id) >= len(d.pages) {
 		return fmt.Errorf("storage: write of unallocated page %d", id)
 	}
-	d.writes++
+	d.writes.Add(1)
 	copy(d.pages[id], buf)
 	return nil
 }
@@ -81,7 +84,5 @@ func (d *Disk) SizeBytes() int64 { return int64(d.NumPages()) * PageSize }
 
 // Counters returns cumulative (reads, writes).
 func (d *Disk) Counters() (reads, writes int64) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return d.reads, d.writes
+	return d.reads.Load(), d.writes.Load()
 }

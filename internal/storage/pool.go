@@ -1,12 +1,12 @@
 package storage
 
 import (
-	"container/list"
 	"fmt"
 	"sync"
 )
 
-// Page is a pinned page in the buffer pool. Data is valid until Unpin.
+// Page is a pinned page in the buffer pool, returned by value so the hot
+// fetch/unpin cycle performs no heap allocation. Data is valid until Unpin.
 type Page struct {
 	ID   PageID
 	Data []byte
@@ -14,12 +14,16 @@ type Page struct {
 	frame *frame
 }
 
+// frame is a resident page slot. The prev/next links embed the frame in its
+// shard's LRU ring (no container/list element allocation per unpin); both are
+// nil while the frame is pinned and therefore off the ring.
 type frame struct {
 	id    PageID
 	data  []byte
 	pins  int
 	dirty bool
-	lru   *list.Element // nil while pinned
+	prev  *frame
+	next  *frame
 }
 
 // PoolStats are cumulative buffer pool counters. PageReads is the paper's
@@ -31,15 +35,43 @@ type PoolStats struct {
 	Fetches    int64 // total fetches
 }
 
-// Pool is an LRU buffer pool over a Disk. All access to page contents goes
-// through Fetch/Unpin; pinned pages are never evicted.
-type Pool struct {
+func (s *PoolStats) add(o PoolStats) {
+	s.PageReads += o.PageReads
+	s.PageWrites += o.PageWrites
+	s.Hits += o.Hits
+	s.Fetches += o.Fetches
+}
+
+// shardThreshold is the capacity (in pages) below which the pool stays
+// unsharded: tiny pools (unit tests, cold-start experiments) keep the exact
+// global-LRU eviction order, so their PoolStats remain bit-identical to the
+// historical single-lock pool.
+const shardThreshold = 256
+
+// maxShards bounds the lock striping; must be a power of two.
+const maxShards = 16
+
+// shard is one lock stripe of the pool: a page-table fragment plus its own
+// LRU ring and counters. Pages map to shards by PageID, so concurrent
+// readers of distinct pages never contend on a mutex.
+type shard struct {
 	mu       sync.Mutex
 	disk     *Disk
 	capacity int
 	frames   map[PageID]*frame
-	lru      *list.List // unpinned frames, front = least recently used
+	lru      frame // ring sentinel: lru.next = least recently used
 	stats    PoolStats
+}
+
+// Pool is an LRU buffer pool over a Disk, lock-striped into shards keyed by
+// PageID. All access to page contents goes through Fetch/Unpin; pinned pages
+// are never evicted. Capacity is enforced per shard (total across shards
+// equals the configured capacity).
+type Pool struct {
+	disk     *Disk
+	capacity int
+	mask     uint32
+	shards   []shard
 }
 
 // NewPool returns a pool holding at most capacityBytes of pages (minimum
@@ -49,68 +81,105 @@ func NewPool(disk *Disk, capacityBytes int64) *Pool {
 	if capPages < 1 {
 		capPages = 1
 	}
-	return &Pool{
+	n := 1
+	if capPages >= shardThreshold {
+		n = maxShards
+	}
+	p := &Pool{
 		disk:     disk,
 		capacity: capPages,
-		frames:   make(map[PageID]*frame),
-		lru:      list.New(),
+		mask:     uint32(n - 1),
+		shards:   make([]shard, n),
 	}
+	for i := range p.shards {
+		s := &p.shards[i]
+		s.disk = disk
+		s.capacity = capPages / n
+		if i < capPages%n {
+			s.capacity++
+		}
+		s.frames = make(map[PageID]*frame)
+		s.lru.next = &s.lru
+		s.lru.prev = &s.lru
+	}
+	return p
+}
+
+func (p *Pool) shardFor(id PageID) *shard {
+	return &p.shards[uint32(id)&p.mask]
 }
 
 // Capacity returns the pool capacity in pages.
 func (p *Pool) Capacity() int { return p.capacity }
 
-// Stats returns a snapshot of the pool counters.
+// NumShards returns the number of lock stripes.
+func (p *Pool) NumShards() int { return len(p.shards) }
+
+// Stats returns a snapshot of the pool counters, summed across shards.
 func (p *Pool) Stats() PoolStats {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.stats
+	var st PoolStats
+	for i := range p.shards {
+		s := &p.shards[i]
+		s.mu.Lock()
+		st.add(s.stats)
+		s.mu.Unlock()
+	}
+	return st
 }
 
 // ResetStats zeroes the counters (between experiment runs).
 func (p *Pool) ResetStats() {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.stats = PoolStats{}
+	for i := range p.shards {
+		s := &p.shards[i]
+		s.mu.Lock()
+		s.stats = PoolStats{}
+		s.mu.Unlock()
+	}
 }
 
 // Fetch pins page id and returns it. The caller must Unpin it.
-func (p *Pool) Fetch(id PageID) (*Page, error) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.stats.Fetches++
-	if f, ok := p.frames[id]; ok {
-		p.stats.Hits++
-		p.pin(f)
-		return &Page{ID: id, Data: f.data, frame: f}, nil
+func (p *Pool) Fetch(id PageID) (Page, error) {
+	s := p.shardFor(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats.Fetches++
+	if f, ok := s.frames[id]; ok {
+		s.stats.Hits++
+		s.pin(f)
+		return Page{ID: id, Data: f.data, frame: f}, nil
 	}
-	f, err := p.fault(id)
+	f, err := s.fault(id)
 	if err != nil {
-		return nil, err
+		return Page{}, err
 	}
-	return &Page{ID: id, Data: f.data, frame: f}, nil
+	return Page{ID: id, Data: f.data, frame: f}, nil
 }
 
 // Allocate creates a new zeroed page on disk, pins it, and returns it.
-func (p *Pool) Allocate() (*Page, error) {
+func (p *Pool) Allocate() (Page, error) {
 	id := p.disk.Allocate()
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if err := p.makeRoom(); err != nil {
-		return nil, err
+	s := p.shardFor(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.makeRoom(); err != nil {
+		return Page{}, err
 	}
 	f := &frame{id: id, data: make([]byte, PageSize), pins: 1, dirty: true}
-	p.frames[id] = f
-	return &Page{ID: id, Data: f.data, frame: f}, nil
+	s.frames[id] = f
+	return Page{ID: id, Data: f.data, frame: f}, nil
 }
 
 // Unpin releases the page; dirty marks it modified so eviction writes it
 // back.
-func (p *Pool) Unpin(pg *Page, dirty bool) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+func (p *Pool) Unpin(pg Page, dirty bool) {
 	f := pg.frame
-	if f == nil || f.pins <= 0 {
+	if f == nil {
+		panic(fmt.Sprintf("storage: unpin of unpinned page %d", pg.ID))
+	}
+	s := p.shardFor(pg.ID)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if f.pins <= 0 {
 		panic(fmt.Sprintf("storage: unpin of unpinned page %d", pg.ID))
 	}
 	if dirty {
@@ -118,86 +187,114 @@ func (p *Pool) Unpin(pg *Page, dirty bool) {
 	}
 	f.pins--
 	if f.pins == 0 {
-		f.lru = p.lru.PushBack(f)
+		s.pushBack(f)
 	}
 }
 
 // FlushAll writes every dirty frame back to disk (does not evict).
 func (p *Pool) FlushAll() error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	for _, f := range p.frames {
-		if f.dirty {
-			if err := p.disk.Write(f.id, f.data); err != nil {
-				return err
+	for i := range p.shards {
+		s := &p.shards[i]
+		s.mu.Lock()
+		for _, f := range s.frames {
+			if f.dirty {
+				if err := s.disk.Write(f.id, f.data); err != nil {
+					s.mu.Unlock()
+					return err
+				}
+				s.stats.PageWrites++
+				f.dirty = false
 			}
-			p.stats.PageWrites++
-			f.dirty = false
 		}
+		s.mu.Unlock()
 	}
 	return nil
 }
 
 // DropAll flushes and empties the pool; used to cold-start an experiment.
+// Frames are only dropped once the whole shard has been checked and flushed,
+// so an early error (pinned page, write failure) leaves the shard's map and
+// LRU ring consistent.
 func (p *Pool) DropAll() error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	for id, f := range p.frames {
-		if f.pins > 0 {
-			return fmt.Errorf("storage: DropAll with pinned page %d", id)
-		}
-		if f.dirty {
-			if err := p.disk.Write(f.id, f.data); err != nil {
-				return err
+	for i := range p.shards {
+		s := &p.shards[i]
+		s.mu.Lock()
+		for id, f := range s.frames {
+			if f.pins > 0 {
+				s.mu.Unlock()
+				return fmt.Errorf("storage: DropAll with pinned page %d", id)
 			}
-			p.stats.PageWrites++
 		}
-		delete(p.frames, id)
+		for _, f := range s.frames {
+			if f.dirty {
+				if err := s.disk.Write(f.id, f.data); err != nil {
+					s.mu.Unlock()
+					return err
+				}
+				s.stats.PageWrites++
+				f.dirty = false
+			}
+		}
+		s.frames = make(map[PageID]*frame)
+		s.lru.next = &s.lru
+		s.lru.prev = &s.lru
+		s.mu.Unlock()
 	}
-	p.lru.Init()
 	return nil
 }
 
-func (p *Pool) pin(f *frame) {
-	if f.lru != nil {
-		p.lru.Remove(f.lru)
-		f.lru = nil
+// pushBack appends f at the most-recently-used end of the shard's LRU ring.
+func (s *shard) pushBack(f *frame) {
+	tail := s.lru.prev
+	f.prev, f.next = tail, &s.lru
+	tail.next = f
+	s.lru.prev = f
+}
+
+// unlink removes f from the LRU ring.
+func (s *shard) unlink(f *frame) {
+	f.prev.next = f.next
+	f.next.prev = f.prev
+	f.prev, f.next = nil, nil
+}
+
+func (s *shard) pin(f *frame) {
+	if f.next != nil {
+		s.unlink(f)
 	}
 	f.pins++
 }
 
-func (p *Pool) fault(id PageID) (*frame, error) {
-	if err := p.makeRoom(); err != nil {
+func (s *shard) fault(id PageID) (*frame, error) {
+	if err := s.makeRoom(); err != nil {
 		return nil, err
 	}
 	f := &frame{id: id, data: make([]byte, PageSize), pins: 1}
-	if err := p.disk.Read(id, f.data); err != nil {
+	if err := s.disk.Read(id, f.data); err != nil {
 		return nil, err
 	}
-	p.stats.PageReads++
-	p.frames[id] = f
+	s.stats.PageReads++
+	s.frames[id] = f
 	return f, nil
 }
 
-// makeRoom evicts the least recently used unpinned frame if the pool is
+// makeRoom evicts the least recently used unpinned frame if the shard is
 // full.
-func (p *Pool) makeRoom() error {
-	if len(p.frames) < p.capacity {
+func (s *shard) makeRoom() error {
+	if len(s.frames) < s.capacity {
 		return nil
 	}
-	el := p.lru.Front()
-	if el == nil {
-		return fmt.Errorf("storage: buffer pool exhausted (%d pages, all pinned)", p.capacity)
+	victim := s.lru.next
+	if victim == &s.lru {
+		return fmt.Errorf("storage: buffer pool exhausted (%d pages, all pinned)", s.capacity)
 	}
-	victim := el.Value.(*frame)
-	p.lru.Remove(el)
-	victim.lru = nil
+	s.unlink(victim)
 	if victim.dirty {
-		if err := p.disk.Write(victim.id, victim.data); err != nil {
+		if err := s.disk.Write(victim.id, victim.data); err != nil {
 			return err
 		}
-		p.stats.PageWrites++
+		s.stats.PageWrites++
 	}
-	delete(p.frames, victim.id)
+	delete(s.frames, victim.id)
 	return nil
 }
