@@ -4,7 +4,10 @@ GO ?= go
 # docs/PERF.md for methodology and recorded baselines.
 BENCHES = BenchmarkInsert|BenchmarkBuildAll|BenchmarkConcurrentQuery
 
-.PHONY: all build vet test race bench
+# Short-budget fuzz smoke for CI (full runs: go test -fuzz=... by hand).
+FUZZTIME ?= 10s
+
+.PHONY: all build vet test race fuzz ci bench bench1 bench2
 
 all: test
 
@@ -18,12 +21,29 @@ vet:
 test: build vet
 	$(GO) test ./...
 
-# Full suite under the race detector (exercises the sharded buffer pool's
-# concurrent-reader tests).
+# Full suite under the race detector (concurrent sessions, the
+# differential harness, and the reader/writer stress tests).
 race:
 	$(GO) test -race ./...
 
-# Micro-benchmarks with allocation reporting; machine-readable trajectory
-# entry goes to BENCH_1.json (later PRs append BENCH_2.json, ...).
-bench:
+# Fuzz smoke: each target for a short budget, plus the checked-in
+# corpora which already run as part of `go test`.
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzDecodeAgreement -fuzztime $(FUZZTIME) ./internal/idlist/
+	$(GO) test -run '^$$' -fuzz FuzzEncodeRoundTrip -fuzztime $(FUZZTIME) ./internal/idlist/
+	$(GO) test -run '^$$' -fuzz FuzzParse -fuzztime $(FUZZTIME) ./internal/xpath/
+
+# Everything CI runs, in order.
+ci: test race fuzz
+
+# Machine-readable trajectory entries at the repo root.
+bench: bench1 bench2
+
+# Micro-benchmarks with allocation reporting -> BENCH_1.json.
+bench1:
 	$(GO) test -run '^$$' -bench '$(BENCHES)' -benchmem -json ./internal/btree/ | tee BENCH_1.json
+
+# Concurrent-session throughput (serial vs 8 sessions, memory- and
+# disk-resident regimes) -> BENCH_2.json.
+bench2:
+	$(GO) run ./cmd/twigbench -parallel -out BENCH_2.json

@@ -1,17 +1,23 @@
 // Command twigbench regenerates the paper's evaluation tables and figures
-// (Section 5) as text tables.
+// (Section 5) as text tables, and measures concurrent-session throughput.
 //
 // Usage:
 //
 //	twigbench [-scale N] [-exp all|space|fig11|fig12a|fig12b|fig12c|fig12d|fig13|recursion|compress|tables]
+//	twigbench -parallel [-workers N] [-queries N] [-iolat D] [-iopoolkb KB] [-out BENCH_2.json]
 //
 // The -scale flag multiplies the synthetic dataset sizes (default 1).
+// -parallel runs the concurrent-session throughput experiment: the XMark
+// workload served by 1 session vs -workers sessions over one buffer pool,
+// in a memory-resident and a simulated disk-resident regime, writing the
+// machine-readable result to -out.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/bench"
 )
@@ -19,7 +25,36 @@ import (
 func main() {
 	scale := flag.Int("scale", bench.Scale(), "dataset scale multiplier")
 	exp := flag.String("exp", "all", "experiment to run")
+	parallel := flag.Bool("parallel", false, "run the concurrent-session throughput experiment")
+	workers := flag.Int("workers", 8, "concurrent sessions in the -parallel run")
+	queries := flag.Int("queries", 1600, "total queries per -parallel run")
+	iolat := flag.Duration("iolat", 200*time.Microsecond, "simulated per-miss read latency of the disk-resident regime (0 disables the regime)")
+	iopoolkb := flag.Int("iopoolkb", 512, "buffer pool KB of the disk-resident regime")
+	out := flag.String("out", "BENCH_2.json", "output path for the -parallel JSON result")
 	flag.Parse()
+
+	if *parallel {
+		cfg := bench.DefaultParallelConfig()
+		cfg.Scale = *scale
+		cfg.Workers = *workers
+		cfg.Queries = *queries
+		cfg.IOReadLatency = *iolat
+		cfg.IOPoolBytes = int64(*iopoolkb) << 10
+		res, err := bench.ParallelExperiment(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "twigbench:", err)
+			os.Exit(1)
+		}
+		fmt.Print(res.String())
+		if *out != "" {
+			if err := res.WriteJSON(*out); err != nil {
+				fmt.Fprintln(os.Stderr, "twigbench:", err)
+				os.Exit(1)
+			}
+			fmt.Println("wrote", *out)
+		}
+		return
+	}
 
 	if err := run(*scale, *exp); err != nil {
 		fmt.Fprintln(os.Stderr, "twigbench:", err)

@@ -3,15 +3,26 @@ package btree
 import (
 	"bytes"
 	"fmt"
+	"sync"
 
 	"repro/internal/storage"
 )
 
-// Tree is a disk-backed B+-tree. It is not safe for concurrent mutation;
-// reads may proceed concurrently with other reads.
+// Tree is a disk-backed B+-tree. A tree-level reader/writer latch makes it
+// safe for concurrent use: any number of readers (Get, Seek, Scan,
+// SeekPrefix, Stats) may proceed together, while a mutation (Insert, Delete)
+// holds the latch exclusively. An open Iterator holds the read latch until
+// Close, so its pinned page can never be mutated underneath it; a goroutine
+// must therefore close its iterators on a tree before mutating that same
+// tree.
 type Tree struct {
 	pool *storage.Pool
 	name string
+
+	// mu is the tree latch. It guards root/height/pages/entries and — via
+	// iterator-lifetime read latching — the page contents reachable from
+	// the root against in-place mutation.
+	mu sync.RWMutex
 
 	root    storage.PageID
 	height  int
@@ -48,6 +59,8 @@ func New(pool *storage.Pool, name string) (*Tree, error) {
 
 // Stats returns the tree's current shape.
 func (t *Tree) Stats() Stats {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	return Stats{
 		Name:    t.name,
 		Pages:   t.pages,
@@ -86,6 +99,8 @@ func (t *Tree) write(id storage.PageID, pc *pageContent) error {
 
 // Insert adds (key, val); duplicate keys are allowed.
 func (t *Tree) Insert(key, val []byte) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	if len(key)+len(val) > MaxEntrySize {
 		return fmt.Errorf("btree %s: entry too large (%d bytes, max %d)", t.name, len(key)+len(val), MaxEntrySize)
 	}

@@ -15,6 +15,8 @@ import (
 // of the paper — updates exist (Section 7 discusses them as future work) but
 // bulk build remains the fast path.
 func (t *Tree) Delete(key, val []byte) (bool, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	// Descend to the leftmost leaf that can contain key.
 	id := t.root
 	for h := t.height; h > 1; h-- {
@@ -60,7 +62,9 @@ func (t *Tree) Delete(key, val []byte) (bool, error) {
 }
 
 // DeleteAll removes every entry with exactly the given key, returning the
-// number removed.
+// number removed. It is a sequence of individually-latched Get/Delete pairs,
+// not one atomic operation; concurrent readers may observe intermediate
+// states.
 func (t *Tree) DeleteAll(key []byte) (int, error) {
 	removed := 0
 	for {

@@ -10,6 +10,10 @@ import (
 // that are valid only until the next call to Next or Close; Value returns a
 // private copy.
 //
+// An open iterator holds the tree's read latch, so concurrent readers are
+// fine but a mutation of the same tree from the owning goroutine would
+// self-deadlock: always Close iterators before calling Insert or Delete.
+//
 // Usage:
 //
 //	it, err := t.Seek(probe)
@@ -20,19 +24,23 @@ import (
 //	}
 //	if err := it.Err(); err != nil { ... }
 type Iterator struct {
-	tree *Tree
-	pg   storage.Page // pinned current leaf; Data == nil when done
-	idx  int
-	err  error
-	key  []byte // reusable buffer for prefix+suffix
+	tree    *Tree
+	pg      storage.Page // pinned current leaf; Data == nil when done
+	idx     int
+	err     error
+	key     []byte // reusable buffer for prefix+suffix
+	latched bool   // true while this iterator holds tree.mu.RLock
 }
 
-// Seek returns an iterator positioned at the first entry >= key.
+// Seek returns an iterator positioned at the first entry >= key. The
+// iterator holds the tree's read latch until Close.
 func (t *Tree) Seek(key []byte) (*Iterator, error) {
+	t.mu.RLock()
 	id := t.root
 	for h := t.height; h > 1; h-- {
 		pg, err := t.pool.Fetch(id)
 		if err != nil {
+			t.mu.RUnlock()
 			return nil, err
 		}
 		_, child := descendChild(pg.Data, key)
@@ -41,9 +49,10 @@ func (t *Tree) Seek(key []byte) (*Iterator, error) {
 	}
 	pg, err := t.pool.Fetch(id)
 	if err != nil {
+		t.mu.RUnlock()
 		return nil, err
 	}
-	it := &Iterator{tree: t, pg: pg}
+	it := &Iterator{tree: t, pg: pg, latched: true}
 	// First entry >= key within this leaf.
 	it.idx = searchCell(pg.Data, key)
 	it.skipExhausted()
@@ -110,11 +119,16 @@ func (it *Iterator) Value() []byte {
 // Err returns the first error encountered while iterating.
 func (it *Iterator) Err() error { return it.err }
 
-// Close releases the iterator's pinned page. It is safe to call twice.
+// Close releases the iterator's pinned page and the tree's read latch. It
+// is safe to call twice.
 func (it *Iterator) Close() {
 	if it.pg.Data != nil {
 		it.tree.pool.Unpin(it.pg, false)
 		it.pg = storage.Page{}
+	}
+	if it.latched {
+		it.latched = false
+		it.tree.mu.RUnlock()
 	}
 }
 

@@ -7,9 +7,12 @@ package engine
 import (
 	"fmt"
 	"io"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/containment"
 	"repro/internal/index"
+	"repro/internal/naive"
 	"repro/internal/pathdict"
 	"repro/internal/plan"
 	"repro/internal/stats"
@@ -24,6 +27,15 @@ type Config struct {
 	BufferPoolBytes int64
 	// PathsOptions configures ROOTPATHS/DATAPATHS compression (Section 4).
 	PathsOptions index.PathsOptions
+	// DiskReadLatency, when > 0, adds a simulated device latency to every
+	// buffer pool miss (see storage.Disk.SetReadLatency). The paper's
+	// experiments are disk-resident; this knob recreates that regime so
+	// concurrent-session throughput measurements overlap real I/O stalls.
+	DiskReadLatency storage.Latency
+	// PoolShards forces the buffer pool's lock-stripe count (0 = size-based
+	// default); needed when a deliberately tiny pool must still serve
+	// concurrent faults.
+	PoolShards int
 }
 
 // DefaultConfig mirrors the paper's 40MB buffer pool.
@@ -32,6 +44,14 @@ func DefaultConfig() Config {
 }
 
 // DB is an XML database instance.
+//
+// A DB is safe for concurrent use. Reads (QueryPattern and friends,
+// Explain, Spaces) hold a shared lock; structural mutations (loading
+// documents, building indices, subtree insert/delete) hold it exclusively,
+// so a query always observes a consistent store + index state. Below the DB
+// lock, the substrate is independently latched (buffer pool shards, B+-tree
+// latches, the designator dictionary) — see docs/CONCURRENCY.md for the
+// lock hierarchy.
 type DB struct {
 	cfg   Config
 	store *xmldb.Store
@@ -39,7 +59,20 @@ type DB struct {
 	ptab  *pathdict.PathTable
 	disk  *storage.Disk
 	pool  *storage.Pool
-	env   plan.Env
+
+	// mu is the database lock: shared for queries, exclusive for loads,
+	// builds and subtree updates.
+	mu sync.RWMutex
+	// statsMu serialises the lazy statistics (re)build so that concurrent
+	// readers racing to a nil env.Stats collect exactly once (the
+	// build-once latch for the engine's lazily-built planner state);
+	// statsReady lets the steady state skip the latch with one atomic load.
+	statsMu    sync.Mutex
+	statsReady atomic.Bool
+
+	env plan.Env
+
+	counters stats.QueryCounters
 }
 
 // New creates an empty database.
@@ -54,7 +87,12 @@ func New(cfg Config) *DB {
 		ptab:  pathdict.NewPathTable(),
 		disk:  storage.NewDisk(),
 	}
-	db.pool = storage.NewPool(db.disk, cfg.BufferPoolBytes)
+	db.disk.SetReadLatency(cfg.DiskReadLatency)
+	if cfg.PoolShards > 0 {
+		db.pool = storage.NewPoolShards(db.disk, cfg.BufferPoolBytes, cfg.PoolShards)
+	} else {
+		db.pool = storage.NewPool(db.disk, cfg.BufferPoolBytes)
+	}
 	db.env.Store = db.store
 	db.env.Dict = db.dict
 	return db
@@ -73,8 +111,11 @@ func (db *DB) LoadXML(r io.Reader) error {
 
 // AddDocument adds an already-built document tree.
 func (db *DB) AddDocument(doc *xmldb.Document) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	db.store.AddDocument(doc)
 	db.env.Stats = nil // invalidate statistics
+	db.statsReady.Store(false)
 }
 
 // Store exposes the underlying XML store.
@@ -90,17 +131,44 @@ func (db *DB) Env() *plan.Env { return &db.env }
 func (db *DB) Pool() *storage.Pool { return db.pool }
 
 // CollectStats runs statistics collection (RUNSTATS); it is invoked
-// automatically by Build, and must be re-run after loading more documents.
+// automatically by Build and lazily by queries, and must be re-run after
+// loading more documents.
 func (db *DB) CollectStats() {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	db.env.Stats = stats.Collect(db.store, db.dict)
+	db.statsReady.Store(true)
+}
+
+// ensureStats lazily builds the statistics exactly once, under the shared
+// lock: the statsMu latch makes concurrent first-queries collect once and
+// publishes env.Stats to every reader that passes through here. env.Stats
+// is only reset to nil under the exclusive lock, so after ensureStats
+// returns it stays valid for the remainder of the reader's critical
+// section. The steady state is one uncontended atomic load (the
+// statsReady store is ordered after the env.Stats write, so a reader
+// observing true also observes the built stats).
+func (db *DB) ensureStats() {
+	if db.statsReady.Load() {
+		return
+	}
+	db.statsMu.Lock()
+	defer db.statsMu.Unlock()
+	if db.env.Stats == nil {
+		db.env.Stats = stats.Collect(db.store, db.dict)
+	}
+	db.statsReady.Store(true)
 }
 
 // Build constructs the given index structures. Indices already built are
 // rebuilt from scratch.
 func (db *DB) Build(kinds ...index.Kind) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	if db.env.Stats == nil {
-		db.CollectStats()
+		db.env.Stats = stats.Collect(db.store, db.dict)
 	}
+	db.statsReady.Store(true)
 	for _, k := range kinds {
 		var err error
 		switch k {
@@ -149,6 +217,8 @@ func (db *DB) BuildAll() error {
 // structures do not support incremental maintenance and are invalidated;
 // rebuild them with Build if their strategies are still needed.
 func (db *DB) InsertSubtree(parentID int64, sub *xmldb.Node) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	parent := db.store.NodeByID(parentID)
 	if parent == nil {
 		return fmt.Errorf("engine: no node with id %d", parentID)
@@ -174,6 +244,8 @@ func (db *DB) InsertSubtree(parentID int64, sub *xmldb.Node) error {
 // incrementally maintaining ROOTPATHS and DATAPATHS and invalidating the
 // non-updatable index structures.
 func (db *DB) DeleteSubtree(nodeID int64) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	n := db.store.NodeByID(nodeID)
 	if n == nil {
 		return fmt.Errorf("engine: no node with id %d", nodeID)
@@ -201,6 +273,7 @@ func (db *DB) DeleteSubtree(nodeID int64) error {
 // not support incremental updates.
 func (db *DB) invalidateDerived() {
 	db.env.Stats = nil
+	db.statsReady.Store(false)
 	db.env.Edge = nil
 	db.env.DG = nil
 	db.env.IF = nil
@@ -221,23 +294,80 @@ func (db *DB) Query(q string, strat plan.Strategy) ([]int64, *plan.ExecStats, er
 
 // QueryPattern executes an already-parsed pattern.
 func (db *DB) QueryPattern(pat *xpath.Pattern, strat plan.Strategy) ([]int64, *plan.ExecStats, error) {
-	if db.env.Stats == nil {
-		db.CollectStats()
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	db.ensureStats()
+	ids, es, err := plan.Execute(&db.env, strat, pat)
+	if es != nil {
+		db.counters.CountQuery(false, es.BranchesJoined)
 	}
-	return plan.Execute(&db.env, strat, pat)
+	return ids, es, err
+}
+
+// QueryPatternParallel executes an already-parsed pattern with the parallel
+// branch executor: the pattern's covering branches are evaluated on a
+// bounded pool of `workers` goroutines sharing the buffer pool, then merged
+// with the usual positional joins. workers <= 1 degenerates to QueryPattern.
+func (db *DB) QueryPatternParallel(pat *xpath.Pattern, strat plan.Strategy, workers int) ([]int64, *plan.ExecStats, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	db.ensureStats()
+	ids, es, err := plan.ExecuteParallel(&db.env, strat, pat, workers)
+	if es != nil {
+		db.counters.CountQuery(es.Parallel, es.BranchesJoined)
+	}
+	return ids, es, err
+}
+
+// QueryCounters returns a snapshot of the engine-lifetime query counters.
+func (db *DB) QueryCounters() stats.QuerySnapshot { return db.counters.Snapshot() }
+
+// MatchNaive evaluates pat with the naive in-memory matcher (no indices)
+// under the shared lock, so it is safe to run concurrently with subtree
+// updates — the Oracle of the differential tests.
+func (db *DB) MatchNaive(pat *xpath.Pattern) []int64 {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return naive.Match(db.store, pat)
+}
+
+// ViewNodes invokes fn once under the shared lock with an id-to-node lookup,
+// so callers can materialise node details without racing subtree updates.
+// The looked-up nodes must not be retained or dereferenced after fn returns.
+func (db *DB) ViewNodes(fn func(byID func(int64) *xmldb.Node)) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	fn(db.store.NodeByID)
+}
+
+// NodeCount returns the number of element/attribute nodes, under the shared
+// lock.
+func (db *DB) NodeCount() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.store.NodeCount()
 }
 
 // Explain renders the plan for a pattern under a strategy.
 func (db *DB) Explain(pat *xpath.Pattern, strat plan.Strategy) (string, error) {
-	if db.env.Stats == nil {
-		db.CollectStats()
-	}
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	db.ensureStats()
 	return plan.Explain(&db.env, strat, pat)
 }
 
 // DefaultStrategy returns the best strategy among the built indices
-// (DATAPATHS, then ROOTPATHS, then the baselines).
+// (DATAPATHS, then ROOTPATHS, then the baselines). Note that under
+// concurrent mutation the answer can be stale by the time the caller
+// queries with it; use QueryPatternBest to resolve and execute atomically.
 func (db *DB) DefaultStrategy() (plan.Strategy, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.defaultStrategyLocked()
+}
+
+// defaultStrategyLocked is DefaultStrategy for callers already holding mu.
+func (db *DB) defaultStrategyLocked() (plan.Strategy, error) {
 	switch {
 	case db.env.DP != nil:
 		return plan.DataPathsPlan, nil
@@ -257,8 +387,51 @@ func (db *DB) DefaultStrategy() (plan.Strategy, error) {
 	return 0, fmt.Errorf("engine: no index built")
 }
 
+// QueryPatternBest resolves the best available strategy and executes pat
+// under it within one critical section — resolving first and querying later
+// in separate sections would let a concurrent index invalidation strand the
+// choice. workers == 1 runs the serial executor; anything else goes through
+// the parallel one (which resolves <= 0 to GOMAXPROCS). Returns the
+// strategy that ran.
+func (db *DB) QueryPatternBest(pat *xpath.Pattern, workers int) ([]int64, *plan.ExecStats, plan.Strategy, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	strat, err := db.defaultStrategyLocked()
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	db.ensureStats()
+	var ids []int64
+	var es *plan.ExecStats
+	if workers == 1 {
+		ids, es, err = plan.Execute(&db.env, strat, pat)
+	} else {
+		ids, es, err = plan.ExecuteParallel(&db.env, strat, pat, workers)
+	}
+	if es != nil {
+		db.counters.CountQuery(es.Parallel, es.BranchesJoined)
+	}
+	return ids, es, strat, err
+}
+
+// ExplainBest is Explain under the best available strategy, resolved in the
+// same critical section; returns the strategy explained.
+func (db *DB) ExplainBest(pat *xpath.Pattern) (string, plan.Strategy, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	strat, err := db.defaultStrategyLocked()
+	if err != nil {
+		return "", 0, err
+	}
+	db.ensureStats()
+	out, err := plan.Explain(&db.env, strat, pat)
+	return out, strat, err
+}
+
 // Spaces reports the footprint of every built index.
 func (db *DB) Spaces() []index.Space {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	var out []index.Space
 	if db.env.RP != nil {
 		out = append(out, db.env.RP.Space())
@@ -286,6 +459,11 @@ func (db *DB) Spaces() []index.Space {
 	}
 	return out
 }
+
+// SetDiskReadLatency reconfigures the simulated device read latency at
+// runtime (e.g. build the indices at memory speed, then measure queries
+// under a disk-resident regime). Safe to call concurrently with queries.
+func (db *DB) SetDiskReadLatency(lat storage.Latency) { db.disk.SetReadLatency(lat) }
 
 // PoolStats returns buffer pool counters.
 func (db *DB) PoolStats() storage.PoolStats { return db.pool.Stats() }

@@ -1,0 +1,120 @@
+package idlist
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzDecodeAgreement feeds arbitrary bytes to every decoder and asserts
+// they agree with each other: DecodeDelta, DecodeDeltaInto, Len and
+// DecodeDeltaAt must accept exactly the same inputs, report the same
+// element count, and produce the same ids; a successful decode must
+// round-trip through EncodeDelta (the re-encoding is canonical, so compare
+// ids, not bytes — the input may contain non-minimal varints).
+func FuzzDecodeAgreement(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x00})
+	f.Add([]byte{0x02, 0x03, 0x01})
+	f.Add([]byte{0x80})                         // unterminated varint
+	f.Add([]byte{0x80, 0x80, 0x80, 0x80, 0x00}) // non-minimal zero
+	f.Add(bytes.Repeat([]byte{0xff}, 12))       // overlong varint
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f})
+	f.Fuzz(func(t *testing.T, buf []byte) {
+		ids, err := DecodeDelta(nil, buf)
+		n, lenErr := Len(buf)
+		into, intoErr := DecodeDeltaInto(nil, buf)
+		if (err == nil) != (lenErr == nil) {
+			// Len is stricter than DecodeDelta in exactly one documented
+			// case: it rejects overlong-but-terminated varints that
+			// binary.Varint reports as overflow (n < 0), which DecodeDelta
+			// also rejects. Any other disagreement is a bug.
+			t.Fatalf("DecodeDelta err=%v but Len err=%v", err, lenErr)
+		}
+		if (err == nil) != (intoErr == nil) {
+			t.Fatalf("DecodeDelta err=%v but DecodeDeltaInto err=%v", err, intoErr)
+		}
+		if err != nil {
+			return
+		}
+		if n != len(ids) {
+			t.Fatalf("Len = %d, DecodeDelta produced %d ids", n, len(ids))
+		}
+		if len(into) != len(ids) {
+			t.Fatalf("DecodeDeltaInto produced %d ids, DecodeDelta %d", len(into), len(ids))
+		}
+		for i := range ids {
+			if into[i] != ids[i] {
+				t.Fatalf("DecodeDeltaInto[%d] = %d, DecodeDelta %d", i, into[i], ids[i])
+			}
+			at, err := DecodeDeltaAt(buf, i)
+			if err != nil {
+				t.Fatalf("DecodeDeltaAt(%d): %v", i, err)
+			}
+			if at != ids[i] {
+				t.Fatalf("DecodeDeltaAt(%d) = %d, want %d", i, at, ids[i])
+			}
+		}
+		if _, err := DecodeDeltaAt(buf, len(ids)); err == nil {
+			t.Fatalf("DecodeDeltaAt(%d) succeeded past the end", len(ids))
+		}
+		// Round-trip through the canonical encoder.
+		re := EncodeDelta(nil, ids)
+		ids2, err := DecodeDelta(nil, re)
+		if err != nil {
+			t.Fatalf("re-decode: %v", err)
+		}
+		if len(ids2) != len(ids) {
+			t.Fatalf("round-trip length %d, want %d", len(ids2), len(ids))
+		}
+		for i := range ids {
+			if ids2[i] != ids[i] {
+				t.Fatalf("round-trip[%d] = %d, want %d", i, ids2[i], ids[i])
+			}
+		}
+	})
+}
+
+// FuzzEncodeRoundTrip derives an id list from the fuzz input (8 bytes per
+// id) and asserts Encode→{Decode, DecodeDeltaInto, Len, DecodeDeltaAt}
+// reproduce it exactly, for both the delta and raw codecs.
+func FuzzEncodeRoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(binary.BigEndian.AppendUint64(nil, 12345))
+	f.Add(append(binary.BigEndian.AppendUint64(nil, 1<<63-1), binary.BigEndian.AppendUint64(nil, 0)...))
+	f.Fuzz(func(t *testing.T, seed []byte) {
+		var ids []int64
+		for len(seed) >= 8 {
+			ids = append(ids, int64(binary.BigEndian.Uint64(seed)))
+			seed = seed[8:]
+		}
+		enc := EncodeDelta(nil, ids)
+		got, err := DecodeDelta(nil, enc)
+		if err != nil {
+			t.Fatalf("DecodeDelta: %v", err)
+		}
+		if n, err := Len(enc); err != nil || n != len(ids) {
+			t.Fatalf("Len = %d, %v; want %d", n, err, len(ids))
+		}
+		into, err := DecodeDeltaInto(make([]int64, 0, 1), enc)
+		if err != nil {
+			t.Fatalf("DecodeDeltaInto: %v", err)
+		}
+		raw := EncodeRaw(nil, ids)
+		rawIDs, err := DecodeRaw(nil, raw)
+		if err != nil {
+			t.Fatalf("DecodeRaw: %v", err)
+		}
+		if len(got) != len(ids) || len(into) != len(ids) || len(rawIDs) != len(ids) {
+			t.Fatalf("lengths: delta %d, into %d, raw %d, want %d", len(got), len(into), len(rawIDs), len(ids))
+		}
+		for i := range ids {
+			if got[i] != ids[i] || into[i] != ids[i] || rawIDs[i] != ids[i] {
+				t.Fatalf("id %d: delta %d, into %d, raw %d, want %d", i, got[i], into[i], rawIDs[i], ids[i])
+			}
+			if at, err := DecodeDeltaAt(enc, i); err != nil || at != ids[i] {
+				t.Fatalf("DecodeDeltaAt(%d) = %d, %v; want %d", i, at, err, ids[i])
+			}
+		}
+	})
+}

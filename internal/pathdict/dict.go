@@ -10,6 +10,7 @@ package pathdict
 import (
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // Sym is a dictionary-encoded designator for an element tag or attribute
@@ -18,10 +19,12 @@ import (
 // depend on the dictionary size"). Symbol 0 is reserved.
 type Sym uint16
 
-// Dict interns tag/attribute labels as symbols. It is not safe for
-// concurrent mutation; build the dictionary while loading data, then share
-// it read-only.
+// Dict interns tag/attribute labels as symbols. It is safe for concurrent
+// use: lookups take a shared latch and interning takes it exclusively, so
+// concurrent readers never race with a build or incremental update that
+// interns new labels.
 type Dict struct {
+	mu         sync.RWMutex
 	symByLabel map[string]Sym
 	labels     []string // labels[s] is the label of symbol s; labels[0] unused
 }
@@ -36,13 +39,21 @@ func NewDict() *Dict {
 
 // Intern returns the symbol for label, assigning a new one if needed.
 func (d *Dict) Intern(label string) Sym {
+	d.mu.RLock()
+	s, ok := d.symByLabel[label]
+	d.mu.RUnlock()
+	if ok {
+		return s
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	if s, ok := d.symByLabel[label]; ok {
 		return s
 	}
 	if len(d.labels) > 0xFFFF {
 		panic("pathdict: dictionary overflow (more than 65535 distinct labels)")
 	}
-	s := Sym(len(d.labels))
+	s = Sym(len(d.labels))
 	d.labels = append(d.labels, label)
 	d.symByLabel[label] = s
 	return s
@@ -50,12 +61,16 @@ func (d *Dict) Intern(label string) Sym {
 
 // Sym returns the symbol for label, if interned.
 func (d *Dict) Sym(label string) (Sym, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	s, ok := d.symByLabel[label]
 	return s, ok
 }
 
 // Label returns the label of s, or "" if s is unknown.
 func (d *Dict) Label(s Sym) string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	if int(s) >= len(d.labels) {
 		return ""
 	}
@@ -63,7 +78,11 @@ func (d *Dict) Label(s Sym) string {
 }
 
 // Size returns the number of interned labels.
-func (d *Dict) Size() int { return len(d.labels) - 1 }
+func (d *Dict) Size() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.labels) - 1
+}
 
 // Path is a schema path: the designator sequence of a data path, root end
 // first (e.g. book.allauthors.author.fn ~ "BUAF" in the paper's Figure 2).
@@ -111,8 +130,12 @@ type PathID int32
 
 // PathTable assigns dense ids to distinct schema paths. It is the registry
 // behind (a) the "one relation per distinct schema path" construction of
-// ASRs and Join Indices, and (b) SchemaPathId compression.
+// ASRs and Join Indices, and (b) SchemaPathId compression. Like Dict it is
+// latched: concurrent lookups are shared, interning is exclusive. Do not
+// call Intern from inside an All callback (the callback runs under the
+// shared latch).
 type PathTable struct {
+	mu    sync.RWMutex
 	byKey map[string]PathID
 	paths []Path
 }
@@ -131,10 +154,18 @@ func pathKey(p Path) string {
 // Intern returns the id for path, registering it if new. The path is copied.
 func (t *PathTable) Intern(p Path) PathID {
 	k := pathKey(p)
+	t.mu.RLock()
+	id, ok := t.byKey[k]
+	t.mu.RUnlock()
+	if ok {
+		return id
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	if id, ok := t.byKey[k]; ok {
 		return id
 	}
-	id := PathID(len(t.paths))
+	id = PathID(len(t.paths))
 	t.paths = append(t.paths, append(Path(nil), p...))
 	t.byKey[k] = id
 	return id
@@ -142,21 +173,31 @@ func (t *PathTable) Intern(p Path) PathID {
 
 // Lookup returns the id for path, if registered.
 func (t *PathTable) Lookup(p Path) (PathID, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	id, ok := t.byKey[pathKey(p)]
 	return id, ok
 }
 
 // Path returns the path with the given id.
 func (t *PathTable) Path(id PathID) Path {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	return t.paths[id]
 }
 
 // Len returns the number of distinct paths (the paper reports 235 for DBLP
 // and 902 for XMark).
-func (t *PathTable) Len() int { return len(t.paths) }
+func (t *PathTable) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.paths)
+}
 
-// All calls fn for every (id, path) in id order.
+// All calls fn for every (id, path) in id order, under the shared latch.
 func (t *PathTable) All(fn func(PathID, Path)) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	for i, p := range t.paths {
 		fn(PathID(i), p)
 	}
@@ -165,8 +206,10 @@ func (t *PathTable) All(fn func(PathID, Path)) {
 // SortedPaths returns all paths sorted by their encoded byte order; used for
 // deterministic iteration in reports and tests.
 func (t *PathTable) SortedPaths() []Path {
+	t.mu.RLock()
 	out := make([]Path, len(t.paths))
 	copy(out, t.paths)
+	t.mu.RUnlock()
 	sort.Slice(out, func(i, j int) bool { return pathKey(out[i]) < pathKey(out[j]) })
 	return out
 }

@@ -1,0 +1,112 @@
+package plan
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/relop"
+	"repro/internal/xpath"
+)
+
+// ExecuteParallel runs the pattern under the given strategy with its
+// covering branches evaluated concurrently: every branch is materialised
+// with a free index probe on a bounded pool of worker goroutines (all
+// sharing the one buffer pool), then the branch relations are stitched
+// together with the same statistics-ordered positional joins the serial
+// executor uses. The result ids are identical to Execute's — the fan-out
+// changes wall-clock shape, not semantics — which is what the differential
+// harness asserts.
+//
+// Because every branch is materialised up front, the parallel executor
+// never uses index-nested-loop bound probes (those are inherently
+// sequential: the probe set is the previous join's output). For the
+// one-lookup-per-branch ROOTPATHS/DATAPATHS plans this is the natural
+// trade: branch probes dominate and they all overlap.
+//
+// workers <= 0 uses GOMAXPROCS; workers == 1 (or a single-branch pattern,
+// or the structural-join strategy, whose binary join tree is sequential)
+// falls back to the serial executor.
+func ExecuteParallel(env *Env, strat Strategy, pat *xpath.Pattern, workers int) ([]int64, *ExecStats, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers <= 1 || strat == StructuralJoinPlan {
+		return Execute(env, strat, pat)
+	}
+	branches := coveringBranches(pat)
+	if len(branches) <= 1 {
+		return Execute(env, strat, pat)
+	}
+	es := &ExecStats{}
+	es.BranchesJoined = len(branches)
+	es.Parallel = true
+	// Validate the strategy's indices once before fanning out.
+	if _, err := newEvaluator(env, strat, es); err != nil {
+		return nil, es, err
+	}
+
+	// Fan out: one free probe per branch, at most `workers` in flight.
+	type branchResult struct {
+		tuples []relop.Tuple
+		stats  *ExecStats
+		err    error
+	}
+	results := make([]branchResult, len(branches))
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i := range branches {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			bes := &ExecStats{}
+			ev, err := newEvaluator(env, strat, bes)
+			if err == nil {
+				results[i].tuples, err = ev.Free(branches[i])
+			}
+			results[i].stats = bes
+			results[i].err = err
+		}(i)
+	}
+	wg.Wait()
+	for i := range results {
+		if results[i].err != nil {
+			return nil, es, results[i].err
+		}
+		es.merge(results[i].stats)
+	}
+
+	// Merge phase: the shared join/projection skeleton, fed from the
+	// pre-materialised branch relations instead of live probes.
+	order, _ := branchOrder(env, branches)
+	ids, err := mergeBranches(pat, branches, order, func(r *rel, oi int) (*rel, error) {
+		br := branches[oi]
+		if r == nil {
+			return &rel{
+				cols:   append([]*xpath.Node(nil), br.Nodes...),
+				tuples: relop.DistinctTuples(results[oi].tuples),
+			}, nil
+		}
+		jIdx := r.deepestShared(br)
+		if jIdx < 0 {
+			return nil, fmt.Errorf("plan: branch %s shares no node with the intermediate result", br)
+		}
+		return r, extendFree(es, r, br, jIdx, results[oi].tuples)
+	})
+	return ids, es, err
+}
+
+// merge folds a per-branch counter set into the query-level one.
+func (es *ExecStats) merge(o *ExecStats) {
+	es.IndexLookups += o.IndexLookups
+	es.RowsScanned += o.RowsScanned
+	es.INLProbes += o.INLProbes
+	es.UsedINL = es.UsedINL || o.UsedINL
+	es.Join.TuplesIn += o.Join.TuplesIn
+	es.Join.TuplesOut += o.Join.TuplesOut
+	for id := range o.relations {
+		es.touchRelation(id)
+	}
+}

@@ -136,6 +136,10 @@ type ExecStats struct {
 	RelationsUsed  int // distinct ASR/JI relations touched
 	Join           relop.Counters
 	BranchesJoined int
+	// Parallel reports whether the branches were actually fanned out over
+	// worker goroutines (ExecuteParallel can fall back to the serial
+	// executor for single-branch patterns and structural joins).
+	Parallel bool
 
 	relations map[pathdict.PathID]struct{}
 }
@@ -224,36 +228,34 @@ func Execute(env *Env, strat Strategy, pat *xpath.Pattern) ([]int64, *ExecStats,
 	branches := coveringBranches(pat)
 	es.BranchesJoined = len(branches)
 
-	// Order branches by estimated (exact) match count, cheapest first, so
-	// the intermediate result starts small — the paper's optimizer would
-	// do the same from its collected statistics. Ties keep pattern order.
-	ests := make([]int64, len(branches))
-	for i, br := range branches {
-		ests[i] = estimateBranch(env, br)
-	}
-	order := make([]int, len(branches))
-	for i := range order {
-		order[i] = i
-	}
-	if !env.NoReorder {
-		for i := 1; i < len(order); i++ {
-			for j := i; j > 0 && ests[order[j]] < ests[order[j-1]]; j-- {
-				order[j], order[j-1] = order[j-1], order[j]
-			}
-		}
-	}
+	order, ests := branchOrder(env, branches)
 
-	var r *rel
-	for k, oi := range order {
+	ids, err := mergeBranches(pat, branches, order, func(r *rel, oi int) (*rel, error) {
 		br := branches[oi]
 		if r == nil {
 			tuples, err := ev.Free(br)
 			if err != nil {
-				return nil, es, err
+				return nil, err
 			}
-			r = &rel{cols: append([]*xpath.Node(nil), br.Nodes...), tuples: relop.DistinctTuples(tuples)}
-		} else if err := extend(env, ev, es, r, br, ests[oi]); err != nil {
-			return nil, es, err
+			return &rel{cols: append([]*xpath.Node(nil), br.Nodes...), tuples: relop.DistinctTuples(tuples)}, nil
+		}
+		return r, extend(env, ev, es, r, br, ests[oi])
+	})
+	return ids, es, err
+}
+
+// mergeBranches is the join/projection skeleton shared by the serial and
+// parallel executors — keeping it in one place is what guarantees the two
+// produce identical result sets. fold evaluates-and-folds one branch (and
+// records whatever counters its captured ExecStats needs): with r == nil it
+// returns the branch's initial relation, otherwise it extends r and returns
+// it.
+func mergeBranches(pat *xpath.Pattern, branches []xpath.Branch, order []int, fold func(r *rel, oi int) (*rel, error)) ([]int64, error) {
+	var r *rel
+	for k, oi := range order {
+		var err error
+		if r, err = fold(r, oi); err != nil {
+			return nil, err
 		}
 		// Project away columns no future branch joins on and that are not
 		// the output, then deduplicate — the relational plan's DISTINCT
@@ -271,77 +273,111 @@ func Execute(env *Env, strat Strategy, pat *xpath.Pattern) ([]int64, *ExecStats,
 		}
 	}
 	if r == nil {
-		return nil, es, fmt.Errorf("plan: pattern has no branches")
+		return nil, fmt.Errorf("plan: pattern has no branches")
 	}
 	if len(r.tuples) == 0 {
-		return nil, es, nil
+		return nil, nil
 	}
 	outCol := r.col(pat.Output)
 	if outCol < 0 {
-		return nil, es, fmt.Errorf("plan: output node %q not covered", pat.Output.Label)
+		return nil, fmt.Errorf("plan: output node %q not covered", pat.Output.Label)
 	}
-	ids := relop.DistinctInts(relop.Project(r.tuples, outCol))
-	return ids, es, nil
+	return relop.DistinctInts(relop.Project(r.tuples, outCol)), nil
+}
+
+// branchOrder orders branches by estimated (exact) match count, cheapest
+// first, so the intermediate result starts small — the paper's optimizer
+// would do the same from its collected statistics. Ties keep pattern order;
+// env.NoReorder keeps pattern order outright.
+func branchOrder(env *Env, branches []xpath.Branch) (order []int, ests []int64) {
+	ests = make([]int64, len(branches))
+	for i, br := range branches {
+		ests[i] = estimateBranch(env, br)
+	}
+	order = make([]int, len(branches))
+	for i := range order {
+		order[i] = i
+	}
+	if !env.NoReorder {
+		for i := 1; i < len(order); i++ {
+			for j := i; j > 0 && ests[order[j]] < ests[order[j-1]]; j-- {
+				order[j], order[j-1] = order[j-1], order[j]
+			}
+		}
+	}
+	return order, ests
+}
+
+// deepestShared returns the index within br of the deepest twig node already
+// present as a column of r, or -1.
+func (r *rel) deepestShared(br xpath.Branch) int {
+	for i := len(br.Nodes) - 1; i >= 0; i-- {
+		if r.col(br.Nodes[i]) >= 0 {
+			return i
+		}
+	}
+	return -1
 }
 
 // extend folds branch br into r, joining on the deepest twig node of br
-// already present in r.
+// already present in r. It chooses index-nested-loop bound probes when the
+// statistics say the branch is much less selective than r; otherwise it
+// materialises the branch with a free probe and hash-joins.
 func extend(env *Env, ev evaluator, es *ExecStats, r *rel, br xpath.Branch, est int64) error {
-	// Deepest shared node.
-	jIdx := -1
-	for i := len(br.Nodes) - 1; i >= 0; i-- {
-		if r.col(br.Nodes[i]) >= 0 {
-			jIdx = i
-			break
-		}
-	}
+	jIdx := r.deepestShared(br)
 	if jIdx < 0 {
 		return fmt.Errorf("plan: branch %s shares no node with the intermediate result", br)
 	}
 	newNodes := br.Nodes[jIdx+1:]
+	if len(newNodes) > 0 {
+		jCol := r.col(br.Nodes[jIdx])
+		factor, inlAllowed := env.inlThreshold()
+		useINL := inlAllowed && ev.CanBound() && len(r.tuples) > 0 && est > factor*int64(len(r.tuples))
+		if useINL {
+			es.UsedINL = true
+			jids := relop.DistinctInts(relop.Project(r.tuples, jCol))
+			subs, err := ev.Bound(br, jIdx, jids)
+			if err != nil {
+				return err
+			}
+			var out []relop.Tuple
+			for _, t := range r.tuples {
+				for _, sub := range subs[t[jCol]] {
+					nt := make(relop.Tuple, 0, len(t)+len(sub))
+					nt = append(nt, t...)
+					nt = append(nt, sub...)
+					out = append(out, nt)
+				}
+			}
+			es.Join.TuplesIn += int64(len(r.tuples))
+			es.Join.TuplesOut += int64(len(out))
+			r.cols = append(r.cols, newNodes...)
+			r.tuples = relop.DistinctTuples(out)
+			return nil
+		}
+	}
+	tuples, err := ev.Free(br)
+	if err != nil {
+		return err
+	}
+	return extendFree(es, r, br, jIdx, tuples)
+}
+
+// extendFree folds branch br into r from already-materialised free-probe
+// tuples (one column per br.Nodes entry). It is the merge step shared by the
+// serial hash-join path and the parallel executor, which materialises every
+// branch up front on worker goroutines.
+func extendFree(es *ExecStats, r *rel, br xpath.Branch, jIdx int, tuples []relop.Tuple) error {
+	newNodes := br.Nodes[jIdx+1:]
 	if len(newNodes) == 0 {
 		// Branch fully contained (a synthetic value branch on an interior
-		// node whose path is already covered): evaluate it and semi-join.
-		tuples, err := ev.Free(br)
-		if err != nil {
-			return err
-		}
+		// node whose path is already covered): semi-join on the leaf column.
 		keyCol := len(br.Nodes) - 1
 		keys := relop.KeySet(tuples, keyCol)
 		r.tuples = relop.SemiJoin(r.tuples, r.col(br.Nodes[keyCol]), keys, &es.Join)
 		return nil
 	}
 	jCol := r.col(br.Nodes[jIdx])
-
-	factor, inlAllowed := env.inlThreshold()
-	useINL := inlAllowed && ev.CanBound() && len(r.tuples) > 0 && est > factor*int64(len(r.tuples))
-	if useINL {
-		es.UsedINL = true
-		jids := relop.DistinctInts(relop.Project(r.tuples, jCol))
-		subs, err := ev.Bound(br, jIdx, jids)
-		if err != nil {
-			return err
-		}
-		var out []relop.Tuple
-		for _, t := range r.tuples {
-			for _, sub := range subs[t[jCol]] {
-				nt := make(relop.Tuple, 0, len(t)+len(sub))
-				nt = append(nt, t...)
-				nt = append(nt, sub...)
-				out = append(out, nt)
-			}
-		}
-		es.Join.TuplesIn += int64(len(r.tuples))
-		es.Join.TuplesOut += int64(len(out))
-		r.cols = append(r.cols, newNodes...)
-		r.tuples = relop.DistinctTuples(out)
-		return nil
-	}
-
-	tuples, err := ev.Free(br)
-	if err != nil {
-		return err
-	}
 	tuples = relop.DistinctTuples(tuples)
 	// Project the branch tuples down to join column + new columns.
 	proj := make([]relop.Tuple, len(tuples))

@@ -1,0 +1,39 @@
+package stats
+
+import "sync/atomic"
+
+// QueryCounters are engine-lifetime query counters, maintained with atomics
+// so that concurrent sessions can bump them without a lock (and without the
+// data races a plain int64 would have under the parallel executor).
+type QueryCounters struct {
+	queries           atomic.Int64
+	parallelQueries   atomic.Int64
+	branchesEvaluated atomic.Int64
+}
+
+// CountQuery records one executed query; parallel marks it as served by the
+// parallel branch executor, and branches is the number of covering branches
+// the plan evaluated.
+func (c *QueryCounters) CountQuery(parallel bool, branches int) {
+	c.queries.Add(1)
+	if parallel {
+		c.parallelQueries.Add(1)
+	}
+	c.branchesEvaluated.Add(int64(branches))
+}
+
+// QuerySnapshot is a point-in-time copy of the counters.
+type QuerySnapshot struct {
+	Queries           int64 // queries executed
+	ParallelQueries   int64 // of which via the parallel executor
+	BranchesEvaluated int64 // covering branches evaluated across all queries
+}
+
+// Snapshot returns a consistent-enough copy (each field individually atomic).
+func (c *QueryCounters) Snapshot() QuerySnapshot {
+	return QuerySnapshot{
+		Queries:           c.queries.Load(),
+		ParallelQueries:   c.parallelQueries.Load(),
+		BranchesEvaluated: c.branchesEvaluated.Load(),
+	}
+}

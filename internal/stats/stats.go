@@ -14,14 +14,18 @@ import (
 	"repro/internal/xmldb"
 )
 
-// Stats holds match counts over the rooted schema paths of a store.
+// Stats holds match counts over the rooted schema paths of a store. After
+// Collect returns, the count maps are immutable, so concurrent readers need
+// no synchronisation; only the estimate memo cache is mutated afterwards and
+// it is guarded by a read-write latch (reads vastly outnumber writes once
+// the workload's branch patterns have been seen).
 type Stats struct {
 	ptab      *pathdict.PathTable // rooted paths
 	pathCount map[pathdict.PathID]int64
 	valCount  map[valKey]int64
 	byLast    map[pathdict.Sym][]pathdict.PathID // rooted paths by final designator
 
-	mu       sync.Mutex
+	mu       sync.RWMutex
 	estCache map[string]int64
 }
 
@@ -77,12 +81,12 @@ func (s *Stats) ValueCount(id pathdict.PathID, value string) int64 {
 // from its measurements, so estimation must stay off the critical path).
 func (s *Stats) EstimateBranch(pat []pathdict.PStep, hasValue bool, value string) int64 {
 	key := estKey(pat, hasValue, value)
-	s.mu.Lock()
-	if v, ok := s.estCache[key]; ok {
-		s.mu.Unlock()
+	s.mu.RLock()
+	v, ok := s.estCache[key]
+	s.mu.RUnlock()
+	if ok {
 		return v
 	}
-	s.mu.Unlock()
 
 	var total int64
 	for _, id := range s.byLast[pat[len(pat)-1].Sym] {

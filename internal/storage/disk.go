@@ -14,7 +14,16 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 )
+
+// Latency is a simulated device access time. The in-memory disk serves
+// reads at RAM speed, which hides the I/O overlap benefits of concurrent
+// query sessions; setting a read latency (e.g. 50–100µs for an NVMe device,
+// a few ms for spinning rust) recreates the paper's disk-resident regime,
+// where page faults dominate and parallel sessions win by overlapping
+// stalls.
+type Latency = time.Duration
 
 // PageSize is the size of every page in bytes (8KB, a common RDBMS default).
 const PageSize = 8192
@@ -31,10 +40,11 @@ const InvalidPage PageID = -1
 // atomic counters) so concurrent faults from different pool shards do not
 // serialize on the disk.
 type Disk struct {
-	mu     sync.RWMutex
-	pages  [][]byte
-	reads  atomic.Int64
-	writes atomic.Int64
+	mu      sync.RWMutex
+	pages   [][]byte
+	reads   atomic.Int64
+	writes  atomic.Int64
+	readLat atomic.Int64 // simulated per-read latency in nanoseconds
 }
 
 // NewDisk returns an empty disk.
@@ -48,8 +58,17 @@ func (d *Disk) Allocate() PageID {
 	return PageID(len(d.pages) - 1)
 }
 
-// Read copies page id into buf (which must be PageSize bytes).
+// SetReadLatency configures the simulated per-read device latency (0
+// disables it, the default). Safe to call concurrently with reads.
+func (d *Disk) SetReadLatency(lat Latency) { d.readLat.Store(int64(lat)) }
+
+// Read copies page id into buf (which must be PageSize bytes). With a
+// configured read latency the call blocks for that long, like a real device
+// would; concurrent reads of distinct pages overlap their stalls.
 func (d *Disk) Read(id PageID, buf []byte) error {
+	if lat := d.readLat.Load(); lat > 0 {
+		time.Sleep(time.Duration(lat))
+	}
 	d.mu.RLock()
 	defer d.mu.RUnlock()
 	if int(id) < 0 || int(id) >= len(d.pages) {

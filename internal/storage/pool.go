@@ -3,6 +3,7 @@ package storage
 import (
 	"fmt"
 	"sync"
+	"time"
 )
 
 // Page is a pinned page in the buffer pool, returned by value so the hot
@@ -24,6 +25,13 @@ type frame struct {
 	dirty bool
 	prev  *frame
 	next  *frame
+
+	// loading is non-nil while the faulting fetcher fills data from disk
+	// outside the shard lock (so a slow device never stalls the whole
+	// stripe); it is closed when the read completes. Concurrent fetchers of
+	// the same page pin the frame and wait on it.
+	loading chan struct{}
+	loadErr error
 }
 
 // PoolStats are cumulative buffer pool counters. PageReads is the paper's
@@ -56,6 +64,7 @@ const maxShards = 16
 // readers of distinct pages never contend on a mutex.
 type shard struct {
 	mu       sync.Mutex
+	unpinned *sync.Cond // signalled when a frame becomes evictable
 	disk     *Disk
 	capacity int
 	frames   map[PageID]*frame
@@ -78,12 +87,33 @@ type Pool struct {
 // one page).
 func NewPool(disk *Disk, capacityBytes int64) *Pool {
 	capPages := int(capacityBytes / PageSize)
+	n := 1
+	if capPages >= shardThreshold {
+		n = maxShards
+	}
+	return NewPoolShards(disk, capacityBytes, n)
+}
+
+// NewPoolShards is NewPool with an explicit lock-stripe count, for pools
+// that must stay concurrent below the auto-sharding threshold (e.g. a
+// deliberately tiny pool in a disk-resident throughput experiment: with one
+// stripe, every fault would serialize on the stripe lock and simulated
+// device stalls could never overlap). shards is clamped to [1, 16] and
+// rounded down to a power of two.
+func NewPoolShards(disk *Disk, capacityBytes int64, shards int) *Pool {
+	capPages := int(capacityBytes / PageSize)
 	if capPages < 1 {
 		capPages = 1
 	}
 	n := 1
-	if capPages >= shardThreshold {
-		n = maxShards
+	for n*2 <= shards && n*2 <= maxShards {
+		n *= 2
+	}
+	if n > capPages {
+		// At least one frame per stripe.
+		for n > 1 && n > capPages {
+			n /= 2
+		}
 	}
 	p := &Pool{
 		disk:     disk,
@@ -101,6 +131,7 @@ func NewPool(disk *Disk, capacityBytes int64) *Pool {
 		s.frames = make(map[PageID]*frame)
 		s.lru.next = &s.lru
 		s.lru.prev = &s.lru
+		s.unpinned = sync.NewCond(&s.mu)
 	}
 	return p
 }
@@ -138,17 +169,62 @@ func (p *Pool) ResetStats() {
 }
 
 // Fetch pins page id and returns it. The caller must Unpin it.
+//
+// On a miss the disk read happens outside the shard lock (a slow simulated
+// device must not stall the whole stripe); concurrent fetchers of the same
+// page wait for the in-flight read instead of issuing their own.
 func (p *Pool) Fetch(id PageID) (Page, error) {
 	s := p.shardFor(id)
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	s.stats.Fetches++
-	if f, ok := s.frames[id]; ok {
-		s.stats.Hits++
-		s.pin(f)
-		return Page{ID: id, Data: f.data, frame: f}, nil
+	for {
+		if f, ok := s.frames[id]; ok {
+			s.stats.Hits++
+			s.pin(f)
+			loading := f.loading
+			s.mu.Unlock()
+			if loading != nil {
+				<-loading
+				if err := f.loadErr; err != nil {
+					s.mu.Lock()
+					f.pins-- // dead frame, already out of the map; no ring insert
+					s.mu.Unlock()
+					return Page{}, err
+				}
+			}
+			return Page{ID: id, Data: f.data, frame: f}, nil
+		}
+		// Miss: reserve a pinned frame under the lock, then read into it.
+		if err := s.makeRoom(); err != nil {
+			s.mu.Unlock()
+			return Page{}, err
+		}
+		// makeRoom can drop the latch while waiting for an unpin; if a
+		// concurrent fetcher installed this page meanwhile, inserting a
+		// second frame would alias the page — loop back to the hit path.
+		if _, ok := s.frames[id]; !ok {
+			break
+		}
 	}
-	f, err := s.fault(id)
+	f := &frame{id: id, data: make([]byte, PageSize), pins: 1, loading: make(chan struct{})}
+	s.frames[id] = f
+	s.stats.PageReads++
+	s.mu.Unlock()
+
+	err := s.disk.Read(id, f.data)
+
+	s.mu.Lock()
+	f.loadErr = err
+	close(f.loading)
+	f.loading = nil
+	if err != nil {
+		// Failed load: withdraw the frame. Waiters still hold pins on the
+		// dead frame and drop them on wake-up (above).
+		delete(s.frames, id)
+		f.pins--
+		s.unpinned.Signal()
+	}
+	s.mu.Unlock()
 	if err != nil {
 		return Page{}, err
 	}
@@ -188,6 +264,7 @@ func (p *Pool) Unpin(pg Page, dirty bool) {
 	f.pins--
 	if f.pins == 0 {
 		s.pushBack(f)
+		s.unpinned.Signal()
 	}
 }
 
@@ -265,36 +342,59 @@ func (s *shard) pin(f *frame) {
 	f.pins++
 }
 
-func (s *shard) fault(id PageID) (*frame, error) {
-	if err := s.makeRoom(); err != nil {
-		return nil, err
+// roomWaitBudget bounds how long makeRoom waits for an unpin before
+// declaring the pool exhausted. Pins are held for microseconds (an iterator
+// on a leaf, a descent step), so a ~200ms budget rides out any transient
+// all-pinned moment while a genuinely wedged shard still errors promptly.
+// The budget is measured in elapsed time, not wake-ups: under heavy traffic
+// a woken waiter routinely loses the freed frame to a faster fetcher, and
+// counting such lost races would burn a wake-up budget in microseconds.
+const roomWaitBudget = 200 * time.Millisecond
+
+// roomWaitTick is the per-round wake-up interval of makeRoom's wait, so an
+// actually-wedged shard (capacity pinned forever) errors out instead of
+// deadlocking.
+const roomWaitTick = 20 * time.Millisecond
+
+// makeRoom ensures the shard has space for one more frame: it evicts the
+// least recently used unpinned frame, or — when every frame is momentarily
+// pinned, which tiny per-shard capacities under heavy session concurrency
+// make possible — waits (bounded) for an Unpin instead of failing.
+func (s *shard) makeRoom() error {
+	var deadline time.Time
+	for {
+		if len(s.frames) < s.capacity {
+			return nil
+		}
+		victim := s.lru.next
+		if victim != &s.lru {
+			s.unlink(victim)
+			if victim.dirty {
+				if err := s.disk.Write(victim.id, victim.data); err != nil {
+					return err
+				}
+				s.stats.PageWrites++
+			}
+			delete(s.frames, victim.id)
+			return nil
+		}
+		now := time.Now()
+		if deadline.IsZero() {
+			deadline = now.Add(roomWaitBudget)
+		} else if now.After(deadline) {
+			return fmt.Errorf("storage: buffer pool exhausted (%d pages, all pinned)", s.capacity)
+		}
+		s.waitUnpin()
 	}
-	f := &frame{id: id, data: make([]byte, PageSize), pins: 1}
-	if err := s.disk.Read(id, f.data); err != nil {
-		return nil, err
-	}
-	s.stats.PageReads++
-	s.frames[id] = f
-	return f, nil
 }
 
-// makeRoom evicts the least recently used unpinned frame if the shard is
-// full.
-func (s *shard) makeRoom() error {
-	if len(s.frames) < s.capacity {
-		return nil
-	}
-	victim := s.lru.next
-	if victim == &s.lru {
-		return fmt.Errorf("storage: buffer pool exhausted (%d pages, all pinned)", s.capacity)
-	}
-	s.unlink(victim)
-	if victim.dirty {
-		if err := s.disk.Write(victim.id, victim.data); err != nil {
-			return err
-		}
-		s.stats.PageWrites++
-	}
-	delete(s.frames, victim.id)
-	return nil
+// waitUnpin blocks on the shard's unpin signal for at most roomWaitTick.
+func (s *shard) waitUnpin() {
+	t := time.AfterFunc(roomWaitTick, func() {
+		s.mu.Lock()
+		s.unpinned.Broadcast()
+		s.mu.Unlock()
+	})
+	defer t.Stop()
+	s.unpinned.Wait()
 }

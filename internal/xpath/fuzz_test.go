@@ -1,0 +1,108 @@
+package xpath
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse throws arbitrary strings at the query parser. A parse must
+// never panic; on success the pattern must be structurally sound (output
+// node reachable, branches non-empty and rooted) and its String rendering
+// must re-parse to a pattern of identical shape — the property the
+// Pattern.String doc promises. Renderings of values containing quote
+// characters are not re-parseable (the grammar has no escapes), so the
+// round-trip is only asserted for quote-free inputs.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		`/book[title='XML']//author[fn='jane' and ln='doe']`,
+		`/site[people/person/profile/@income = 46814.17]/open_auctions/open_auction[@increase = 75.00]`,
+		`/site//item[quantity = 2][location = 'United States']/mailbox/mail/to`,
+		`//a`,
+		`/a/b/c`,
+		`/a[. = 'v']`,
+		`/a[b][c]//d[@e = '1']`,
+		`/a[b = "x"]`,
+		`//a[//b = '2']`,
+		`/a[`, `a`, `/`, `//`, `/@`, `/a[]`, `/a[b=]`, `/a 'b'`, `/a[.='x`,
+		`/a[b and c]`, `/and//and[and and and]`, `/a[0.5]`, `/a[. = .5]`,
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, q string) {
+		pat, err := Parse(q)
+		if err != nil {
+			return
+		}
+		checkSound(t, q, pat)
+		if strings.ContainsAny(q, `'"`) {
+			return
+		}
+		rendered := pat.String()
+		pat2, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("rendering %q of %q does not re-parse: %v", rendered, q, err)
+		}
+		if !sameShape(pat.Root, pat2.Root) || pat2.Output == nil ||
+			pat.Output.Label != pat2.Output.Label {
+			t.Fatalf("round-trip changed the pattern: %q -> %q", q, rendered)
+		}
+		// Rendering is stable once normalised.
+		if r2 := pat2.String(); r2 != rendered {
+			t.Fatalf("rendering not idempotent: %q -> %q -> %q", q, rendered, r2)
+		}
+	})
+}
+
+// checkSound asserts structural invariants every parsed pattern must have.
+func checkSound(t *testing.T, q string, pat *Pattern) {
+	t.Helper()
+	if pat.Root == nil || pat.Output == nil {
+		t.Fatalf("%q: nil root or output", q)
+	}
+	found := false
+	for n := pat.Output; n != nil; n = n.Parent {
+		if n == pat.Root {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("%q: output not reachable from root via parents", q)
+	}
+	branches := pat.Branches()
+	if len(branches) == 0 {
+		t.Fatalf("%q: no branches", q)
+	}
+	onBranch := false
+	for _, br := range branches {
+		if len(br.Nodes) == 0 || len(br.Nodes) != len(br.Steps) {
+			t.Fatalf("%q: malformed branch %v", q, br)
+		}
+		if br.Nodes[0] != pat.Root {
+			t.Fatalf("%q: branch not rooted", q)
+		}
+		if br.OutputIndex(pat.Output) >= 0 {
+			onBranch = true
+		}
+	}
+	if !onBranch {
+		t.Fatalf("%q: output node on no branch", q)
+	}
+	if pat.NodeCount() <= 0 {
+		t.Fatalf("%q: NodeCount = %d", q, pat.NodeCount())
+	}
+}
+
+// sameShape compares two pattern trees structurally.
+func sameShape(a, b *Node) bool {
+	if a.Label != b.Label || a.Axis != b.Axis ||
+		a.HasValue != b.HasValue || a.Value != b.Value ||
+		len(a.Children) != len(b.Children) {
+		return false
+	}
+	for i := range a.Children {
+		if !sameShape(a.Children[i], b.Children[i]) {
+			return false
+		}
+	}
+	return true
+}

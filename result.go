@@ -31,26 +31,33 @@ type Node struct {
 	Path  string // slash-separated label path from the document root
 }
 
-// Nodes materialises the matched nodes.
+// Nodes materialises the matched nodes (under the database's shared lock,
+// so it is safe to call concurrently with Insert/Delete; ids whose nodes
+// have since been deleted are skipped).
 func (r *Result) Nodes() []Node {
 	out := make([]Node, 0, len(r.IDs))
-	for _, id := range r.IDs {
-		n := r.db.eng.Store().NodeByID(id)
-		if n == nil {
-			continue
+	r.db.eng.ViewNodes(func(byID func(int64) *xmldb.Node) {
+		for _, id := range r.IDs {
+			n := byID(id)
+			if n == nil {
+				continue
+			}
+			out = append(out, Node{ID: id, Label: n.Label, Value: n.Value, Path: n.Path()})
 		}
-		out = append(out, Node{ID: id, Label: n.Label, Value: n.Value, Path: n.Path()})
-	}
+	})
 	return out
 }
 
-// WriteXML serialises the subtree of one matched node to w.
+// WriteXML serialises the subtree of one matched node to w, under the
+// database's shared lock.
 func (r *Result) WriteXML(w io.Writer, id int64) error {
-	n := r.db.eng.Store().NodeByID(id)
-	if n == nil {
-		return fmt.Errorf("twigdb: no node with id %d", id)
-	}
-	return xmldb.WriteXML(w, n)
+	err := fmt.Errorf("twigdb: no node with id %d", id)
+	r.db.eng.ViewNodes(func(byID func(int64) *xmldb.Node) {
+		if n := byID(id); n != nil {
+			err = xmldb.WriteXML(w, n)
+		}
+	})
+	return err
 }
 
 // String summarises the result for logs and examples.

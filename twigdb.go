@@ -27,13 +27,15 @@
 package twigdb
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"strings"
+	"sync"
+	"time"
 
 	"repro/internal/engine"
 	"repro/internal/index"
-	"repro/internal/naive"
 	"repro/internal/plan"
 	"repro/internal/xmldb"
 	"repro/internal/xpath"
@@ -169,10 +171,22 @@ type Options struct {
 	// KeepHead, when set, prunes DATAPATHS rows headed at data nodes for
 	// which it returns false (Section 4.3 workload-based pruning).
 	KeepHead func(int64) bool
+
+	// SimulatedDiskReadLatency, when > 0, makes every buffer pool miss
+	// block for that long, recreating the paper's disk-resident regime (a
+	// real device would stall the session; concurrent sessions overlap
+	// their stalls). Zero — the default — serves misses at memory speed.
+	SimulatedDiskReadLatency time.Duration
 }
 
 // DB is an XML database instance: a forest of loaded documents plus any
 // subset of the index family.
+//
+// A DB is safe for concurrent use: any number of goroutines may query it
+// (Query, QueryWith, QueryParallel, QueryBatch) while others call Insert,
+// Delete, or Build — queries run under a shared lock and mutations under an
+// exclusive one, so every query observes a consistent snapshot. See
+// docs/CONCURRENCY.md for the exact guarantees and the locking hierarchy.
 type DB struct {
 	eng *engine.DB
 }
@@ -189,6 +203,7 @@ func Open(opts *Options) *DB {
 			PathIDKeys: opts.CompressSchemaPaths,
 			KeepHead:   opts.KeepHead,
 		}
+		cfg.DiskReadLatency = opts.SimulatedDiskReadLatency
 	}
 	return &DB{eng: engine.New(cfg)}
 }
@@ -225,22 +240,79 @@ func (db *DB) Query(q string) (*Result, error) { return db.QueryWith(Auto, q) }
 
 // QueryWith evaluates a query under an explicit strategy.
 func (db *DB) QueryWith(strat Strategy, q string) (*Result, error) {
+	return db.queryWith(strat, q, 1)
+}
+
+// QueryParallel evaluates a query under an explicit strategy (Auto allowed)
+// with the parallel twig executor: the pattern's branches are evaluated
+// concurrently on up to `workers` goroutines and merged with the usual
+// positional joins. Results are identical to QueryWith's. workers <= 0
+// picks GOMAXPROCS; workers == 1 is exactly QueryWith.
+func (db *DB) QueryParallel(strat Strategy, q string, workers int) (*Result, error) {
+	return db.queryWith(strat, q, workers)
+}
+
+// QueryBatch serves all queries concurrently against the shared buffer
+// pool, each as its own session on a bounded pool of `workers` goroutines —
+// the N-in-flight-queries API behind the repository's throughput
+// benchmarks. Results are positional (results[i] answers queries[i]); any
+// failed queries leave a nil slot and their errors are joined into the
+// returned error.
+func (db *DB) QueryBatch(strat Strategy, queries []string, workers int) ([]*Result, error) {
+	if workers <= 0 {
+		workers = 1
+	}
+	if workers > len(queries) {
+		workers = len(queries)
+	}
+	results := make([]*Result, len(queries))
+	errs := make([]error, len(queries))
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				results[i], errs[i] = db.QueryWith(strat, queries[i])
+			}
+		}()
+	}
+	for i := range queries {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return results, errors.Join(errs...)
+}
+
+// queryWith is the shared execution path: branchWorkers == 1 runs the
+// serial executor, > 1 (or 0 for GOMAXPROCS) the parallel one.
+func (db *DB) queryWith(strat Strategy, q string, branchWorkers int) (*Result, error) {
 	pat, err := xpath.Parse(q)
 	if err != nil {
 		return nil, err
 	}
 	if strat == Oracle {
-		ids := naive.Match(db.eng.Store(), pat)
+		ids := db.eng.MatchNaive(pat)
 		return &Result{Query: q, Strategy: Oracle, IDs: ids, db: db}, nil
 	}
-	ps := strategyToInternal[strat]
+	var ids []int64
+	var es *plan.ExecStats
+	var ps plan.Strategy
 	if strat == Auto {
-		ps, err = db.eng.DefaultStrategy()
-		if err != nil {
-			return nil, err
+		// Resolution and execution share one engine critical section, so a
+		// concurrent Insert/Delete can't invalidate the chosen index in
+		// between.
+		ids, es, ps, err = db.eng.QueryPatternBest(pat, branchWorkers)
+	} else {
+		ps = strategyToInternal[strat]
+		if branchWorkers == 1 {
+			ids, es, err = db.eng.QueryPattern(pat, ps)
+		} else {
+			ids, es, err = db.eng.QueryPatternParallel(pat, ps, branchWorkers)
 		}
 	}
-	ids, es, err := db.eng.QueryPattern(pat, ps)
 	if err != nil {
 		return nil, err
 	}
@@ -268,6 +340,25 @@ func (db *DB) QueryWith(strat Strategy, q string) (*Result, error) {
 	return res, nil
 }
 
+// QueryStats is a snapshot of the database's lifetime query counters
+// (maintained with atomics, so reading them is safe and cheap at any
+// moment, including mid-traffic).
+type QueryStats struct {
+	Queries           int64 // indexed queries executed (Oracle not counted)
+	ParallelQueries   int64 // of which actually fanned branches out over workers
+	BranchesEvaluated int64 // covering branches evaluated across all queries
+}
+
+// QueryStats returns the lifetime query counters.
+func (db *DB) QueryStats() QueryStats {
+	s := db.eng.QueryCounters()
+	return QueryStats{
+		Queries:           s.Queries,
+		ParallelQueries:   s.ParallelQueries,
+		BranchesEvaluated: s.BranchesEvaluated,
+	}
+}
+
 // ExecStats reports the work a query performed — the machine-independent
 // counters behind the repository's reproduction of the paper's timings.
 type ExecStats struct {
@@ -289,15 +380,14 @@ func (db *DB) Explain(strat Strategy, q string) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	ps := strategyToInternal[strat]
-	if strat == Auto {
-		if ps, err = db.eng.DefaultStrategy(); err != nil {
-			return "", err
-		}
-	} else if strat == Oracle {
+	if strat == Oracle {
 		return "naive in-memory twig matching (no indices)\n", nil
 	}
-	return db.eng.Explain(pat, ps)
+	if strat == Auto {
+		out, _, err := db.eng.ExplainBest(pat)
+		return out, err
+	}
+	return db.eng.Explain(pat, strategyToInternal[strat])
 }
 
 // Insert parses xmlFragment as a standalone element and attaches it as the
@@ -355,4 +445,4 @@ func (db *DB) IndexSpaces() []IndexSpace {
 }
 
 // NodeCount returns the number of element and attribute nodes loaded.
-func (db *DB) NodeCount() int { return db.eng.Store().NodeCount() }
+func (db *DB) NodeCount() int { return db.eng.NodeCount() }
