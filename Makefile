@@ -7,7 +7,7 @@ BENCHES = BenchmarkInsert|BenchmarkBuildAll|BenchmarkConcurrentQuery
 # Short-budget fuzz smoke for CI (full runs: go test -fuzz=... by hand).
 FUZZTIME ?= 10s
 
-.PHONY: all build vet test race fuzz ci bench bench1 bench2
+.PHONY: all build vet test race fuzz recover ci bench bench1 bench2 bench3
 
 all: test
 
@@ -33,11 +33,16 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzEncodeRoundTrip -fuzztime $(FUZZTIME) ./internal/idlist/
 	$(GO) test -run '^$$' -fuzz FuzzParse -fuzztime $(FUZZTIME) ./internal/xpath/
 
+# Crash-recovery torture: random WAL kill-points + differential oracle
+# verification, under the race detector (see docs/STORAGE.md).
+recover:
+	$(GO) test -race -run 'TestCrashRecoveryTorture|TestPersist|TestFileDisk' ./internal/engine/ ./internal/storage/
+
 # Everything CI runs, in order.
-ci: test race fuzz
+ci: test race fuzz recover
 
 # Machine-readable trajectory entries at the repo root.
-bench: bench1 bench2
+bench: bench1 bench2 bench3
 
 # Micro-benchmarks with allocation reporting -> BENCH_1.json.
 bench1:
@@ -47,3 +52,8 @@ bench1:
 # disk-resident regimes) -> BENCH_2.json.
 bench2:
 	$(GO) run ./cmd/twigbench -parallel -out BENCH_2.json
+
+# File-backed storage: build/close/reopen + cold-cache query regimes
+# (in-memory vs file-backed vs simulated-latency) -> BENCH_3.json.
+bench3:
+	$(GO) run ./cmd/twigbench -file -out BENCH_3.json

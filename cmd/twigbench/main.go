@@ -5,12 +5,16 @@
 //
 //	twigbench [-scale N] [-exp all|space|fig11|fig12a|fig12b|fig12c|fig12d|fig13|recursion|compress|tables]
 //	twigbench -parallel [-workers N] [-queries N] [-iolat D] [-iopoolkb KB] [-out BENCH_2.json]
+//	twigbench -file [-iopoolkb KB] [-out BENCH_3.json]
 //
 // The -scale flag multiplies the synthetic dataset sizes (default 1).
 // -parallel runs the concurrent-session throughput experiment: the XMark
 // workload served by 1 session vs -workers sessions over one buffer pool,
 // in a memory-resident and a simulated disk-resident regime, writing the
 // machine-readable result to -out.
+// -file runs the durable storage experiment: build, close, reopen and
+// cold-cache query a file-backed database, comparing in-memory,
+// file-backed and simulated-latency regimes, writing the result to -out.
 package main
 
 import (
@@ -26,14 +30,39 @@ func main() {
 	scale := flag.Int("scale", bench.Scale(), "dataset scale multiplier")
 	exp := flag.String("exp", "all", "experiment to run")
 	parallel := flag.Bool("parallel", false, "run the concurrent-session throughput experiment")
+	file := flag.Bool("file", false, "run the file-backed storage experiment (build, reopen, cold-cache query)")
 	workers := flag.Int("workers", 8, "concurrent sessions in the -parallel run")
 	queries := flag.Int("queries", 1600, "total queries per -parallel run")
 	iolat := flag.Duration("iolat", 200*time.Microsecond, "simulated per-miss read latency of the disk-resident regime (0 disables the regime)")
 	iopoolkb := flag.Int("iopoolkb", 512, "buffer pool KB of the disk-resident regime")
-	out := flag.String("out", "BENCH_2.json", "output path for the -parallel JSON result")
+	out := flag.String("out", "", "output path for the -parallel/-file JSON result (default BENCH_2.json / BENCH_3.json)")
 	flag.Parse()
 
+	if *file {
+		if *out == "" {
+			*out = "BENCH_3.json"
+		}
+		cfg := bench.DefaultPersistConfig()
+		cfg.Scale = *scale
+		cfg.ColdPoolBytes = int64(*iopoolkb) << 10
+		res, err := bench.PersistExperiment(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "twigbench:", err)
+			os.Exit(1)
+		}
+		fmt.Print(res.String())
+		if err := res.WriteJSON(*out); err != nil {
+			fmt.Fprintln(os.Stderr, "twigbench:", err)
+			os.Exit(1)
+		}
+		fmt.Println("wrote", *out)
+		return
+	}
+
 	if *parallel {
+		if *out == "" {
+			*out = "BENCH_2.json"
+		}
 		cfg := bench.DefaultParallelConfig()
 		cfg.Scale = *scale
 		cfg.Workers = *workers

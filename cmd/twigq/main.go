@@ -59,7 +59,7 @@ func run(indexList, strategy, query string, show, explain bool, files []string) 
 		return fmt.Errorf("unknown strategy %q", strategy)
 	}
 
-	db := twigdb.Open(nil)
+	db := twigdb.MustOpen(nil)
 	if len(files) == 0 {
 		fmt.Fprintln(os.Stderr, "twigq: no files given; loading built-in synthetic XMark dataset")
 		var b strings.Builder

@@ -24,7 +24,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	db := twigdb.Open(nil)
+	db := twigdb.MustOpen(nil)
 	if err := db.LoadXMLString(xml.String()); err != nil {
 		log.Fatal(err)
 	}

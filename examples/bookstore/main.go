@@ -40,7 +40,7 @@ func catalog(n int) string {
 }
 
 func main() {
-	db := twigdb.Open(&twigdb.Options{BufferPoolBytes: 16 << 20})
+	db := twigdb.MustOpen(&twigdb.Options{BufferPoolBytes: 16 << 20})
 	if err := db.LoadXMLString(catalog(500)); err != nil {
 		log.Fatal(err)
 	}

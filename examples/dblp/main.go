@@ -21,8 +21,8 @@ func main() {
 		log.Fatal(err)
 	}
 
-	full := twigdb.Open(nil)
-	compressed := twigdb.Open(&twigdb.Options{CompressSchemaPaths: true})
+	full := twigdb.MustOpen(nil)
+	compressed := twigdb.MustOpen(&twigdb.Options{CompressSchemaPaths: true})
 	for _, db := range []*twigdb.DB{full, compressed} {
 		if err := db.LoadXMLString(xml.String()); err != nil {
 			log.Fatal(err)

@@ -26,7 +26,7 @@ const doc = `
 </book>`
 
 func main() {
-	db := twigdb.Open(nil)
+	db := twigdb.MustOpen(nil)
 	if err := db.LoadXMLString(doc); err != nil {
 		log.Fatal(err)
 	}

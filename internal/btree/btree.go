@@ -57,6 +57,38 @@ func New(pool *storage.Pool, name string) (*Tree, error) {
 	return t, nil
 }
 
+// Meta is the durable description of a tree: everything needed to reopen
+// it over a pool whose device already holds its pages. The engine catalog
+// persists one Meta per B+-tree at every commit boundary.
+type Meta struct {
+	Name    string
+	Root    storage.PageID
+	Height  int
+	Pages   int64
+	Entries int64
+}
+
+// Meta snapshots the tree's durable description under the read latch.
+func (t *Tree) Meta() Meta {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return Meta{Name: t.name, Root: t.root, Height: t.height, Pages: t.pages, Entries: t.entries}
+}
+
+// Open reconstitutes a tree from a persisted Meta. The pages reachable
+// from m.Root must already exist on pool's device (a reopened FileDisk);
+// no I/O happens until the first operation.
+func Open(pool *storage.Pool, m Meta) *Tree {
+	return &Tree{
+		pool:    pool,
+		name:    m.Name,
+		root:    m.Root,
+		height:  m.Height,
+		pages:   m.Pages,
+		entries: m.Entries,
+	}
+}
+
 // Stats returns the tree's current shape.
 func (t *Tree) Stats() Stats {
 	t.mu.RLock()

@@ -26,73 +26,56 @@ type Entry struct {
 	Val []byte
 }
 
+// span is a half-open range [lo, hi) into a level's input slice.
+type span struct{ lo, hi int }
+
 // BulkLoad builds a tree from entries, which must be sorted by key
 // (duplicates allowed). It is the fast path for index construction: pages
 // are written once, left-to-right, at a uniform fill factor.
+//
+// Each level's layout is computed first and its pages are then reserved
+// with a single Pool.AllocateRun (one device mutex acquisition per level
+// instead of one per page), so the pages of a level are contiguous on the
+// device and the leaf chain is known before any page is written — no
+// fix-up pass re-fetching leaves to link them.
 func BulkLoad(pool *storage.Pool, name string, entries []Entry) (*Tree, error) {
-	for i := 1; i < len(entries); i++ {
-		if bytes.Compare(entries[i-1].Key, entries[i].Key) > 0 {
+	for i, e := range entries {
+		if i > 0 && bytes.Compare(entries[i-1].Key, e.Key) > 0 {
 			return nil, fmt.Errorf("btree %s: bulk load input not sorted at %d", name, i)
 		}
-	}
-	t := &Tree{pool: pool, name: name, height: 1}
-
-	limit := storage.PageSize * bulkFillPercent / 100
-
-	// Build the leaf level. Page boundaries account for prefix
-	// compression: with sorted input, the page's common prefix is the
-	// common prefix of its first key and the incoming key, so the
-	// compressed size can be tracked incrementally.
-	var (
-		leafSeps []entry // (first key, page id) per leaf, for the level above
-		cur      pageContent
-		sumFull  int // sum of uncompressed cell+slot sizes on this page
-		leafIDs  []storage.PageID
-	)
-	cur.leaf = true
-	flushLeaf := func() error {
-		if len(cur.entries) == 0 {
-			return nil
-		}
-		id, err := t.alloc(&pageContent{leaf: true, aux: storage.InvalidPage, entries: cur.entries})
-		if err != nil {
-			return err
-		}
-		leafSeps = append(leafSeps, entry{key: append([]byte(nil), cur.entries[0].key...), child: id})
-		leafIDs = append(leafIDs, id)
-		cur.entries = nil
-		sumFull = 0
-		return nil
-	}
-	for _, e := range entries {
 		if len(e.Key)+len(e.Val) > MaxEntrySize {
 			return nil, fmt.Errorf("btree %s: entry too large (%d bytes, max %d)", name, len(e.Key)+len(e.Val), MaxEntrySize)
 		}
+	}
+	t := &Tree{pool: pool, name: name, height: 1}
+	limit := storage.PageSize * bulkFillPercent / 100
+
+	// Lay out the leaf level: page boundaries account for prefix
+	// compression — with sorted input, a page's common prefix is the common
+	// prefix of its first key and the incoming key, so the compressed size
+	// is tracked incrementally.
+	var leaves []span
+	start, sumFull := 0, 0 // sumFull: uncompressed cell+slot bytes in [start, i)
+	for i, e := range entries {
 		sz := 4 + len(e.Key) + len(e.Val) + 2
-		if len(cur.entries) > 0 {
-			plen := commonPrefixLen(cur.entries[0].key, e.Key)
-			compressed := headerSize + plen + sumFull + sz - (len(cur.entries)+1)*plen
+		if i > start {
+			plen := commonPrefixLen(entries[start].Key, e.Key)
+			compressed := headerSize + plen + sumFull + sz - (i-start+1)*plen
 			if compressed > limit {
-				if err := flushLeaf(); err != nil {
-					return nil, err
-				}
+				leaves = append(leaves, span{start, i})
+				start, sumFull = i, 0
 			}
 		}
-		cur.entries = append(cur.entries, entry{
-			key: append([]byte(nil), e.Key...),
-			val: append([]byte(nil), e.Val...),
-		})
 		sumFull += sz
 	}
-	if err := flushLeaf(); err != nil {
-		return nil, err
+	if start < len(entries) {
+		leaves = append(leaves, span{start, len(entries)})
 	}
 	t.entries = int64(len(entries))
 
-	if len(leafIDs) == 0 {
+	if len(leaves) == 0 {
 		// Empty input: single empty leaf.
-		pc := pageContent{leaf: true, aux: storage.InvalidPage}
-		id, err := t.alloc(&pc)
+		id, err := t.writeNew(pool.AllocateRun(1), &pageContent{leaf: true, aux: storage.InvalidPage})
 		if err != nil {
 			return nil, err
 		}
@@ -100,68 +83,77 @@ func BulkLoad(pool *storage.Pool, name string, entries []Entry) (*Tree, error) {
 		return t, nil
 	}
 
-	// Chain the leaves.
-	for i := 0; i+1 < len(leafIDs); i++ {
-		pg, err := pool.Fetch(leafIDs[i])
+	// Write the leaves into one contiguous run, chained left to right.
+	firstLeaf := pool.AllocateRun(len(leaves))
+	level := make([]entry, len(leaves)) // (first key, page id) per node
+	var cells []entry
+	for i, sp := range leaves {
+		cells = cells[:0]
+		for _, e := range entries[sp.lo:sp.hi] {
+			cells = append(cells, entry{key: e.Key, val: e.Val})
+		}
+		next := storage.InvalidPage
+		if i+1 < len(leaves) {
+			next = firstLeaf + storage.PageID(i+1)
+		}
+		id, err := t.writeNew(firstLeaf+storage.PageID(i), &pageContent{leaf: true, aux: next, entries: cells})
 		if err != nil {
 			return nil, err
 		}
-		putI32(pg.Data[5:9], int32(leafIDs[i+1]))
-		pool.Unpin(pg, true)
+		level[i] = entry{key: entries[sp.lo].Key, child: id}
 	}
 
-	// Build internal levels bottom-up until one node remains.
-	level := leafSeps
+	// Build internal levels bottom-up until one node remains. The first
+	// child of each node becomes the leftmost pointer (no cell); its first
+	// key labels the node one level up.
 	for len(level) > 1 {
-		var (
-			next         []entry
-			node         pageContent
-			nodeFirstKey []byte
-			nodeStarted  bool
-			nodeSz       = headerSize
-		)
-		node.leaf = false
-		node.aux = storage.InvalidPage
-		flushNode := func() error {
-			if !nodeStarted {
-				return nil
+		var nodes []span
+		start, nodeSz := 0, headerSize
+		for i := range level {
+			if i == start {
+				continue // leftmost child: consumed by aux, no cell
 			}
-			id, err := t.alloc(&pageContent{leaf: false, aux: node.aux, entries: node.entries})
-			if err != nil {
-				return err
-			}
-			next = append(next, entry{key: nodeFirstKey, child: id})
-			node.entries = nil
-			node.aux = storage.InvalidPage
-			nodeFirstKey = nil
-			nodeStarted = false
-			nodeSz = headerSize
-			return nil
-		}
-		for _, sep := range level {
-			sz := 6 + len(sep.key) + 2
-			if nodeStarted && nodeSz+sz > limit {
-				if err := flushNode(); err != nil {
-					return nil, err
-				}
-			}
-			if !nodeStarted {
-				// First child of this node becomes the leftmost
-				// pointer; its first key labels the node one level up.
-				node.aux = sep.child
-				nodeFirstKey = sep.key
-				nodeStarted = true
+			sz := 6 + len(level[i].key) + 2
+			if nodeSz+sz > limit {
+				nodes = append(nodes, span{start, i})
+				start, nodeSz = i, headerSize
 			} else {
-				node.entries = append(node.entries, entry{key: sep.key, child: sep.child})
 				nodeSz += sz
 			}
 		}
-		if err := flushNode(); err != nil {
-			return nil, err
+		nodes = append(nodes, span{start, len(level)})
+
+		first := pool.AllocateRun(len(nodes))
+		next := make([]entry, len(nodes))
+		for i, sp := range nodes {
+			id, err := t.writeNew(first+storage.PageID(i), &pageContent{
+				leaf:    false,
+				aux:     level[sp.lo].child,
+				entries: level[sp.lo+1 : sp.hi],
+			})
+			if err != nil {
+				return nil, err
+			}
+			next[i] = entry{key: level[sp.lo].key, child: id}
 		}
 		level = next
 		t.height++
 	}
 	t.root = level[0].child
 	return t, nil
+}
+
+// writeNew encodes pc into the reserved (but still unwritten) page id.
+func (t *Tree) writeNew(id storage.PageID, pc *pageContent) (storage.PageID, error) {
+	pg, err := t.pool.NewPage(id)
+	if err != nil {
+		return storage.InvalidPage, err
+	}
+	t.pages++
+	err = encodePage(pc, pg.Data)
+	t.pool.Unpin(pg, true)
+	if err != nil {
+		return storage.InvalidPage, err
+	}
+	return pg.ID, nil
 }

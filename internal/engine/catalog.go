@@ -1,0 +1,545 @@
+package engine
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/btree"
+	"repro/internal/index"
+	"repro/internal/pathdict"
+	"repro/internal/storage"
+	"repro/internal/xmldb"
+)
+
+// The engine catalog is the durable root of everything above the page
+// device: the XML store (documents with their node ids and the id
+// counter), the shared designator dictionary and path table, and one
+// snapshot per built index structure (B+-tree roots plus the small
+// in-memory registries). It is serialised at every commit boundary into a
+// chain of ordinary pages — [4B next page id][2B payload length][payload]
+// — whose head the commit record carries as CatalogRoot, so the catalog is
+// covered by exactly the same WAL/commit/checkpoint discipline as the
+// index pages it describes.
+//
+// Catalog layout (all integers varint/uvarint unless noted):
+//
+//	magic "TWIGCAT1", version
+//	store:   nextID, #docs, then each document tree in pre-order
+//	         (id, label, hasValue[, value], #children, children...)
+//	dict:    #labels, labels in symbol order
+//	ptab:    #paths, each path as #syms + syms
+//	present: u8 bitmask over the persistable index kinds
+//	per present index: its snapshot (see encode below)
+
+const (
+	catalogMagic   = "TWIGCAT1"
+	catalogVersion = 1
+
+	// catalogPageHeader is [4B next][2B length] at the head of each page.
+	catalogPageHeader = 6
+	catalogPageCap    = storage.PageSize - catalogPageHeader
+)
+
+// Presence-mask bits, fixed by the file format (do not reorder).
+const (
+	catHasRP = 1 << iota
+	catHasDP
+	catHasEdge
+	catHasDG
+	catHasIF
+	catHasASR
+	catHasJI
+	catHasXRel
+)
+
+// ---------------------------------------------------------------- encoding
+
+type catWriter struct{ b []byte }
+
+func (w *catWriter) u8(v byte)        { w.b = append(w.b, v) }
+func (w *catWriter) uvarint(v uint64) { w.b = binary.AppendUvarint(w.b, v) }
+func (w *catWriter) str(s string) {
+	w.uvarint(uint64(len(s)))
+	w.b = append(w.b, s...)
+}
+func (w *catWriter) bool(v bool) {
+	if v {
+		w.u8(1)
+	} else {
+		w.u8(0)
+	}
+}
+func (w *catWriter) path(p pathdict.Path) {
+	w.uvarint(uint64(len(p)))
+	for _, s := range p {
+		w.uvarint(uint64(s))
+	}
+}
+func (w *catWriter) paths(ps []pathdict.Path) {
+	w.uvarint(uint64(len(ps)))
+	for _, p := range ps {
+		w.path(p)
+	}
+}
+func (w *catWriter) treeMeta(m btree.Meta) {
+	w.str(m.Name)
+	w.uvarint(uint64(uint32(m.Root)))
+	w.uvarint(uint64(m.Height))
+	w.uvarint(uint64(m.Pages))
+	w.uvarint(uint64(m.Entries))
+}
+func (w *catWriter) node(n *xmldb.Node) {
+	w.uvarint(uint64(n.ID))
+	w.str(n.Label)
+	w.bool(n.HasValue)
+	if n.HasValue {
+		w.str(n.Value)
+	}
+	w.uvarint(uint64(len(n.Children)))
+	for _, c := range n.Children {
+		w.node(c)
+	}
+}
+func (w *catWriter) pathsOptions(o index.PathsOptions) {
+	var flags byte
+	if o.RawIDs {
+		flags |= 1
+	}
+	if o.PathIDKeys {
+		flags |= 2
+	}
+	w.u8(flags)
+}
+
+// encodeCatalog serialises the engine's durable state. Callers hold the
+// exclusive engine lock.
+func encodeCatalog(db *DB) []byte {
+	w := &catWriter{b: make([]byte, 0, 4096)}
+	w.b = append(w.b, catalogMagic...)
+	w.uvarint(catalogVersion)
+
+	// Store.
+	w.uvarint(uint64(db.store.NextID()))
+	w.uvarint(uint64(len(db.store.Docs)))
+	for _, d := range db.store.Docs {
+		w.node(d.Root)
+	}
+
+	// Dictionary: labels in symbol order, so re-interning reproduces syms.
+	n := db.dict.Size()
+	w.uvarint(uint64(n))
+	for s := 1; s <= n; s++ {
+		w.str(db.dict.Label(pathdict.Sym(s)))
+	}
+
+	// Shared path table.
+	var shared []pathdict.Path
+	db.ptab.All(func(_ pathdict.PathID, p pathdict.Path) { shared = append(shared, p) })
+	w.paths(shared)
+
+	// Index snapshots.
+	var mask byte
+	if db.env.RP != nil {
+		mask |= catHasRP
+	}
+	if db.env.DP != nil {
+		mask |= catHasDP
+	}
+	if db.env.Edge != nil {
+		mask |= catHasEdge
+	}
+	if db.env.DG != nil {
+		mask |= catHasDG
+	}
+	if db.env.IF != nil {
+		mask |= catHasIF
+	}
+	if db.env.ASR != nil {
+		mask |= catHasASR
+	}
+	if db.env.JI != nil {
+		mask |= catHasJI
+	}
+	if db.env.XRel != nil {
+		mask |= catHasXRel
+	}
+	w.u8(mask)
+
+	if rp := db.env.RP; rp != nil {
+		w.pathsOptions(rp.Options())
+		w.treeMeta(rp.TreeMeta())
+	}
+	if dp := db.env.DP; dp != nil {
+		w.pathsOptions(dp.Options())
+		w.treeMeta(dp.TreeMeta())
+	}
+	if e := db.env.Edge; e != nil {
+		v, f, b := e.TreeMetas()
+		w.treeMeta(v)
+		w.treeMeta(f)
+		w.treeMeta(b)
+	}
+	if dg := db.env.DG; dg != nil {
+		var ps []pathdict.Path
+		dg.Paths().All(func(_ pathdict.PathID, p pathdict.Path) { ps = append(ps, p) })
+		w.paths(ps)
+		w.treeMeta(dg.TreeMeta())
+	}
+	if f := db.env.IF; f != nil {
+		w.treeMeta(f.TreeMeta())
+	}
+	if a := db.env.ASR; a != nil {
+		s := a.Snapshot()
+		w.paths(s.Paths)
+		for _, m := range s.Tables {
+			w.treeMeta(m)
+		}
+		w.uvarint(uint64(len(s.Rooted)))
+		for _, id := range s.Rooted {
+			w.uvarint(uint64(id))
+		}
+		w.uvarint(uint64(len(s.Roots)))
+		for _, id := range s.Roots {
+			w.uvarint(uint64(id))
+		}
+	}
+	if j := db.env.JI; j != nil {
+		s := j.Snapshot()
+		w.paths(s.Paths)
+		for i := range s.Paths {
+			w.treeMeta(s.Fwd[i])
+			w.treeMeta(s.Bwd[i])
+		}
+		w.uvarint(uint64(len(s.Rooted)))
+		for _, id := range s.Rooted {
+			w.uvarint(uint64(id))
+		}
+		w.uvarint(uint64(len(s.Roots)))
+		for _, id := range s.Roots {
+			w.uvarint(uint64(id))
+		}
+	}
+	if x := db.env.XRel; x != nil {
+		s := x.Snapshot()
+		w.paths(s.Paths)
+		w.treeMeta(s.Tree)
+	}
+	return w.b
+}
+
+// ---------------------------------------------------------------- decoding
+
+type catReader struct {
+	b   []byte
+	err error
+}
+
+func (r *catReader) fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf("engine: corrupt catalog: "+format, args...)
+	}
+}
+func (r *catReader) u8() byte {
+	if r.err != nil {
+		return 0
+	}
+	if len(r.b) < 1 {
+		r.fail("truncated byte")
+		return 0
+	}
+	v := r.b[0]
+	r.b = r.b[1:]
+	return v
+}
+func (r *catReader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.b)
+	if n <= 0 {
+		r.fail("truncated uvarint")
+		return 0
+	}
+	r.b = r.b[n:]
+	return v
+}
+func (r *catReader) str() string {
+	n := r.uvarint()
+	if r.err != nil {
+		return ""
+	}
+	if uint64(len(r.b)) < n {
+		r.fail("truncated string (%d bytes)", n)
+		return ""
+	}
+	s := string(r.b[:n])
+	r.b = r.b[n:]
+	return s
+}
+func (r *catReader) bool() bool { return r.u8() != 0 }
+func (r *catReader) path() pathdict.Path {
+	n := r.uvarint()
+	if r.err != nil || n > uint64(len(r.b)) {
+		r.fail("bad path length %d", n)
+		return nil
+	}
+	p := make(pathdict.Path, 0, n)
+	for i := uint64(0); i < n; i++ {
+		p = append(p, pathdict.Sym(r.uvarint()))
+	}
+	return p
+}
+func (r *catReader) paths() []pathdict.Path {
+	n := r.uvarint()
+	if r.err != nil || n > uint64(len(r.b)) {
+		r.fail("bad path count %d", n)
+		return nil
+	}
+	ps := make([]pathdict.Path, 0, n)
+	for i := uint64(0); i < n; i++ {
+		ps = append(ps, r.path())
+	}
+	return ps
+}
+func (r *catReader) treeMeta() btree.Meta {
+	return btree.Meta{
+		Name:    r.str(),
+		Root:    storage.PageID(int32(uint32(r.uvarint()))),
+		Height:  int(r.uvarint()),
+		Pages:   int64(r.uvarint()),
+		Entries: int64(r.uvarint()),
+	}
+}
+func (r *catReader) node(depth int) *xmldb.Node {
+	if depth > 100000 {
+		r.fail("node nesting too deep")
+		return nil
+	}
+	n := &xmldb.Node{ID: int64(r.uvarint()), Label: r.str()}
+	if r.bool() {
+		n.HasValue = true
+		n.Value = r.str()
+	}
+	kids := r.uvarint()
+	if r.err != nil || kids > uint64(len(r.b)) {
+		r.fail("bad child count %d", kids)
+		return n
+	}
+	for i := uint64(0); i < kids; i++ {
+		c := r.node(depth + 1)
+		if r.err != nil {
+			return n
+		}
+		c.Parent = n
+		n.Children = append(n.Children, c)
+	}
+	return n
+}
+func (r *catReader) pathsOptions() index.PathsOptions {
+	flags := r.u8()
+	return index.PathsOptions{RawIDs: flags&1 != 0, PathIDKeys: flags&2 != 0}
+}
+
+// decodeCatalog restores the engine's durable state from blob. Called
+// during Open, before the DB is shared.
+func decodeCatalog(db *DB, blob []byte) error {
+	r := &catReader{b: blob}
+	if len(blob) < len(catalogMagic) || string(blob[:len(catalogMagic)]) != catalogMagic {
+		return fmt.Errorf("engine: corrupt catalog: bad magic")
+	}
+	r.b = r.b[len(catalogMagic):]
+	if v := r.uvarint(); r.err == nil && v != catalogVersion {
+		return fmt.Errorf("engine: unsupported catalog version %d", v)
+	}
+
+	// Store.
+	nextID := int64(r.uvarint())
+	nDocs := r.uvarint()
+	if r.err != nil || nDocs > uint64(len(r.b)) {
+		return fmt.Errorf("engine: corrupt catalog: bad document count")
+	}
+	store := xmldb.NewStore()
+	for i := uint64(0); i < nDocs; i++ {
+		root := r.node(0)
+		if r.err != nil {
+			return r.err
+		}
+		store.RestoreDocument(&xmldb.Document{Root: root})
+	}
+	store.SetNextID(nextID)
+
+	// Dictionary.
+	dict := pathdict.NewDict()
+	nLabels := r.uvarint()
+	if r.err != nil || nLabels > uint64(len(r.b))+1 {
+		return fmt.Errorf("engine: corrupt catalog: bad label count")
+	}
+	for i := uint64(0); i < nLabels; i++ {
+		dict.Intern(r.str())
+	}
+
+	// Shared path table.
+	ptab := pathdict.NewPathTable()
+	for _, p := range r.paths() {
+		ptab.Intern(p)
+	}
+	if r.err != nil {
+		return r.err
+	}
+
+	mask := r.u8()
+	if r.err != nil {
+		return r.err
+	}
+
+	db.store = store
+	db.dict = dict
+	db.ptab = ptab
+	db.env.Store = store
+	db.env.Dict = dict
+
+	if mask&catHasRP != 0 {
+		opts := r.pathsOptions()
+		m := r.treeMeta()
+		if r.err == nil {
+			db.env.RP = index.OpenRootPaths(db.pool, dict, ptab, m, opts)
+		}
+	}
+	if mask&catHasDP != 0 {
+		opts := r.pathsOptions()
+		opts.KeepHead = db.cfg.PathsOptions.KeepHead // not serialisable; re-supplied
+		m := r.treeMeta()
+		if r.err == nil {
+			db.env.DP = index.OpenDataPaths(db.pool, dict, ptab, m, opts)
+		}
+	}
+	if mask&catHasEdge != 0 {
+		v, f, b := r.treeMeta(), r.treeMeta(), r.treeMeta()
+		if r.err == nil {
+			db.env.Edge = index.OpenEdge(db.pool, dict, v, f, b)
+		}
+	}
+	if mask&catHasDG != 0 {
+		ps := r.paths()
+		m := r.treeMeta()
+		if r.err == nil {
+			db.env.DG = index.OpenDataGuide(db.pool, dict, ps, m)
+		}
+	}
+	if mask&catHasIF != 0 {
+		m := r.treeMeta()
+		if r.err == nil {
+			db.env.IF = index.OpenIndexFabric(db.pool, dict, m)
+		}
+	}
+	if mask&catHasASR != 0 {
+		var s index.ASRSnapshot
+		s.Paths = r.paths()
+		for range s.Paths {
+			s.Tables = append(s.Tables, r.treeMeta())
+		}
+		for i, n := uint64(0), r.uvarint(); i < n && r.err == nil; i++ {
+			s.Rooted = append(s.Rooted, pathdict.PathID(r.uvarint()))
+		}
+		for i, n := uint64(0), r.uvarint(); i < n && r.err == nil; i++ {
+			s.Roots = append(s.Roots, int64(r.uvarint()))
+		}
+		if r.err == nil {
+			db.env.ASR = index.OpenASR(db.pool, dict, s)
+		}
+	}
+	if mask&catHasJI != 0 {
+		var s index.JoinIndexSnapshot
+		s.Paths = r.paths()
+		for range s.Paths {
+			s.Fwd = append(s.Fwd, r.treeMeta())
+			s.Bwd = append(s.Bwd, r.treeMeta())
+		}
+		for i, n := uint64(0), r.uvarint(); i < n && r.err == nil; i++ {
+			s.Rooted = append(s.Rooted, pathdict.PathID(r.uvarint()))
+		}
+		for i, n := uint64(0), r.uvarint(); i < n && r.err == nil; i++ {
+			s.Roots = append(s.Roots, int64(r.uvarint()))
+		}
+		if r.err == nil {
+			db.env.JI = index.OpenJoinIndex(db.pool, dict, s)
+		}
+	}
+	if mask&catHasXRel != 0 {
+		var s index.XRelSnapshot
+		s.Paths = r.paths()
+		s.Tree = r.treeMeta()
+		if r.err == nil {
+			db.env.XRel = index.OpenXRel(db.pool, dict, s)
+		}
+	}
+	return r.err
+}
+
+// ------------------------------------------------------------- page chain
+
+// writeCatalogChain writes blob across a chain of pages, reusing the ids
+// in reuse (the previous catalog's pages — safe because every overwrite is
+// a WAL frame that only supersedes the old image at the next commit) and
+// allocating more from dev as needed. It returns the chain head and the
+// full page set to reuse next time.
+func writeCatalogChain(dev storage.Device, reuse []storage.PageID, blob []byte) (storage.PageID, []storage.PageID, error) {
+	n := (len(blob) + catalogPageCap - 1) / catalogPageCap
+	if n == 0 {
+		n = 1
+	}
+	if n > len(reuse) {
+		grow := n - len(reuse)
+		first := dev.AllocateN(grow)
+		for i := 0; i < grow; i++ {
+			reuse = append(reuse, first+storage.PageID(i))
+		}
+	}
+	buf := make([]byte, storage.PageSize)
+	for i := 0; i < n; i++ {
+		next := storage.InvalidPage
+		if i+1 < n {
+			next = reuse[i+1]
+		}
+		lo := i * catalogPageCap
+		hi := lo + catalogPageCap
+		if hi > len(blob) {
+			hi = len(blob)
+		}
+		for j := range buf {
+			buf[j] = 0
+		}
+		binary.BigEndian.PutUint32(buf[0:4], uint32(next))
+		binary.BigEndian.PutUint16(buf[4:6], uint16(hi-lo))
+		copy(buf[catalogPageHeader:], blob[lo:hi])
+		if err := dev.Write(reuse[i], buf); err != nil {
+			return storage.InvalidPage, reuse, fmt.Errorf("engine: writing catalog page: %w", err)
+		}
+	}
+	return reuse[0], reuse, nil
+}
+
+// readCatalogChain reads the catalog blob starting at root and returns it
+// with the chain's page ids (kept for reuse by the next commit).
+func readCatalogChain(dev storage.Device, root storage.PageID) ([]byte, []storage.PageID, error) {
+	var blob []byte
+	var pages []storage.PageID
+	buf := make([]byte, storage.PageSize)
+	for id := root; id != storage.InvalidPage; {
+		if len(pages) > dev.NumPages() {
+			return nil, nil, fmt.Errorf("engine: catalog page chain cycle at %d", id)
+		}
+		if err := dev.Read(id, buf); err != nil {
+			return nil, nil, fmt.Errorf("engine: reading catalog page %d: %w", id, err)
+		}
+		pages = append(pages, id)
+		next := storage.PageID(int32(binary.BigEndian.Uint32(buf[0:4])))
+		n := int(binary.BigEndian.Uint16(buf[4:6]))
+		if n > catalogPageCap {
+			return nil, nil, fmt.Errorf("engine: catalog page %d has bad length %d", id, n)
+		}
+		blob = append(blob, buf[catalogPageHeader:catalogPageHeader+n]...)
+		id = next
+	}
+	return blob, pages, nil
+}

@@ -36,6 +36,11 @@ type Config struct {
 	// default); needed when a deliberately tiny pool must still serve
 	// concurrent faults.
 	PoolShards int
+	// Path, when non-empty, backs the database with a durable paged file
+	// at this path plus a write-ahead log at Path+".wal" (see
+	// docs/STORAGE.md). Empty keeps the historical in-memory device. Use
+	// Open (not New) for file-backed databases.
+	Path string
 }
 
 // DefaultConfig mirrors the paper's 40MB buffer pool.
@@ -57,8 +62,13 @@ type DB struct {
 	store *xmldb.Store
 	dict  *pathdict.Dict
 	ptab  *pathdict.PathTable
-	disk  *storage.Disk
+	dev   storage.Device
+	fdisk *storage.FileDisk // non-nil when file-backed (dev == fdisk)
 	pool  *storage.Pool
+
+	// catalogPages is the page chain holding the last written catalog;
+	// commits overwrite it in place (safe: overwrites are WAL frames).
+	catalogPages []storage.PageID
 
 	// mu is the database lock: shared for queries, exclusive for loads,
 	// builds and subtree updates.
@@ -75,8 +85,27 @@ type DB struct {
 	counters stats.QueryCounters
 }
 
-// New creates an empty database.
+// New creates an empty in-memory database. File-backed databases (Config
+// with Path set) must go through Open, which can report I/O and recovery
+// errors; New panics if given a Path.
 func New(cfg Config) *DB {
+	if cfg.Path != "" {
+		panic("engine: New with Config.Path; use Open for file-backed databases")
+	}
+	db, err := Open(cfg)
+	if err != nil {
+		panic(err) // unreachable: the in-memory path cannot fail
+	}
+	return db
+}
+
+// Open creates a database over the configured device. With an empty Path
+// it is New; with a Path it opens (creating if absent) the database file
+// and its write-ahead log, recovers to the last committed state (replaying
+// the committed WAL prefix and discarding any torn tail), and restores the
+// persisted catalog — store, dictionaries and every built index — so
+// queries run immediately, with zero rebuild work.
+func Open(cfg Config) (*DB, error) {
 	if cfg.BufferPoolBytes <= 0 {
 		cfg.BufferPoolBytes = 40 << 20
 	}
@@ -85,17 +114,117 @@ func New(cfg Config) *DB {
 		store: xmldb.NewStore(),
 		dict:  pathdict.NewDict(),
 		ptab:  pathdict.NewPathTable(),
-		disk:  storage.NewDisk(),
 	}
-	db.disk.SetReadLatency(cfg.DiskReadLatency)
-	if cfg.PoolShards > 0 {
-		db.pool = storage.NewPoolShards(db.disk, cfg.BufferPoolBytes, cfg.PoolShards)
+	if cfg.Path == "" {
+		db.dev = storage.NewDisk()
 	} else {
-		db.pool = storage.NewPool(db.disk, cfg.BufferPoolBytes)
+		fdisk, err := storage.OpenFileDisk(cfg.Path)
+		if err != nil {
+			return nil, err
+		}
+		db.fdisk = fdisk
+		db.dev = fdisk
+	}
+	db.dev.SetReadLatency(cfg.DiskReadLatency)
+	if cfg.PoolShards > 0 {
+		db.pool = storage.NewPoolShards(db.dev, cfg.BufferPoolBytes, cfg.PoolShards)
+	} else {
+		db.pool = storage.NewPool(db.dev, cfg.BufferPoolBytes)
 	}
 	db.env.Store = db.store
 	db.env.Dict = db.dict
-	return db
+	if db.fdisk != nil {
+		if root := db.fdisk.Meta().CatalogRoot; root != storage.InvalidPage {
+			blob, pages, err := readCatalogChain(db.dev, root)
+			if err == nil {
+				err = decodeCatalog(db, blob)
+			}
+			if err != nil {
+				db.fdisk.Close()
+				return nil, err
+			}
+			db.catalogPages = pages
+		}
+	}
+	return db, nil
+}
+
+// walCheckpointBytes is the WAL size beyond which a commit boundary
+// triggers an automatic checkpoint, bounding log growth and recovery time.
+const walCheckpointBytes = 64 << 20
+
+// commitLocked is the commit boundary for file-backed databases: flush
+// every dirty pool frame to the device (WAL frames), serialise the catalog
+// into its page chain, and seal it all with a fsynced commit record. When
+// the WAL has outgrown walCheckpointBytes it also checkpoints; callers
+// that checkpoint themselves right after (Checkpoint, Close) use
+// commitOnly to avoid paying the superblock rewrite and fsyncs twice.
+// No-op for in-memory databases. Callers hold the exclusive lock.
+func (db *DB) commitLocked() error {
+	if err := db.commitOnly(); err != nil || db.fdisk == nil {
+		return err
+	}
+	if db.fdisk.WALSize() > walCheckpointBytes {
+		return db.fdisk.Checkpoint()
+	}
+	return nil
+}
+
+// commitOnly is commitLocked without the auto-checkpoint.
+func (db *DB) commitOnly() error {
+	if db.fdisk == nil {
+		return nil
+	}
+	if err := db.pool.FlushAll(); err != nil {
+		return fmt.Errorf("engine: commit flush: %w", err)
+	}
+	root, pages, err := writeCatalogChain(db.dev, db.catalogPages, encodeCatalog(db))
+	db.catalogPages = pages
+	if err != nil {
+		return err
+	}
+	if err := db.fdisk.Commit(storage.Meta{
+		NumPages:    int32(db.dev.NumPages()),
+		CatalogRoot: root,
+		FreeHead:    storage.InvalidPage,
+	}); err != nil {
+		return fmt.Errorf("engine: commit: %w", err)
+	}
+	return nil
+}
+
+// Checkpoint commits the current state and migrates the WAL into the
+// database file, truncating the log (so the next open replays nothing).
+// No-op for in-memory databases.
+func (db *DB) Checkpoint() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.fdisk == nil {
+		return nil
+	}
+	if err := db.commitOnly(); err != nil {
+		return err
+	}
+	return db.fdisk.Checkpoint()
+}
+
+// Close commits, checkpoints and closes a file-backed database; a closed
+// DB must not be used further. No-op for in-memory databases.
+func (db *DB) Close() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.fdisk == nil {
+		return nil
+	}
+	if err := db.commitOnly(); err != nil {
+		db.fdisk.Close()
+		return err
+	}
+	if err := db.fdisk.Checkpoint(); err != nil {
+		db.fdisk.Close()
+		return err
+	}
+	return db.fdisk.Close()
 }
 
 // LoadXML parses one document from r and adds it to the store. Documents
@@ -199,7 +328,7 @@ func (db *DB) Build(kinds ...index.Kind) error {
 			return fmt.Errorf("engine: building %v: %w", k, err)
 		}
 	}
-	return nil
+	return db.commitLocked()
 }
 
 // BuildAll constructs every index structure in the family.
@@ -237,7 +366,7 @@ func (db *DB) InsertSubtree(parentID int64, sub *xmldb.Node) error {
 		}
 	}
 	db.invalidateDerived()
-	return nil
+	return db.commitLocked()
 }
 
 // DeleteSubtree removes the node with the given id and its subtree,
@@ -266,7 +395,7 @@ func (db *DB) DeleteSubtree(nodeID int64) error {
 		return err
 	}
 	db.invalidateDerived()
-	return nil
+	return db.commitLocked()
 }
 
 // invalidateDerived drops the statistics and the index structures that do
@@ -463,7 +592,14 @@ func (db *DB) Spaces() []index.Space {
 // SetDiskReadLatency reconfigures the simulated device read latency at
 // runtime (e.g. build the indices at memory speed, then measure queries
 // under a disk-resident regime). Safe to call concurrently with queries.
-func (db *DB) SetDiskReadLatency(lat storage.Latency) { db.disk.SetReadLatency(lat) }
+func (db *DB) SetDiskReadLatency(lat storage.Latency) { db.dev.SetReadLatency(lat) }
+
+// Device exposes the page device (the in-memory Disk or the FileDisk).
+func (db *DB) Device() storage.Device { return db.dev }
+
+// DeviceStats returns cumulative device I/O counters, including the WAL
+// append/fsync/checkpoint work of a file-backed database.
+func (db *DB) DeviceStats() storage.DeviceStats { return db.dev.DeviceStats() }
 
 // PoolStats returns buffer pool counters.
 func (db *DB) PoolStats() storage.PoolStats { return db.pool.Stats() }

@@ -1,0 +1,212 @@
+package index
+
+import (
+	"sort"
+
+	"repro/internal/btree"
+	"repro/internal/pathdict"
+	"repro/internal/storage"
+)
+
+// Persistence snapshots: every index structure can be reduced to the Metas
+// of its B+-trees plus whatever small in-memory registries it carries
+// (path tables, root sets), and reconstituted over a reopened pool without
+// rebuilding — the tree pages are already on the device. The engine
+// catalog serialises these snapshots at every commit boundary.
+//
+// The one structure without a snapshot is containment.Index (the
+// structural-join extension): its region table is derived wholly from the
+// store, so it is rebuilt on demand rather than persisted.
+
+// TreeMeta returns the durable description of the ROOTPATHS B+-tree.
+func (rp *RootPaths) TreeMeta() btree.Meta { return rp.tree.Meta() }
+
+// Options returns the build options in effect (the catalog persists the
+// RawIDs/PathIDKeys flags so probes decode rows the way they were encoded).
+func (rp *RootPaths) Options() PathsOptions { return rp.opts }
+
+// OpenRootPaths reconstitutes a persisted ROOTPATHS index. opts must carry
+// the RawIDs/PathIDKeys flags the index was built with (the catalog
+// persists them); KeepHead does not apply to ROOTPATHS.
+func OpenRootPaths(pool *storage.Pool, dict *pathdict.Dict, ptab *pathdict.PathTable, m btree.Meta, opts PathsOptions) *RootPaths {
+	return &RootPaths{tree: btree.Open(pool, m), dict: dict, ptab: ptab, opts: opts}
+}
+
+// TreeMeta returns the durable description of the DATAPATHS B+-tree.
+func (dp *DataPaths) TreeMeta() btree.Meta { return dp.tree.Meta() }
+
+// Options returns the build options in effect (see RootPaths.Options).
+func (dp *DataPaths) Options() PathsOptions { return dp.opts }
+
+// OpenDataPaths reconstitutes a persisted DATAPATHS index. opts must carry
+// the persisted RawIDs/PathIDKeys flags; KeepHead may be re-supplied by
+// the caller for incremental updates after reopening.
+func OpenDataPaths(pool *storage.Pool, dict *pathdict.Dict, ptab *pathdict.PathTable, m btree.Meta, opts PathsOptions) *DataPaths {
+	return &DataPaths{tree: btree.Open(pool, m), dict: dict, ptab: ptab, opts: opts}
+}
+
+// TreeMetas returns the durable descriptions of the three edge-table
+// B+-trees (value, forward, backward).
+func (e *Edge) TreeMetas() (value, forward, backward btree.Meta) {
+	return e.value.Meta(), e.forward.Meta(), e.backward.Meta()
+}
+
+// OpenEdge reconstitutes a persisted edge-table index.
+func OpenEdge(pool *storage.Pool, dict *pathdict.Dict, value, forward, backward btree.Meta) *Edge {
+	return &Edge{
+		value:    btree.Open(pool, value),
+		forward:  btree.Open(pool, forward),
+		backward: btree.Open(pool, backward),
+		dict:     dict,
+	}
+}
+
+// TreeMeta returns the durable description of the DataGuide B+-tree; its
+// summary path table is exposed by Paths.
+func (dg *DataGuide) TreeMeta() btree.Meta { return dg.tree.Meta() }
+
+// OpenDataGuide reconstitutes a persisted DataGuide from its tree and
+// summary path table (paths in PathID order).
+func OpenDataGuide(pool *storage.Pool, dict *pathdict.Dict, paths []pathdict.Path, m btree.Meta) *DataGuide {
+	return &DataGuide{tree: btree.Open(pool, m), dict: dict, ptab: internPaths(paths)}
+}
+
+// TreeMeta returns the durable description of the Index Fabric B+-tree.
+func (f *IndexFabric) TreeMeta() btree.Meta { return f.tree.Meta() }
+
+// OpenIndexFabric reconstitutes a persisted Index Fabric.
+func OpenIndexFabric(pool *storage.Pool, dict *pathdict.Dict, m btree.Meta) *IndexFabric {
+	return &IndexFabric{tree: btree.Open(pool, m), dict: dict}
+}
+
+// ASRSnapshot is the durable description of an Access Support Relation
+// family: the registry paths in PathID order, one relation tree per path,
+// and the root bookkeeping used by rooted-only scans.
+type ASRSnapshot struct {
+	Paths  []pathdict.Path
+	Tables []btree.Meta       // parallel to Paths
+	Rooted []pathdict.PathID  // paths with a document-root-headed instance
+	Roots  []int64            // document root ids
+}
+
+// Snapshot captures the ASR's durable description.
+func (a *ASR) Snapshot() ASRSnapshot {
+	var s ASRSnapshot
+	a.ptab.All(func(id pathdict.PathID, p pathdict.Path) {
+		s.Paths = append(s.Paths, p)
+		s.Tables = append(s.Tables, a.tables[id].Meta())
+		if a.rooted[id] {
+			s.Rooted = append(s.Rooted, id)
+		}
+	})
+	s.Roots = sortedIDSet(a.roots)
+	return s
+}
+
+// OpenASR reconstitutes a persisted ASR family.
+func OpenASR(pool *storage.Pool, dict *pathdict.Dict, s ASRSnapshot) *ASR {
+	a := &ASR{
+		tables: map[pathdict.PathID]*btree.Tree{},
+		ptab:   internPaths(s.Paths),
+		rooted: map[pathdict.PathID]bool{},
+		roots:  map[int64]bool{},
+		dict:   dict,
+	}
+	for i := range s.Paths {
+		a.tables[pathdict.PathID(i)] = btree.Open(pool, s.Tables[i])
+	}
+	for _, id := range s.Rooted {
+		a.rooted[id] = true
+	}
+	for _, r := range s.Roots {
+		a.roots[r] = true
+	}
+	return a
+}
+
+// JoinIndexSnapshot is the durable description of a Join Index family.
+type JoinIndexSnapshot struct {
+	Paths  []pathdict.Path
+	Fwd    []btree.Meta // parallel to Paths
+	Bwd    []btree.Meta // parallel to Paths
+	Rooted []pathdict.PathID
+	Roots  []int64
+}
+
+// Snapshot captures the JoinIndex's durable description.
+func (j *JoinIndex) Snapshot() JoinIndexSnapshot {
+	var s JoinIndexSnapshot
+	j.ptab.All(func(id pathdict.PathID, p pathdict.Path) {
+		s.Paths = append(s.Paths, p)
+		s.Fwd = append(s.Fwd, j.fwd[id].Meta())
+		s.Bwd = append(s.Bwd, j.bwd[id].Meta())
+		if j.rooted[id] {
+			s.Rooted = append(s.Rooted, id)
+		}
+	})
+	s.Roots = sortedIDSet(j.roots)
+	return s
+}
+
+// OpenJoinIndex reconstitutes a persisted Join Index family.
+func OpenJoinIndex(pool *storage.Pool, dict *pathdict.Dict, s JoinIndexSnapshot) *JoinIndex {
+	j := &JoinIndex{
+		fwd:    map[pathdict.PathID]*btree.Tree{},
+		bwd:    map[pathdict.PathID]*btree.Tree{},
+		ptab:   internPaths(s.Paths),
+		rooted: map[pathdict.PathID]bool{},
+		roots:  map[int64]bool{},
+		dict:   dict,
+	}
+	for i := range s.Paths {
+		j.fwd[pathdict.PathID(i)] = btree.Open(pool, s.Fwd[i])
+		j.bwd[pathdict.PathID(i)] = btree.Open(pool, s.Bwd[i])
+	}
+	for _, id := range s.Rooted {
+		j.rooted[id] = true
+	}
+	for _, r := range s.Roots {
+		j.roots[r] = true
+	}
+	return j
+}
+
+// XRelSnapshot is the durable description of the XRel baseline: the
+// normalised path table plus the data tree.
+type XRelSnapshot struct {
+	Paths []pathdict.Path
+	Tree  btree.Meta
+}
+
+// Snapshot captures the XRel's durable description.
+func (x *XRel) Snapshot() XRelSnapshot {
+	var s XRelSnapshot
+	x.ptab.All(func(_ pathdict.PathID, p pathdict.Path) { s.Paths = append(s.Paths, p) })
+	s.Tree = x.tree.Meta()
+	return s
+}
+
+// OpenXRel reconstitutes a persisted XRel index.
+func OpenXRel(pool *storage.Pool, dict *pathdict.Dict, s XRelSnapshot) *XRel {
+	return &XRel{tree: btree.Open(pool, s.Tree), dict: dict, ptab: internPaths(s.Paths)}
+}
+
+// internPaths rebuilds a PathTable by interning paths in order, so ids are
+// reassigned 0..n-1 exactly as they were captured.
+func internPaths(paths []pathdict.Path) *pathdict.PathTable {
+	t := pathdict.NewPathTable()
+	for _, p := range paths {
+		t.Intern(p)
+	}
+	return t
+}
+
+// sortedIDSet flattens a set of ids deterministically.
+func sortedIDSet(set map[int64]bool) []int64 {
+	out := make([]int64, 0, len(set))
+	for id := range set {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,48 @@
+package storage
+
+// Device is the page-device abstraction beneath the buffer pool. Two
+// implementations exist: Disk, the historical simulated in-memory page
+// array, and FileDisk, a durable single-file database with a write-ahead
+// log and crash recovery. The pool, the B+-trees and the engine are written
+// against this interface, so the two are interchangeable — an in-memory
+// database and a file-backed one run the same code above the device.
+type Device interface {
+	// Allocate reserves one new zeroed page and returns its id.
+	Allocate() PageID
+	// AllocateN reserves n consecutive zeroed pages in one call (one mutex
+	// acquisition instead of n) and returns the first id; the run occupies
+	// [first, first+n). n <= 0 returns InvalidPage.
+	AllocateN(n int) PageID
+	// Read copies page id into buf (PageSize bytes).
+	Read(id PageID, buf []byte) error
+	// Write persists buf (PageSize bytes) as page id. For FileDisk the
+	// write goes to the WAL and becomes durable at the next commit.
+	Write(id PageID, buf []byte) error
+	// NumPages returns the number of allocated pages.
+	NumPages() int
+	// SizeBytes returns the allocated size in bytes.
+	SizeBytes() int64
+	// Counters returns cumulative (reads, writes).
+	Counters() (reads, writes int64)
+	// SetReadLatency configures a simulated per-read device latency
+	// (0 disables it). Safe to call concurrently with reads.
+	SetReadLatency(lat Latency)
+	// DeviceStats returns the full cumulative I/O counters.
+	DeviceStats() DeviceStats
+}
+
+// DeviceStats are cumulative device I/O counters — the observability
+// surface the paper-reproduction benchmarks read alongside PoolStats. For
+// the in-memory Disk the byte counters are the pages copied across the
+// device boundary; for FileDisk they are real file I/O, and the WAL and
+// checkpoint counters describe the durability work.
+type DeviceStats struct {
+	Reads        int64 // page reads served
+	Writes       int64 // page writes accepted
+	BytesRead    int64 // bytes read (pages + WAL frames replayed on reads)
+	BytesWritten int64 // bytes written (WAL frames + checkpoint copies)
+	WALAppends   int64 // WAL records appended (frames + commits)
+	WALFsyncs    int64 // fsyncs of the WAL (one per commit boundary)
+	WALBytes     int64 // current WAL length in bytes
+	Checkpoints  int64 // checkpoints completed (WAL truncations)
+}

@@ -38,7 +38,8 @@ const InvalidPage PageID = -1
 // whole pages and are counted; the counters stand in for the I/O cost a real
 // system would pay. Reads of distinct pages proceed in parallel (RWMutex +
 // atomic counters) so concurrent faults from different pool shards do not
-// serialize on the disk.
+// serialize on the disk. Disk implements Device; FileDisk is the durable
+// counterpart.
 type Disk struct {
 	mu      sync.RWMutex
 	pages   [][]byte
@@ -47,15 +48,27 @@ type Disk struct {
 	readLat atomic.Int64 // simulated per-read latency in nanoseconds
 }
 
+var _ Device = (*Disk)(nil)
+
 // NewDisk returns an empty disk.
 func NewDisk() *Disk { return &Disk{} }
 
 // Allocate reserves a new zeroed page and returns its id.
-func (d *Disk) Allocate() PageID {
+func (d *Disk) Allocate() PageID { return d.AllocateN(1) }
+
+// AllocateN reserves n consecutive zeroed pages under one mutex acquisition
+// and returns the first id — the bulk-load fast path.
+func (d *Disk) AllocateN(n int) PageID {
+	if n <= 0 {
+		return InvalidPage
+	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	d.pages = append(d.pages, make([]byte, PageSize))
-	return PageID(len(d.pages) - 1)
+	first := PageID(len(d.pages))
+	for i := 0; i < n; i++ {
+		d.pages = append(d.pages, make([]byte, PageSize))
+	}
+	return first
 }
 
 // SetReadLatency configures the simulated per-read device latency (0
@@ -104,4 +117,17 @@ func (d *Disk) SizeBytes() int64 { return int64(d.NumPages()) * PageSize }
 // Counters returns cumulative (reads, writes).
 func (d *Disk) Counters() (reads, writes int64) {
 	return d.reads.Load(), d.writes.Load()
+}
+
+// DeviceStats returns the full I/O counters. For the in-memory disk the
+// byte counters are the pages copied across the device boundary; the WAL
+// and checkpoint counters are always zero.
+func (d *Disk) DeviceStats() DeviceStats {
+	r, w := d.reads.Load(), d.writes.Load()
+	return DeviceStats{
+		Reads:        r,
+		Writes:       w,
+		BytesRead:    r * PageSize,
+		BytesWritten: w * PageSize,
+	}
 }

@@ -1,0 +1,377 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// File format (see docs/STORAGE.md for the full specification):
+//
+//   - the database is a single file: a 4KB superblock followed by pages at
+//     offset superblockSize + id*PageSize;
+//   - the write-ahead log lives beside it at path+".wal";
+//   - page writes go only to the WAL; a commit record makes them durable;
+//     a checkpoint copies committed frames into the database file, rewrites
+//     the superblock and truncates the WAL.
+//
+// Superblock layout (big-endian, CRC32-IEEE over the preceding bytes):
+//
+//	offset  size  field
+//	0       8     magic "TWIGDBF1"
+//	8       4     format version (1)
+//	12      4     page size (8192)
+//	16      4     numPages
+//	20      4     catalog root page id
+//	24      4     free-list head page id (reserved, InvalidPage)
+//	28      4     crc32
+const (
+	superblockSize  = 4096
+	fileFormatMagic = "TWIGDBF1"
+	fileFormatVer   = 1
+	superblockUsed  = 32 // bytes covered by the layout above, incl. crc
+)
+
+// WALSuffix is appended to the database path to name the write-ahead log.
+const WALSuffix = ".wal"
+
+// FileDisk is the durable Device: a single paged database file plus a
+// write-ahead log. All writes are WAL appends; Commit fsyncs the log and
+// marks everything before it durable; Checkpoint migrates committed frames
+// into the database file and truncates the log; OpenFileDisk replays the
+// committed WAL prefix and discards torn tails, recovering the last
+// committed state after a crash.
+//
+// Reads of distinct pages proceed in parallel (shared latch); writes,
+// commits and checkpoints are exclusive. FileDisk assumes a single process
+// owns the file.
+type FileDisk struct {
+	mu   sync.RWMutex
+	file *os.File
+	wal  *os.File
+	path string
+
+	numPages int
+	meta     Meta             // last committed metadata
+	walIndex map[PageID]int64 // page -> payload offset of latest committed frame
+	pending  map[PageID]int64 // frames appended since the last commit
+	walSize  int64
+
+	readLat atomic.Int64
+
+	reads, writes           atomic.Int64
+	bytesRead, bytesWritten atomic.Int64
+	walAppends, walFsyncs   atomic.Int64
+	checkpoints             atomic.Int64
+}
+
+var _ Device = (*FileDisk)(nil)
+
+// OpenFileDisk opens (creating if absent) the database file at path and its
+// WAL at path+".wal", validates the superblock, and recovers: the WAL is
+// scanned, frames covered by a valid commit record become the current page
+// versions, the last commit record's metadata becomes authoritative, and
+// any torn tail is truncated away.
+func OpenFileDisk(path string) (*FileDisk, error) {
+	file, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("storage: open %s: %w", path, err)
+	}
+	wal, err := os.OpenFile(path+WALSuffix, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		file.Close()
+		return nil, fmt.Errorf("storage: open %s%s: %w", path, WALSuffix, err)
+	}
+	f := &FileDisk{
+		file:     file,
+		wal:      wal,
+		path:     path,
+		meta:     Meta{NumPages: 0, CatalogRoot: InvalidPage, FreeHead: InvalidPage},
+		walIndex: map[PageID]int64{},
+		pending:  map[PageID]int64{},
+	}
+	st, err := file.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if st.Size() > 0 {
+		if f.meta, err = readSuperblock(file); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	scan, err := scanWAL(wal)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if scan.hasCommit {
+		f.meta = scan.meta
+		f.walIndex = scan.index
+	}
+	// Discard the torn tail so later appends start at a committed boundary.
+	if err := wal.Truncate(scan.committedEnd); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("storage: truncating torn wal tail: %w", err)
+	}
+	f.walSize = scan.committedEnd
+	f.numPages = int(f.meta.NumPages)
+	return f, nil
+}
+
+// Meta returns the last committed metadata (after OpenFileDisk: the
+// recovered state).
+func (f *FileDisk) Meta() Meta {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return f.meta
+}
+
+// WALSize returns the current WAL length in bytes. Immediately after a
+// Commit it is the offset of the commit boundary — the crash-recovery
+// torture tests use it to mark durable states.
+func (f *FileDisk) WALSize() int64 {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return f.walSize
+}
+
+// Path returns the database file path.
+func (f *FileDisk) Path() string { return f.path }
+
+// Allocate reserves one new zeroed page.
+func (f *FileDisk) Allocate() PageID { return f.AllocateN(1) }
+
+// AllocateN reserves n consecutive zeroed pages and returns the first id.
+// Allocation is a counter bump: the file grows only when pages are
+// checkpointed, and uncommitted allocations simply vanish on crash (the
+// recovered page count comes from the last commit record).
+func (f *FileDisk) AllocateN(n int) PageID {
+	if n <= 0 {
+		return InvalidPage
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	first := PageID(f.numPages)
+	f.numPages += n
+	return first
+}
+
+// SetReadLatency configures an extra simulated per-read latency (0, the
+// default, serves reads at device speed).
+func (f *FileDisk) SetReadLatency(lat Latency) { f.readLat.Store(int64(lat)) }
+
+// Read copies page id into buf: the latest WAL frame if one exists
+// (uncommitted frames are visible to the owning process), otherwise the
+// database file; pages allocated but never written read as zeroes.
+func (f *FileDisk) Read(id PageID, buf []byte) error {
+	if lat := f.readLat.Load(); lat > 0 {
+		time.Sleep(time.Duration(lat))
+	}
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	if int(id) < 0 || int(id) >= f.numPages {
+		return fmt.Errorf("storage: read of unallocated page %d", id)
+	}
+	f.reads.Add(1)
+	f.bytesRead.Add(PageSize)
+	off, ok := f.pending[id]
+	if !ok {
+		off, ok = f.walIndex[id]
+	}
+	if ok {
+		_, err := f.wal.ReadAt(buf[:PageSize], off)
+		if err != nil {
+			return fmt.Errorf("storage: wal read of page %d: %w", id, err)
+		}
+		return nil
+	}
+	n, err := f.file.ReadAt(buf[:PageSize], superblockSize+int64(id)*PageSize)
+	if err != nil && err != io.EOF {
+		return fmt.Errorf("storage: read of page %d: %w", id, err)
+	}
+	for i := n; i < PageSize; i++ {
+		buf[i] = 0 // allocated but never checkpointed: zeroes
+	}
+	return nil
+}
+
+// Write appends a frame carrying buf as the new image of page id to the
+// WAL. The write is volatile until the next Commit.
+func (f *FileDisk) Write(id PageID, buf []byte) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if int(id) < 0 || int(id) >= f.numPages {
+		return fmt.Errorf("storage: write of unallocated page %d", id)
+	}
+	rec := appendWALFrame(make([]byte, 0, walFrameSize), id, buf[:PageSize])
+	if _, err := f.wal.WriteAt(rec, f.walSize); err != nil {
+		return fmt.Errorf("storage: wal append for page %d: %w", id, err)
+	}
+	f.pending[id] = f.walSize + walFrameHeaderSize
+	f.walSize += int64(len(rec))
+	f.writes.Add(1)
+	f.bytesWritten.Add(int64(len(rec)))
+	f.walAppends.Add(1)
+	return nil
+}
+
+// Commit appends a commit record carrying meta and fsyncs the WAL: every
+// frame appended so far — and meta itself — is now durable and will survive
+// a crash. When nothing changed since the last commit the call is a no-op
+// (no record, no fsync).
+func (f *FileDisk) Commit(meta Meta) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if len(f.pending) == 0 && meta == f.meta {
+		return nil
+	}
+	rec := appendWALCommit(make([]byte, 0, walCommitSize), meta)
+	if _, err := f.wal.WriteAt(rec, f.walSize); err != nil {
+		return fmt.Errorf("storage: wal commit append: %w", err)
+	}
+	if err := f.wal.Sync(); err != nil {
+		return fmt.Errorf("storage: wal fsync: %w", err)
+	}
+	f.walSize += int64(len(rec))
+	f.walAppends.Add(1)
+	f.walFsyncs.Add(1)
+	f.bytesWritten.Add(int64(len(rec)))
+	for id, off := range f.pending {
+		f.walIndex[id] = off
+	}
+	f.pending = map[PageID]int64{}
+	f.meta = meta
+	return nil
+}
+
+// Checkpoint migrates every committed WAL frame into the database file,
+// rewrites the superblock with the committed metadata, fsyncs the file and
+// truncates the WAL. It must be called at a commit boundary (no pending
+// frames); a crash at any point during the checkpoint is safe because the
+// WAL is only truncated after the database file is durable, and replaying
+// it is idempotent.
+func (f *FileDisk) Checkpoint() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if len(f.pending) > 0 {
+		return fmt.Errorf("storage: checkpoint with %d uncommitted frames (commit first)", len(f.pending))
+	}
+	buf := make([]byte, PageSize)
+	for id, off := range f.walIndex {
+		if _, err := f.wal.ReadAt(buf, off); err != nil {
+			return fmt.Errorf("storage: checkpoint read of page %d: %w", id, err)
+		}
+		if _, err := f.file.WriteAt(buf, superblockSize+int64(id)*PageSize); err != nil {
+			return fmt.Errorf("storage: checkpoint write of page %d: %w", id, err)
+		}
+		f.bytesWritten.Add(PageSize)
+	}
+	if err := writeSuperblock(f.file, f.meta); err != nil {
+		return err
+	}
+	if err := f.file.Sync(); err != nil {
+		return fmt.Errorf("storage: database fsync: %w", err)
+	}
+	if err := f.wal.Truncate(0); err != nil {
+		return fmt.Errorf("storage: wal truncate: %w", err)
+	}
+	if err := f.wal.Sync(); err != nil {
+		return fmt.Errorf("storage: wal fsync after truncate: %w", err)
+	}
+	f.walFsyncs.Add(1)
+	f.walSize = 0
+	f.walIndex = map[PageID]int64{}
+	f.checkpoints.Add(1)
+	return nil
+}
+
+// Close closes the file handles without committing or checkpointing —
+// abandoning uncommitted state exactly as a crash would. Callers that want
+// durability commit (and usually checkpoint) first; engine.DB.Close does.
+func (f *FileDisk) Close() error {
+	err1 := f.file.Close()
+	err2 := f.wal.Close()
+	if err1 != nil {
+		return err1
+	}
+	return err2
+}
+
+// NumPages returns the number of allocated pages (including allocations
+// not yet committed).
+func (f *FileDisk) NumPages() int {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return f.numPages
+}
+
+// SizeBytes returns the logical database size in bytes.
+func (f *FileDisk) SizeBytes() int64 { return int64(f.NumPages()) * PageSize }
+
+// Counters returns cumulative (reads, writes).
+func (f *FileDisk) Counters() (reads, writes int64) {
+	return f.reads.Load(), f.writes.Load()
+}
+
+// DeviceStats returns the full I/O counters.
+func (f *FileDisk) DeviceStats() DeviceStats {
+	return DeviceStats{
+		Reads:        f.reads.Load(),
+		Writes:       f.writes.Load(),
+		BytesRead:    f.bytesRead.Load(),
+		BytesWritten: f.bytesWritten.Load(),
+		WALAppends:   f.walAppends.Load(),
+		WALFsyncs:    f.walFsyncs.Load(),
+		WALBytes:     f.WALSize(),
+		Checkpoints:  f.checkpoints.Load(),
+	}
+}
+
+// writeSuperblock renders meta into the 4KB superblock at offset 0.
+func writeSuperblock(file *os.File, m Meta) error {
+	buf := make([]byte, superblockSize)
+	copy(buf, fileFormatMagic)
+	binary.BigEndian.PutUint32(buf[8:], fileFormatVer)
+	binary.BigEndian.PutUint32(buf[12:], PageSize)
+	binary.BigEndian.PutUint32(buf[16:], uint32(m.NumPages))
+	binary.BigEndian.PutUint32(buf[20:], uint32(m.CatalogRoot))
+	binary.BigEndian.PutUint32(buf[24:], uint32(m.FreeHead))
+	crc := crc32.ChecksumIEEE(buf[:superblockUsed-4])
+	binary.BigEndian.PutUint32(buf[superblockUsed-4:], crc)
+	if _, err := file.WriteAt(buf, 0); err != nil {
+		return fmt.Errorf("storage: superblock write: %w", err)
+	}
+	return nil
+}
+
+// readSuperblock validates and decodes the superblock.
+func readSuperblock(file *os.File) (Meta, error) {
+	buf := make([]byte, superblockUsed)
+	if _, err := file.ReadAt(buf, 0); err != nil {
+		return Meta{}, fmt.Errorf("storage: superblock read: %w", err)
+	}
+	if string(buf[:8]) != fileFormatMagic {
+		return Meta{}, fmt.Errorf("storage: not a twigdb database (bad magic)")
+	}
+	if crc32.ChecksumIEEE(buf[:superblockUsed-4]) != binary.BigEndian.Uint32(buf[superblockUsed-4:]) {
+		return Meta{}, fmt.Errorf("storage: superblock checksum mismatch")
+	}
+	if v := binary.BigEndian.Uint32(buf[8:]); v != fileFormatVer {
+		return Meta{}, fmt.Errorf("storage: unsupported format version %d", v)
+	}
+	if ps := binary.BigEndian.Uint32(buf[12:]); ps != PageSize {
+		return Meta{}, fmt.Errorf("storage: page size mismatch (file %d, build %d)", ps, PageSize)
+	}
+	return Meta{
+		NumPages:    int32(binary.BigEndian.Uint32(buf[16:])),
+		CatalogRoot: PageID(binary.BigEndian.Uint32(buf[20:])),
+		FreeHead:    PageID(binary.BigEndian.Uint32(buf[24:])),
+	}, nil
+}

@@ -65,19 +65,23 @@ const maxShards = 16
 type shard struct {
 	mu       sync.Mutex
 	unpinned *sync.Cond // signalled when a frame becomes evictable
-	disk     *Disk
+	dev      Device
 	capacity int
 	frames   map[PageID]*frame
 	lru      frame // ring sentinel: lru.next = least recently used
 	stats    PoolStats
 }
 
-// Pool is an LRU buffer pool over a Disk, lock-striped into shards keyed by
-// PageID. All access to page contents goes through Fetch/Unpin; pinned pages
-// are never evicted. Capacity is enforced per shard (total across shards
-// equals the configured capacity).
+// Pool is an LRU buffer pool over a Device (the in-memory Disk or the
+// durable FileDisk), lock-striped into shards keyed by PageID. All access
+// to page contents goes through Fetch/Unpin; pinned pages are never
+// evicted. Capacity is enforced per shard (total across shards equals the
+// configured capacity). Dirty frames are written back on eviction and on
+// FlushAll — the flush hook the engine's commit boundaries use to move
+// every modification into the device (and, for FileDisk, its WAL) before a
+// commit record seals them.
 type Pool struct {
-	disk     *Disk
+	dev      Device
 	capacity int
 	mask     uint32
 	shards   []shard
@@ -85,13 +89,13 @@ type Pool struct {
 
 // NewPool returns a pool holding at most capacityBytes of pages (minimum
 // one page).
-func NewPool(disk *Disk, capacityBytes int64) *Pool {
+func NewPool(dev Device, capacityBytes int64) *Pool {
 	capPages := int(capacityBytes / PageSize)
 	n := 1
 	if capPages >= shardThreshold {
 		n = maxShards
 	}
-	return NewPoolShards(disk, capacityBytes, n)
+	return NewPoolShards(dev, capacityBytes, n)
 }
 
 // NewPoolShards is NewPool with an explicit lock-stripe count, for pools
@@ -100,7 +104,7 @@ func NewPool(disk *Disk, capacityBytes int64) *Pool {
 // stripe, every fault would serialize on the stripe lock and simulated
 // device stalls could never overlap). shards is clamped to [1, 16] and
 // rounded down to a power of two.
-func NewPoolShards(disk *Disk, capacityBytes int64, shards int) *Pool {
+func NewPoolShards(dev Device, capacityBytes int64, shards int) *Pool {
 	capPages := int(capacityBytes / PageSize)
 	if capPages < 1 {
 		capPages = 1
@@ -116,14 +120,14 @@ func NewPoolShards(disk *Disk, capacityBytes int64, shards int) *Pool {
 		}
 	}
 	p := &Pool{
-		disk:     disk,
+		dev:      dev,
 		capacity: capPages,
 		mask:     uint32(n - 1),
 		shards:   make([]shard, n),
 	}
 	for i := range p.shards {
 		s := &p.shards[i]
-		s.disk = disk
+		s.dev = dev
 		s.capacity = capPages / n
 		if i < capPages%n {
 			s.capacity++
@@ -211,7 +215,7 @@ func (p *Pool) Fetch(id PageID) (Page, error) {
 	s.stats.PageReads++
 	s.mu.Unlock()
 
-	err := s.disk.Read(id, f.data)
+	err := s.dev.Read(id, f.data)
 
 	s.mu.Lock()
 	f.loadErr = err
@@ -231,14 +235,38 @@ func (p *Pool) Fetch(id PageID) (Page, error) {
 	return Page{ID: id, Data: f.data, frame: f}, nil
 }
 
-// Allocate creates a new zeroed page on disk, pins it, and returns it.
+// Allocate creates a new zeroed page on the device, pins it, and returns
+// it.
 func (p *Pool) Allocate() (Page, error) {
-	id := p.disk.Allocate()
+	return p.NewPage(p.dev.Allocate())
+}
+
+// AllocateRun reserves n consecutive page ids in a single device call (one
+// mutex acquisition instead of n) and returns the first id. The pages hold
+// zeroes until written; materialise each with NewPage. This is the
+// bulk-load fast path: btree.BulkLoad reserves a whole tree level at once.
+func (p *Pool) AllocateRun(n int) PageID {
+	return p.dev.AllocateN(n)
+}
+
+// NewPage pins a fresh all-zero frame for a freshly allocated page id
+// (from AllocateRun) without issuing a device read — the page is known to
+// hold zeroes. The frame starts dirty, like Allocate's.
+func (p *Pool) NewPage(id PageID) (Page, error) {
 	s := p.shardFor(id)
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if err := s.makeRoom(); err != nil {
-		return Page{}, err
+	for {
+		if _, ok := s.frames[id]; ok {
+			return Page{}, fmt.Errorf("storage: NewPage of resident page %d", id)
+		}
+		if err := s.makeRoom(); err != nil {
+			return Page{}, err
+		}
+		// makeRoom can drop the latch; re-check residency like Fetch does.
+		if _, ok := s.frames[id]; !ok {
+			break
+		}
 	}
 	f := &frame{id: id, data: make([]byte, PageSize), pins: 1, dirty: true}
 	s.frames[id] = f
@@ -275,7 +303,7 @@ func (p *Pool) FlushAll() error {
 		s.mu.Lock()
 		for _, f := range s.frames {
 			if f.dirty {
-				if err := s.disk.Write(f.id, f.data); err != nil {
+				if err := s.dev.Write(f.id, f.data); err != nil {
 					s.mu.Unlock()
 					return err
 				}
@@ -304,7 +332,7 @@ func (p *Pool) DropAll() error {
 		}
 		for _, f := range s.frames {
 			if f.dirty {
-				if err := s.disk.Write(f.id, f.data); err != nil {
+				if err := s.dev.Write(f.id, f.data); err != nil {
 					s.mu.Unlock()
 					return err
 				}
@@ -370,7 +398,7 @@ func (s *shard) makeRoom() error {
 		if victim != &s.lru {
 			s.unlink(victim)
 			if victim.dirty {
-				if err := s.disk.Write(victim.id, victim.data); err != nil {
+				if err := s.dev.Write(victim.id, victim.data); err != nil {
 					return err
 				}
 				s.stats.PageWrites++

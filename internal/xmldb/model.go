@@ -116,6 +116,30 @@ func (s *Store) number(n *Node) {
 // NodeByID returns the node with the given id, or nil if unknown.
 func (s *Store) NodeByID(id int64) *Node { return s.byID[id] }
 
+// RestoreDocument attaches a document whose nodes already carry their ids
+// (the persistence path: the engine catalog deserialises documents with
+// the ids they were saved with, so index rows keep pointing at the right
+// nodes). Combine with SetNextID to restore the id counter.
+func (s *Store) RestoreDocument(doc *Document) {
+	if doc == nil || doc.Root == nil {
+		return
+	}
+	var register func(n *Node)
+	register = func(n *Node) {
+		s.byID[n.ID] = n
+		for _, c := range n.Children {
+			register(c)
+		}
+	}
+	register(doc.Root)
+	doc.Root.Parent = s.VirtualRoot
+	s.VirtualRoot.Children = append(s.VirtualRoot.Children, doc.Root)
+	s.Docs = append(s.Docs, doc)
+}
+
+// SetNextID restores the id counter; ids at or above next must be unused.
+func (s *Store) SetNextID(next int64) { s.nextID = next }
+
 // AttachSubtree numbers the nodes of sub (which must not yet have ids) and
 // attaches it as the last child of parent. Pre-order id assignment
 // continues from the store's id counter, so new ids are larger than all

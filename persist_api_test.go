@@ -1,0 +1,129 @@
+package twigdb_test
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	twigdb "repro"
+)
+
+const persistDoc = `
+<shelf>
+ <book><title>XML</title><year>2000</year>
+  <author><fn>jane</fn><ln>doe</ln></author></book>
+ <book><title>Databases</title><year>1999</year>
+  <author><fn>john</fn><ln>roe</ln></author></book>
+</shelf>`
+
+// TestOptionsPathRoundTrip drives the public persistence API: build into
+// a file, close, reopen, query without rebuilding, update durably, and
+// observe the storage counters.
+func TestOptionsPathRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "books.twigdb")
+
+	db, err := twigdb.Open(&twigdb.Options{Path: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.LoadXMLString(persistDoc); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.BuildAll(); err != nil {
+		t.Fatal(err)
+	}
+	queries := []string{
+		`//book[author/fn='jane']/title`,
+		`/shelf/book/year`,
+		`//author[ln='roe']`,
+	}
+	strategies := []twigdb.Strategy{
+		twigdb.StrategyRootPaths, twigdb.StrategyDataPaths, twigdb.StrategyEdge,
+		twigdb.StrategyDataGuideEdge, twigdb.StrategyFabricEdge,
+		twigdb.StrategyASR, twigdb.StrategyJoinIndex, twigdb.StrategyXRel,
+	}
+	want := map[string][]int64{}
+	for _, q := range queries {
+		res, err := db.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[q] = res.IDs
+	}
+	if st := db.QueryStats(); st.WALFsyncs == 0 || st.BytesWritten == 0 {
+		t.Fatalf("durable build left no storage trace: %+v", st)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := twigdb.Open(&twigdb.Options{Path: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	for _, q := range queries {
+		for _, s := range strategies {
+			res, err := re.QueryWith(s, q)
+			if err != nil {
+				t.Fatalf("%s via %v after reopen: %v", q, s, err)
+			}
+			if !reflect.DeepEqual(res.IDs, want[q]) {
+				t.Fatalf("%s via %v after reopen: got %v want %v", q, s, res.IDs, want[q])
+			}
+		}
+	}
+	// Zero rebuild work: nothing was written while only querying.
+	if st := re.StorageStats(); st.Writes != 0 {
+		t.Fatalf("reopen+query performed %d page writes", st.Writes)
+	}
+
+	// A durable insert, checkpointed, survives another reopen.
+	shelfRes, err := re.Query(`/shelf`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := re.Insert(shelfRes.IDs[0], `<book><title>Recovery</title></book>`); err != nil {
+		t.Fatal(err)
+	}
+	if err := re.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if st := re.StorageStats(); st.WALBytes != 0 || st.Checkpoints == 0 {
+		t.Fatalf("checkpoint did not truncate the WAL: %+v", st)
+	}
+	if err := re.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	third, err := twigdb.Open(&twigdb.Options{Path: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer third.Close()
+	res, err := third.Query(`//book[title='Recovery']`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.IDs) != 1 {
+		t.Fatalf("durable insert lost across reopen: %v", res.IDs)
+	}
+}
+
+// TestInMemoryCloseNoop: Close/Checkpoint are safe no-ops without a Path,
+// so `defer db.Close()` is universally correct.
+func TestInMemoryCloseNoop(t *testing.T) {
+	db := twigdb.MustOpen(nil)
+	if err := db.LoadXMLString(persistDoc); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if st := db.QueryStats(); st.WALFsyncs != 0 {
+		t.Fatalf("in-memory database reported WAL fsyncs: %+v", st)
+	}
+}

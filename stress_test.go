@@ -23,7 +23,7 @@ func TestStressReadersWriters(t *testing.T) {
 		readerOps = 120
 	)
 
-	db := twigdb.Open(&twigdb.Options{BufferPoolBytes: 8 << 20})
+	db := twigdb.MustOpen(&twigdb.Options{BufferPoolBytes: 8 << 20})
 	zonesXML := "<root>"
 	for z := 0; z < writers; z++ {
 		zonesXML += fmt.Sprintf("<zone><title>stable</title><seq>z%d</seq></zone>", z)
@@ -161,7 +161,7 @@ func TestStressReadersWriters(t *testing.T) {
 // TestStressQueryBatchDuringWrites drives the batch API concurrently with a
 // writer, making sure N-in-flight sessions and mutations compose.
 func TestStressQueryBatchDuringWrites(t *testing.T) {
-	db := twigdb.Open(nil)
+	db := twigdb.MustOpen(nil)
 	if err := db.LoadXMLString(`<root><zone><title>stable</title></zone></root>`); err != nil {
 		t.Fatal(err)
 	}

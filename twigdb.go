@@ -14,11 +14,22 @@
 //
 // # Quick start
 //
-//	db := twigdb.Open(nil)
+//	db, _ := twigdb.Open(nil)
 //	if err := db.LoadXMLString(`<book><title>XML</title></book>`); err != nil { ... }
 //	if err := db.Build(twigdb.RootPaths, twigdb.DataPaths); err != nil { ... }
 //	res, err := db.Query(`/book[title='XML']`)
 //	fmt.Println(res.IDs) // ids of matching book elements
+//
+// # Persistence
+//
+// With Options.Path the database lives in a single paged file guarded by a
+// write-ahead log: Build/Insert/Delete commit durably, Close checkpoints,
+// and the next Open recovers everything — indices included — without
+// rebuilding:
+//
+//	db, err := twigdb.Open(&twigdb.Options{Path: "catalog.twigdb"})
+//	...
+//	defer db.Close()
 //
 // Every query can be executed under any strategy via QueryWith, and Result
 // carries the work counters (index lookups, rows scanned, join tuples,
@@ -177,6 +188,15 @@ type Options struct {
 	// real device would stall the session; concurrent sessions overlap
 	// their stalls). Zero — the default — serves misses at memory speed.
 	SimulatedDiskReadLatency time.Duration
+
+	// Path, when non-empty, backs the database with a durable paged file
+	// at this path plus a write-ahead log at Path+".wal": documents and
+	// indices survive Close and are recovered on the next Open with zero
+	// rebuild work, and a crash loses at most the work since the last
+	// commit boundary (Build, Insert, Delete, Checkpoint or Close). Empty
+	// — the default — keeps the historical in-memory database. See
+	// docs/STORAGE.md for the file format and durability guarantees.
+	Path string
 }
 
 // DB is an XML database instance: a forest of loaded documents plus any
@@ -191,8 +211,12 @@ type DB struct {
 	eng *engine.DB
 }
 
-// Open creates an empty database. A nil opts uses the defaults.
-func Open(opts *Options) *DB {
+// Open creates a database. A nil opts uses the defaults (in-memory, 40MB
+// buffer pool). With Options.Path set, Open opens or creates the database
+// file, replays the committed write-ahead-log prefix (discarding any torn
+// tail a crash left behind), and restores every persisted index so queries
+// run immediately without rebuilding.
+func Open(opts *Options) (*DB, error) {
 	cfg := engine.DefaultConfig()
 	if opts != nil {
 		if opts.BufferPoolBytes > 0 {
@@ -204,9 +228,35 @@ func Open(opts *Options) *DB {
 			KeepHead:   opts.KeepHead,
 		}
 		cfg.DiskReadLatency = opts.SimulatedDiskReadLatency
+		cfg.Path = opts.Path
 	}
-	return &DB{eng: engine.New(cfg)}
+	eng, err := engine.Open(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &DB{eng: eng}, nil
 }
+
+// MustOpen is Open for programs and tests where an open failure is fatal
+// (it cannot happen for in-memory databases).
+func MustOpen(opts *Options) *DB {
+	db, err := Open(opts)
+	if err != nil {
+		panic(err)
+	}
+	return db
+}
+
+// Close commits, checkpoints and closes a file-backed database; the DB
+// must not be used afterwards. For in-memory databases it is a no-op, so
+// `defer db.Close()` is always safe.
+func (db *DB) Close() error { return db.eng.Close() }
+
+// Checkpoint makes the current state durable and truncates the write-ahead
+// log (the next Open replays nothing). Mutations already commit at their
+// own boundaries; Checkpoint is for bounding WAL size and recovery time at
+// moments the application chooses. No-op for in-memory databases.
+func (db *DB) Checkpoint() error { return db.eng.Checkpoint() }
 
 // LoadXML parses one XML document from r and adds it to the database.
 // Load all documents before building indices.
@@ -342,20 +392,60 @@ func (db *DB) queryWith(strat Strategy, q string, branchWorkers int) (*Result, e
 
 // QueryStats is a snapshot of the database's lifetime query counters
 // (maintained with atomics, so reading them is safe and cheap at any
-// moment, including mid-traffic).
+// moment, including mid-traffic), plus the device I/O counters that make
+// the persistence subsystem observable through the same surface: bytes
+// moved across the page device and the WAL fsyncs paid at commit
+// boundaries (both zero for in-memory databases until the device is
+// exercised, and WALFsyncs always zero for them).
 type QueryStats struct {
 	Queries           int64 // indexed queries executed (Oracle not counted)
 	ParallelQueries   int64 // of which actually fanned branches out over workers
 	BranchesEvaluated int64 // covering branches evaluated across all queries
+
+	BytesRead    int64 // bytes read from the page device
+	BytesWritten int64 // bytes written (for file-backed: WAL + checkpoints)
+	WALFsyncs    int64 // WAL fsyncs (one per durable commit boundary)
 }
 
 // QueryStats returns the lifetime query counters.
 func (db *DB) QueryStats() QueryStats {
 	s := db.eng.QueryCounters()
+	d := db.eng.DeviceStats()
 	return QueryStats{
 		Queries:           s.Queries,
 		ParallelQueries:   s.ParallelQueries,
 		BranchesEvaluated: s.BranchesEvaluated,
+		BytesRead:         d.BytesRead,
+		BytesWritten:      d.BytesWritten,
+		WALFsyncs:         d.WALFsyncs,
+	}
+}
+
+// StorageStats reports the full device I/O counters: page reads/writes,
+// bytes moved, WAL appends/fsyncs, current WAL length and checkpoints.
+type StorageStats struct {
+	Reads        int64
+	Writes       int64
+	BytesRead    int64
+	BytesWritten int64
+	WALAppends   int64
+	WALFsyncs    int64
+	WALBytes     int64
+	Checkpoints  int64
+}
+
+// StorageStats returns the device I/O counters.
+func (db *DB) StorageStats() StorageStats {
+	d := db.eng.DeviceStats()
+	return StorageStats{
+		Reads:        d.Reads,
+		Writes:       d.Writes,
+		BytesRead:    d.BytesRead,
+		BytesWritten: d.BytesWritten,
+		WALAppends:   d.WALAppends,
+		WALFsyncs:    d.WALFsyncs,
+		WALBytes:     d.WALBytes,
+		Checkpoints:  d.Checkpoints,
 	}
 }
 

@@ -21,7 +21,7 @@ const bookXML = `
 
 func openBook(t testing.TB, kinds ...twigdb.IndexKind) *twigdb.DB {
 	t.Helper()
-	db := twigdb.Open(&twigdb.Options{BufferPoolBytes: 8 << 20})
+	db := twigdb.MustOpen(&twigdb.Options{BufferPoolBytes: 8 << 20})
 	if err := db.LoadXMLString(bookXML); err != nil {
 		t.Fatal(err)
 	}
@@ -112,7 +112,7 @@ func TestAutoStrategySelection(t *testing.T) {
 }
 
 func TestQueryErrors(t *testing.T) {
-	db := twigdb.Open(nil)
+	db := twigdb.MustOpen(nil)
 	if err := db.LoadXMLString(bookXML); err != nil {
 		t.Fatal(err)
 	}
@@ -131,7 +131,7 @@ func TestQueryErrors(t *testing.T) {
 }
 
 func TestLoadErrors(t *testing.T) {
-	db := twigdb.Open(nil)
+	db := twigdb.MustOpen(nil)
 	if err := db.LoadXMLString(`<unclosed>`); err == nil {
 		t.Fatalf("bad XML: want error")
 	}
@@ -162,7 +162,7 @@ func TestIndexSpaces(t *testing.T) {
 func TestCompressionOptions(t *testing.T) {
 	// SchemaPathId compression: exact-path queries would need planner
 	// support; the public contract is that // queries fail loudly.
-	db := twigdb.Open(&twigdb.Options{CompressSchemaPaths: true})
+	db := twigdb.MustOpen(&twigdb.Options{CompressSchemaPaths: true})
 	if err := db.LoadXMLString(bookXML); err != nil {
 		t.Fatal(err)
 	}
