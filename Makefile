@@ -7,7 +7,7 @@ BENCHES = BenchmarkInsert|BenchmarkBuildAll|BenchmarkConcurrentQuery
 # Short-budget fuzz smoke for CI (full runs: go test -fuzz=... by hand).
 FUZZTIME ?= 10s
 
-.PHONY: all build vet test race fuzz recover ci bench bench1 bench2 bench3
+.PHONY: all build vet test race fuzz recover ci bench bench1 bench2 bench3 bench4
 
 all: test
 
@@ -42,7 +42,7 @@ recover:
 ci: test race fuzz recover
 
 # Machine-readable trajectory entries at the repo root.
-bench: bench1 bench2 bench3
+bench: bench1 bench2 bench3 bench4
 
 # Micro-benchmarks with allocation reporting -> BENCH_1.json.
 bench1:
@@ -57,3 +57,8 @@ bench2:
 # (in-memory vs file-backed vs simulated-latency) -> BENCH_3.json.
 bench3:
 	$(GO) run ./cmd/twigbench -file -out BENCH_3.json
+
+# Cost-based-planner regret: chosen-plan latency vs the best pinned
+# strategy per workload query (see docs/PLANNER.md) -> BENCH_4.json.
+bench4:
+	$(GO) run ./cmd/twigbench -planner -out BENCH_4.json

@@ -6,6 +6,7 @@
 //	twigbench [-scale N] [-exp all|space|fig11|fig12a|fig12b|fig12c|fig12d|fig13|recursion|compress|tables]
 //	twigbench -parallel [-workers N] [-queries N] [-iolat D] [-iopoolkb KB] [-out BENCH_2.json]
 //	twigbench -file [-iopoolkb KB] [-out BENCH_3.json]
+//	twigbench -planner [-out BENCH_4.json]
 //
 // The -scale flag multiplies the synthetic dataset sizes (default 1).
 // -parallel runs the concurrent-session throughput experiment: the XMark
@@ -15,6 +16,10 @@
 // -file runs the durable storage experiment: build, close, reopen and
 // cold-cache query a file-backed database, comparing in-memory,
 // file-backed and simulated-latency regimes, writing the result to -out.
+// -planner runs the cost-based-planner regret experiment: every XMark and
+// DBLP workload query is timed under the planner's chosen plan and under
+// all nine pinned strategies; regret is chosen-plan latency over the best
+// pinned strategy's latency.
 package main
 
 import (
@@ -31,12 +36,33 @@ func main() {
 	exp := flag.String("exp", "all", "experiment to run")
 	parallel := flag.Bool("parallel", false, "run the concurrent-session throughput experiment")
 	file := flag.Bool("file", false, "run the file-backed storage experiment (build, reopen, cold-cache query)")
+	planner := flag.Bool("planner", false, "run the cost-based-planner regret experiment")
 	workers := flag.Int("workers", 8, "concurrent sessions in the -parallel run")
 	queries := flag.Int("queries", 1600, "total queries per -parallel run")
 	iolat := flag.Duration("iolat", 200*time.Microsecond, "simulated per-miss read latency of the disk-resident regime (0 disables the regime)")
 	iopoolkb := flag.Int("iopoolkb", 512, "buffer pool KB of the disk-resident regime")
 	out := flag.String("out", "", "output path for the -parallel/-file JSON result (default BENCH_2.json / BENCH_3.json)")
 	flag.Parse()
+
+	if *planner {
+		if *out == "" {
+			*out = "BENCH_4.json"
+		}
+		cfg := bench.DefaultPlannerConfig()
+		cfg.Scale = *scale
+		res, err := bench.PlannerExperiment(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "twigbench:", err)
+			os.Exit(1)
+		}
+		fmt.Print(res.String())
+		if err := res.WriteJSON(*out); err != nil {
+			fmt.Fprintln(os.Stderr, "twigbench:", err)
+			os.Exit(1)
+		}
+		fmt.Println("wrote", *out)
+		return
+	}
 
 	if *file {
 		if *out == "" {

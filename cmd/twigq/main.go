@@ -41,7 +41,7 @@ func main() {
 	strategy := flag.String("strategy", "auto", "evaluation strategy")
 	query := flag.String("q", "", "twig query (required)")
 	show := flag.Bool("show", false, "print matched subtrees as XML")
-	explain := flag.Bool("explain", false, "print the plan before executing")
+	explain := flag.Bool("explain", false, "print the planned and executed operator trees (est vs act rows; with -strategy auto, also the planner's candidate costs)")
 	flag.Parse()
 
 	if err := run(*indexList, *strategy, *query, *show, *explain, flag.Args()); err != nil {
@@ -104,6 +104,9 @@ func run(indexList, strategy, query string, show, explain bool, files []string) 
 	res, err := db.QueryWith(strat, query)
 	if err != nil {
 		return err
+	}
+	if explain && res.Plan != nil {
+		fmt.Printf("executed plan (strategy %s, est vs act rows):\n%s", res.Strategy, res.Plan.Render())
 	}
 	fmt.Println(res)
 	for _, n := range res.Nodes() {

@@ -23,10 +23,14 @@ func TestExplain(t *testing.T) {
 		t.Errorf("expected an exact est=1 branch:\n%s", out)
 	}
 
-	// Auto resolves to the default strategy.
+	// Auto reports the planner's deliberation: candidate costs plus the
+	// chosen tree.
 	out, err = db.Explain(twigdb.Auto, `/book`)
-	if err != nil || !strings.Contains(out, "strategy DP") {
+	if err != nil || !strings.Contains(out, "planner:") || !strings.Contains(out, "candidate plan(s)") {
 		t.Errorf("Auto explain = %q, %v", out, err)
+	}
+	if !strings.Contains(out, "strategy DP") && !strings.Contains(out, "strategy RP") {
+		t.Errorf("Auto explain did not choose a path index:\n%s", out)
 	}
 
 	// Oracle has a fixed description.

@@ -41,7 +41,7 @@ type PersistRegime struct {
 	HitRate float64 `json:"hit_rate"`
 	// DeviceReads/BytesRead make the regime's I/O visible (real file reads
 	// for file-backed, counted copies for in-memory).
-	DeviceReads int64 `json:"device_reads"`
+	DeviceReads int64   `json:"device_reads"`
 	BytesReadMB float64 `json:"bytes_read_mb"`
 }
 

@@ -1,13 +1,14 @@
 package engine
 
 // Differential test harness: the paper's seven index strategies (plus the
-// ROOTPATHS/DATAPATHS pair and the structural-join extension) are seven
-// independent implementations of the same twig-matching semantics, and the
-// naive in-memory matcher is an eighth. On any document and any query they
-// must all return the same sorted id set — which makes randomized
-// cross-strategy comparison an unusually strong oracle for both the planner
-// and the newly concurrent read path. Failures are shrunk to a minimal
-// document before reporting.
+// ROOTPATHS/DATAPATHS pair and the structural-join extension) are eight
+// independent implementations of the same twig-matching semantics, the
+// cost-based auto-planner is a ninth contender (whatever plan it picks must
+// agree), and the naive in-memory matcher is the oracle. On any document
+// and any query they must all return the same sorted id set — which makes
+// randomized cross-strategy comparison an unusually strong oracle for the
+// planner, the operator executors and the concurrent read path. Failures
+// are shrunk to a minimal document before reporting.
 
 import (
 	"fmt"
@@ -16,6 +17,7 @@ import (
 	"sync"
 	"testing"
 
+	"repro/internal/index"
 	"repro/internal/naive"
 	"repro/internal/plan"
 	"repro/internal/xmldb"
@@ -219,6 +221,7 @@ func genQuery(rng *rand.Rand) string {
 // diffMismatch describes one strategy disagreeing with the oracle.
 type diffMismatch struct {
 	strat plan.Strategy
+	auto  bool // cost-based planner chose the strategy
 	par   bool // parallel executor
 	got   []int64
 	err   error
@@ -233,16 +236,25 @@ func runDifferential(doc *xmldb.Document, pat *xpath.Pattern) []diffMismatch {
 	if err := db.BuildAll(); err != nil {
 		return []diffMismatch{{err: fmt.Errorf("BuildAll: %w", err)}}
 	}
+	// The containment index too, so the auto-planner's candidate set spans
+	// the full family, structural-join extension included.
+	if err := db.Build(index.KindContainment); err != nil {
+		return []diffMismatch{{err: fmt.Errorf("Build(Containment): %w", err)}}
+	}
 	want := naive.Match(db.Store(), pat)
 
 	type run struct {
 		strat plan.Strategy
+		auto  bool
 		par   bool
 	}
 	var runs []run
 	for _, s := range diffStrategies {
-		runs = append(runs, run{s, false}, run{s, true})
+		runs = append(runs, run{strat: s}, run{strat: s, par: true})
 	}
+	// The ninth contender: whatever the cost-based planner picks, serial
+	// and parallel, must agree with the oracle too.
+	runs = append(runs, run{auto: true}, run{auto: true, par: true})
 	out := make([]diffMismatch, len(runs))
 	var wg sync.WaitGroup
 	for i, r := range runs {
@@ -251,16 +263,23 @@ func runDifferential(doc *xmldb.Document, pat *xpath.Pattern) []diffMismatch {
 			defer wg.Done()
 			var got []int64
 			var err error
-			if r.par {
+			switch {
+			case r.auto && r.par:
+				got, _, out[i].strat, err = db.QueryPatternBest(pat, 4)
+			case r.auto:
+				got, _, out[i].strat, err = db.QueryPatternBest(pat, 1)
+			case r.par:
 				got, _, err = db.QueryPatternParallel(pat, r.strat, 4)
-			} else {
+			default:
 				got, _, err = db.QueryPattern(pat, r.strat)
 			}
 			if err != nil || !equalIDs(got, want) {
-				out[i] = diffMismatch{strat: r.strat, par: r.par, got: got, err: err}
+				out[i].got, out[i].err = got, err
 				if err == nil && out[i].got == nil {
 					out[i].got = []int64{} // distinguish "empty" from "no mismatch"
 				}
+			} else {
+				out[i] = diffMismatch{}
 			}
 		}(i, r)
 	}
@@ -268,7 +287,10 @@ func runDifferential(doc *xmldb.Document, pat *xpath.Pattern) []diffMismatch {
 	var mm []diffMismatch
 	for i, r := range runs {
 		if out[i].err != nil || out[i].got != nil {
-			out[i].strat, out[i].par = r.strat, r.par
+			if !r.auto {
+				out[i].strat = r.strat
+			}
+			out[i].auto, out[i].par = r.auto, r.par
 			mm = append(mm, out[i])
 		}
 	}
@@ -389,10 +411,18 @@ func TestDifferentialStrategies(t *testing.T) {
 					if m.par {
 						exec = "parallel"
 					}
+					name := m.strat.String()
+					if m.auto {
+						if m.err != nil {
+							name = "auto" // planning failed; no strategy was chosen
+						} else {
+							name = "auto→" + name
+						}
+					}
 					if m.err != nil {
-						report += fmt.Sprintf("  %v/%s: error %v\n", m.strat, exec, m.err)
+						report += fmt.Sprintf("  %v/%s: error %v\n", name, exec, m.err)
 					} else {
-						report += fmt.Sprintf("  %v/%s: got %v\n", m.strat, exec, m.got)
+						report += fmt.Sprintf("  %v/%s: got %v\n", name, exec, m.got)
 					}
 				}
 				t.Fatal(report)

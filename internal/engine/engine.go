@@ -73,6 +73,11 @@ type DB struct {
 	// mu is the database lock: shared for queries, exclusive for loads,
 	// builds and subtree updates.
 	mu sync.RWMutex
+	// planMu guards the per-pattern plan cache. It nests strictly inside
+	// mu (taken only while holding at least the shared database lock) and
+	// never wraps any other latch.
+	planMu    sync.Mutex
+	planCache map[string]plan.Strategy
 	// statsMu serialises the lazy statistics (re)build so that concurrent
 	// readers racing to a nil env.Stats collect exactly once (the
 	// build-once latch for the engine's lazily-built planner state);
@@ -245,6 +250,16 @@ func (db *DB) AddDocument(doc *xmldb.Document) {
 	db.store.AddDocument(doc)
 	db.env.Stats = nil // invalidate statistics
 	db.statsReady.Store(false)
+	db.invalidatePlans()
+}
+
+// invalidatePlans drops every cached plan choice; called whenever the
+// document set, the statistics, or the set of built indices changes (all of
+// which can change which plan is cheapest — or executable at all).
+func (db *DB) invalidatePlans() {
+	db.planMu.Lock()
+	db.planCache = nil
+	db.planMu.Unlock()
 }
 
 // Store exposes the underlying XML store.
@@ -267,6 +282,7 @@ func (db *DB) CollectStats() {
 	defer db.mu.Unlock()
 	db.env.Stats = stats.Collect(db.store, db.dict)
 	db.statsReady.Store(true)
+	db.invalidatePlans()
 }
 
 // ensureStats lazily builds the statistics exactly once, under the shared
@@ -328,6 +344,7 @@ func (db *DB) Build(kinds ...index.Kind) error {
 			return fmt.Errorf("engine: building %v: %w", k, err)
 		}
 	}
+	db.invalidatePlans()
 	return db.commitLocked()
 }
 
@@ -398,9 +415,10 @@ func (db *DB) DeleteSubtree(nodeID int64) error {
 	return db.commitLocked()
 }
 
-// invalidateDerived drops the statistics and the index structures that do
-// not support incremental updates.
+// invalidateDerived drops the statistics, the cached plan choices, and the
+// index structures that do not support incremental updates.
 func (db *DB) invalidateDerived() {
+	db.invalidatePlans()
 	db.env.Stats = nil
 	db.statsReady.Store(false)
 	db.env.Edge = nil
@@ -485,14 +503,54 @@ func (db *DB) Explain(pat *xpath.Pattern, strat plan.Strategy) (string, error) {
 	return plan.Explain(&db.env, strat, pat)
 }
 
-// DefaultStrategy returns the best strategy among the built indices
-// (DATAPATHS, then ROOTPATHS, then the baselines). Note that under
-// concurrent mutation the answer can be stale by the time the caller
-// queries with it; use QueryPatternBest to resolve and execute atomically.
+// DefaultStrategy returns the statically-preferred strategy among the
+// built indices (DATAPATHS, then ROOTPATHS, then the baselines) without
+// consulting the cost-based planner — the pattern-independent fallback.
+// Note that under concurrent mutation the answer can be stale by the time
+// the caller queries with it; use QueryPatternBest, which plans and
+// executes atomically (and, unlike this ladder, picks per query).
 func (db *DB) DefaultStrategy() (plan.Strategy, error) {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	return db.defaultStrategyLocked()
+}
+
+// choosePlanLocked resolves the cheapest strategy for pat under the shared
+// lock, consulting the per-pattern plan cache first. The cache key is the
+// pattern's canonical rendering, so syntactically different but equivalent
+// queries share an entry. With parallel set, planning runs against an
+// INL-disabled environment — the parallel executor materialises every
+// branch, so costing bound-probe plans would price trees that never run —
+// and such choices are cached under a separate keyspace. On a miss the
+// planner's chosen tree is returned too (nil on a hit), so the caller can
+// execute it directly instead of rebuilding it; cacheHit reports whether
+// planning was skipped.
+func (db *DB) choosePlanLocked(pat *xpath.Pattern, parallel bool) (strat plan.Strategy, tree *plan.Tree, cacheHit bool, err error) {
+	key := pat.String()
+	env := &db.env
+	if parallel {
+		key = "par|" + key
+		penv := db.env
+		penv.INLFactor = -1
+		env = &penv
+	}
+	db.planMu.Lock()
+	s, ok := db.planCache[key]
+	db.planMu.Unlock()
+	if ok {
+		return s, nil, true, nil
+	}
+	t, _, err := plan.Choose(env, pat)
+	if err != nil {
+		return 0, nil, false, err
+	}
+	db.planMu.Lock()
+	if db.planCache == nil {
+		db.planCache = map[string]plan.Strategy{}
+	}
+	db.planCache[key] = t.Strategy
+	db.planMu.Unlock()
+	return t.Strategy, t, false, nil
 }
 
 // defaultStrategyLocked is DefaultStrategy for callers already holding mu.
@@ -516,26 +574,39 @@ func (db *DB) defaultStrategyLocked() (plan.Strategy, error) {
 	return 0, fmt.Errorf("engine: no index built")
 }
 
-// QueryPatternBest resolves the best available strategy and executes pat
-// under it within one critical section — resolving first and querying later
-// in separate sections would let a concurrent index invalidation strand the
-// choice. workers == 1 runs the serial executor; anything else goes through
-// the parallel one (which resolves <= 0 to GOMAXPROCS). Returns the
-// strategy that ran.
+// QueryPatternBest runs the cost-based planner over the built indices and
+// executes pat under the cheapest plan, all within one critical section —
+// planning first and querying later in separate sections would let a
+// concurrent index invalidation strand the choice. Plan choices are cached
+// per normalised pattern (invalidated by loads, builds and subtree
+// updates); cache hits are counted in the query counters. workers == 1
+// runs the serial executor; anything else goes through the parallel one
+// (which resolves <= 0 to GOMAXPROCS). Returns the strategy that ran.
 func (db *DB) QueryPatternBest(pat *xpath.Pattern, workers int) ([]int64, *plan.ExecStats, plan.Strategy, error) {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
-	strat, err := db.defaultStrategyLocked()
+	db.ensureStats()
+	strat, tree, cacheHit, err := db.choosePlanLocked(pat, workers != 1)
 	if err != nil {
 		return nil, nil, 0, err
 	}
-	db.ensureStats()
+	if cacheHit {
+		db.counters.CountPlanCacheHit()
+	}
 	var ids []int64
 	var es *plan.ExecStats
-	if workers == 1 {
-		ids, es, err = plan.Execute(&db.env, strat, pat)
-	} else {
+	switch {
+	case workers != 1 && tree != nil:
+		// Cache miss, parallel: the chosen tree was planned INL-free, so
+		// it is exactly what the parallel executor runs.
+		ids, es, err = plan.ExecuteTreeParallel(&db.env, tree, workers)
+	case workers != 1:
 		ids, es, err = plan.ExecuteParallel(&db.env, strat, pat, workers)
+	case tree != nil:
+		// Cache miss, serial: run the tree the planner just built.
+		ids, es, err = plan.ExecuteTree(&db.env, tree)
+	default:
+		ids, es, err = plan.Execute(&db.env, strat, pat)
 	}
 	if es != nil {
 		db.counters.CountQuery(es.Parallel, es.BranchesJoined)
@@ -543,18 +614,14 @@ func (db *DB) QueryPatternBest(pat *xpath.Pattern, workers int) ([]int64, *plan.
 	return ids, es, strat, err
 }
 
-// ExplainBest is Explain under the best available strategy, resolved in the
-// same critical section; returns the strategy explained.
+// ExplainBest renders the cost-based planner's deliberation for pat (every
+// candidate strategy with its estimated plan cost) followed by the chosen
+// plan tree, resolved in one critical section; returns the strategy chosen.
 func (db *DB) ExplainBest(pat *xpath.Pattern) (string, plan.Strategy, error) {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
-	strat, err := db.defaultStrategyLocked()
-	if err != nil {
-		return "", 0, err
-	}
 	db.ensureStats()
-	out, err := plan.Explain(&db.env, strat, pat)
-	return out, strat, err
+	return plan.ExplainChosen(&db.env, pat)
 }
 
 // Spaces reports the footprint of every built index.

@@ -77,6 +77,51 @@ func TestDefaultStrategyLadder(t *testing.T) {
 	}
 }
 
+func TestPlanCacheHitsAndInvalidation(t *testing.T) {
+	db := newDB(t)
+	if err := db.Build(index.KindRootPaths, index.KindDataPaths); err != nil {
+		t.Fatal(err)
+	}
+	pat := xpath.MustParse(`/site/people/person[name='ann']`)
+	// First auto query plans; the next two hit the per-pattern cache.
+	for i := 0; i < 3; i++ {
+		if _, _, _, err := db.QueryPatternBest(pat, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if hits := db.QueryCounters().PlanCacheHits; hits != 2 {
+		t.Fatalf("plan cache hits = %d, want 2", hits)
+	}
+	// A syntactically different but equivalent pattern shares the entry.
+	if _, _, _, err := db.QueryPatternBest(xpath.MustParse(`/site/people/person[name = 'ann']`), 1); err != nil {
+		t.Fatal(err)
+	}
+	if hits := db.QueryCounters().PlanCacheHits; hits != 3 {
+		t.Fatalf("normalised pattern missed the cache: hits = %d, want 3", hits)
+	}
+	// A structural update invalidates the cache: the next auto query plans
+	// afresh (hit counter unchanged), the one after hits again.
+	people, _, err := db.Query(`/site/people`, plan.RootPathsPlan)
+	if err != nil || len(people) != 1 {
+		t.Fatalf("people: %v %v", people, err)
+	}
+	if err := db.InsertSubtree(people[0], xmldb.Elem("person", xmldb.Text("name", "dan"))); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := db.QueryPatternBest(pat, 1); err != nil {
+		t.Fatal(err)
+	}
+	if hits := db.QueryCounters().PlanCacheHits; hits != 3 {
+		t.Fatalf("cache not invalidated by insert: hits = %d, want 3", hits)
+	}
+	if _, _, _, err := db.QueryPatternBest(pat, 1); err != nil {
+		t.Fatal(err)
+	}
+	if hits := db.QueryCounters().PlanCacheHits; hits != 4 {
+		t.Fatalf("cache not repopulated: hits = %d, want 4", hits)
+	}
+}
+
 func TestQueryBadInput(t *testing.T) {
 	db := newDB(t)
 	if err := db.Build(index.KindRootPaths); err != nil {

@@ -84,9 +84,9 @@ func OpenIndexFabric(pool *storage.Pool, dict *pathdict.Dict, m btree.Meta) *Ind
 // and the root bookkeeping used by rooted-only scans.
 type ASRSnapshot struct {
 	Paths  []pathdict.Path
-	Tables []btree.Meta       // parallel to Paths
-	Rooted []pathdict.PathID  // paths with a document-root-headed instance
-	Roots  []int64            // document root ids
+	Tables []btree.Meta      // parallel to Paths
+	Rooted []pathdict.PathID // paths with a document-root-headed instance
+	Roots  []int64           // document root ids
 }
 
 // Snapshot captures the ASR's durable description.

@@ -27,8 +27,6 @@ type asrEval struct {
 	es  *ExecStats
 }
 
-func (e *asrEval) CanBound() bool { return true }
-
 func (e *asrEval) Free(br xpath.Branch) ([]relop.Tuple, error) {
 	pat, ok := compileBranch(e.env.Dict, br)
 	if !ok {
@@ -121,8 +119,6 @@ type jiEval struct {
 	env *Env
 	es  *ExecStats
 }
-
-func (e *jiEval) CanBound() bool { return true }
 
 // segments resolves the JI relation of each adjacent position pair of an
 // assignment over a concrete path.

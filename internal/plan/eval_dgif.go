@@ -17,8 +17,6 @@ type dgEval struct {
 	es  *ExecStats
 }
 
-func (e *dgEval) CanBound() bool { return true }
-
 func (e *dgEval) Free(br xpath.Branch) ([]relop.Tuple, error) {
 	pat, ok := compileBranch(e.env.Dict, br)
 	if !ok {
@@ -84,8 +82,6 @@ type ifEval struct {
 	env *Env
 	es  *ExecStats
 }
-
-func (e *ifEval) CanBound() bool { return true }
 
 func (e *ifEval) Free(br xpath.Branch) ([]relop.Tuple, error) {
 	pat, ok := compileBranch(e.env.Dict, br)

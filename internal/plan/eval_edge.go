@@ -15,8 +15,6 @@ type edgeEval struct {
 	es  *ExecStats
 }
 
-func (e *edgeEval) CanBound() bool { return true }
-
 func (e *edgeEval) Free(br xpath.Branch) ([]relop.Tuple, error) {
 	if br.HasValue {
 		return e.bottomUp(br)

@@ -14,8 +14,6 @@ type rpEval struct {
 	es  *ExecStats
 }
 
-func (e *rpEval) CanBound() bool { return false }
-
 func (e *rpEval) Bound(xpath.Branch, int, []int64) (map[int64][]relop.Tuple, error) {
 	panic("plan: ROOTPATHS does not support bound probes")
 }
@@ -50,8 +48,6 @@ type dpEval struct {
 	env *Env
 	es  *ExecStats
 }
-
-func (e *dpEval) CanBound() bool { return true }
 
 func (e *dpEval) Free(br xpath.Branch) ([]relop.Tuple, error) {
 	pat, ok := compileBranch(e.env.Dict, br)

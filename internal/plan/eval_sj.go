@@ -8,23 +8,32 @@ import (
 	"repro/internal/xpath"
 )
 
-// executeStructural evaluates a twig with binary structural semi-joins over
-// region-encoded candidate lists — the [Zhang et al. / Al-Khalifa et al.]
-// approach the paper cites but could not run inside DB2. The twig is fully
-// reduced with one bottom-up and one top-down semi-join pass (complete for
-// tree patterns), then the output node's surviving candidates are returned.
-//
-// Candidate lists come from the containment element-list B+-tree; value
-// conditions are resolved through the Edge value index, mirroring how a
-// containment engine pairs element lists with a value index.
-func executeStructural(env *Env, pat *xpath.Pattern, es *ExecStats) ([]int64, error) {
+// runStructural executes an OpStructuralJoin operator: a twig evaluated
+// with binary structural semi-joins over region-encoded candidate lists —
+// the [Zhang et al. / Al-Khalifa et al.] approach the paper cites but could
+// not run inside DB2. Each OpRegionScan child fetches one twig node's
+// candidate list (element-list B+-tree, or the value index for valued
+// nodes) and records its own lookup/row counters; the join operator then
+// fully reduces the twig with one bottom-up and one top-down semi-join pass
+// (complete for tree patterns) and returns the output node's surviving
+// candidates.
+func runStructural(env *Env, pat *xpath.Pattern, sj *Node) ([]int64, error) {
 	if env.Containment == nil || env.Edge == nil {
 		return nil, fmt.Errorf("plan: structural join requires the containment and edge indices")
+	}
+	scanFor := make(map[*xpath.Node]*Node, len(sj.Children))
+	for _, c := range sj.Children {
+		scanFor[c.twig] = c
 	}
 
 	cands := map[*xpath.Node][]containment.Region{}
 	var build func(n *xpath.Node) error
 	build = func(n *xpath.Node) error {
+		scan := scanFor[n]
+		if scan == nil {
+			return fmt.Errorf("plan: structural plan missing region scan for %q", n.Label)
+		}
+		es := &scan.stats
 		var list []containment.Region
 		if n.HasValue {
 			es.IndexLookups++
@@ -51,6 +60,7 @@ func executeStructural(env *Env, pat *xpath.Pattern, es *ExecStats) ([]int64, er
 			}
 		}
 		cands[n] = list
+		scan.ActRows = int64(len(list))
 		for _, c := range n.Children {
 			if err := build(c); err != nil {
 				return err
@@ -62,6 +72,7 @@ func executeStructural(env *Env, pat *xpath.Pattern, es *ExecStats) ([]int64, er
 		return nil, err
 	}
 
+	es := &sj.stats
 	// Bottom-up semi-join reduction: a node survives only if every child
 	// subtree has a match below it.
 	var up func(n *xpath.Node)
@@ -105,5 +116,6 @@ func executeStructural(env *Env, pat *xpath.Pattern, es *ExecStats) ([]int64, er
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	// Candidates are distinct nodes, so out is already duplicate-free.
+	sj.ActRows = int64(len(out))
 	return out, nil
 }

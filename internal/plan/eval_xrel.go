@@ -16,8 +16,6 @@ type xrelEval struct {
 	es  *ExecStats
 }
 
-func (e *xrelEval) CanBound() bool { return true }
-
 func (e *xrelEval) Free(br xpath.Branch) ([]relop.Tuple, error) {
 	pat, ok := compileBranch(e.env.Dict, br)
 	if !ok {

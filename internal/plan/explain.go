@@ -7,69 +7,90 @@ import (
 	"repro/internal/xpath"
 )
 
-// Explain renders the plan the executor would run for the pattern under the
-// given strategy: the covering branches in execution order with their exact
-// cardinality estimates, the join node each branch attaches at, and whether
-// the strategy can turn the join into an index-nested-loop.
+// Explain renders the plan Execute would run for the pattern under the
+// given strategy: the physical-operator tree with the cost model's
+// estimated cardinality per operator. After execution, the same tree (via
+// ExecStats.Plan and Tree.Render) also carries every operator's actual
+// cardinality — estimated vs. actual is the planner's report card.
 func Explain(env *Env, strat Strategy, pat *xpath.Pattern) (string, error) {
-	if strat == StructuralJoinPlan {
-		if env.Containment == nil || env.Edge == nil {
-			return "", fmt.Errorf("plan: structural join requires the containment and edge indices")
-		}
-		var b strings.Builder
-		fmt.Fprintf(&b, "strategy SJ, %d twig node(s), output %s\n", pat.NodeCount(), pat.Output.Label)
-		b.WriteString("  1. fetch region candidate lists per twig node (element-list B+-tree / value index)\n")
-		b.WriteString("  2. bottom-up structural semi-joins (stack-based, per twig edge)\n")
-		b.WriteString("  3. top-down structural semi-joins, then project the output node\n")
-		return b.String(), nil
-	}
-	ev, err := newEvaluator(env, strat, &ExecStats{})
+	t, err := Build(env, strat, pat)
 	if err != nil {
 		return "", err
 	}
-	branches := coveringBranches(pat)
-	ests := make([]int64, len(branches))
-	for i, br := range branches {
-		ests[i] = estimateBranch(env, br)
-	}
-	order := make([]int, len(branches))
-	for i := range order {
-		order[i] = i
-	}
-	if !env.NoReorder {
-		for i := 1; i < len(order); i++ {
-			for j := i; j > 0 && ests[order[j]] < ests[order[j-1]]; j-- {
-				order[j], order[j-1] = order[j-1], order[j]
-			}
-		}
-	}
+	return t.Render(), nil
+}
 
+// ExplainChosen renders the cost-based planner's deliberation for the
+// pattern: every candidate strategy with its estimated plan cost, followed
+// by the chosen tree.
+func ExplainChosen(env *Env, pat *xpath.Pattern) (string, Strategy, error) {
+	best, cands, err := Choose(env, pat)
+	if err != nil {
+		return "", 0, err
+	}
 	var b strings.Builder
-	fmt.Fprintf(&b, "strategy %s, %d branch(es), output %s\n", strat, len(branches), pat.Output.Label)
-	seen := map[*xpath.Node]bool{}
-	for k, oi := range order {
-		br := branches[oi]
-		est := ests[oi]
-		if k == 0 {
-			fmt.Fprintf(&b, "  1. scan   %-55s est=%d rows\n", br.String(), est)
-		} else {
-			join := br.Nodes[0]
-			for i := len(br.Nodes) - 1; i >= 0; i-- {
-				if seen[br.Nodes[i]] {
-					join = br.Nodes[i]
-					break
-				}
-			}
-			kind := "hash-join"
-			if ev.CanBound() {
-				kind = "hash-join (INL if est >> |R|)"
-			}
-			fmt.Fprintf(&b, "  %d. %-6s %-55s est=%d rows, at %s, %s\n",
-				k+1, "join", br.String(), est, join.Label, kind)
+	fmt.Fprintf(&b, "planner: %d candidate plan(s)", len(cands))
+	for _, c := range cands {
+		if c.Err != nil {
+			fmt.Fprintf(&b, "  [%s unavailable: %v]", c.Strategy, c.Err)
+			continue
 		}
-		for _, n := range br.Nodes {
-			seen[n] = true
+		marker := ""
+		if c.Strategy == best.Strategy {
+			marker = "*"
+		}
+		fmt.Fprintf(&b, "  %s%s=%.0f", marker, c.Strategy, c.Cost)
+	}
+	b.WriteString("\n")
+	b.WriteString(best.Render())
+	return b.String(), best.Strategy, nil
+}
+
+// Render draws the operator tree with per-node estimated (and, once the
+// tree has executed, actual) cardinalities.
+func (t *Tree) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "strategy %s, %d branch(es), output %s, est cost %.0f\n",
+		t.Strategy, t.Branches, t.Pattern.Output.Label, t.EstCost)
+	renderNode(&b, t.Root, t.Executed)
+	return b.String()
+}
+
+func renderNode(b *strings.Builder, n *Node, executed bool) {
+	DrawTree(b, n, func(c *Node) string {
+		line := c.Kind.String()
+		if c.Detail != "" {
+			line += " " + c.Detail
+		}
+		switch {
+		case executed && c.ActRows >= 0:
+			line += fmt.Sprintf("  (est=%d rows, act=%d)", c.EstRows, c.ActRows)
+		case executed:
+			line += fmt.Sprintf("  (est=%d rows, not run)", c.EstRows)
+		default:
+			line += fmt.Sprintf("  (est=%d rows)", c.EstRows)
+		}
+		return line
+	}, func(c *Node) []*Node { return c.Children })
+}
+
+// DrawTree renders a tree with box-drawing connectors: label produces a
+// node's line, kids its children. Shared by the EXPLAIN renderer and the
+// public Result.Plan renderer, so the two cannot drift apart.
+func DrawTree[T any](b *strings.Builder, root T, label func(T) string, kids func(T) []T) {
+	var rec func(n T, prefix, childPrefix string)
+	rec = func(n T, prefix, childPrefix string) {
+		b.WriteString(prefix)
+		b.WriteString(label(n))
+		b.WriteString("\n")
+		children := kids(n)
+		for i, c := range children {
+			if i == len(children)-1 {
+				rec(c, childPrefix+"└─ ", childPrefix+"   ")
+			} else {
+				rec(c, childPrefix+"├─ ", childPrefix+"│  ")
+			}
 		}
 	}
-	return b.String(), nil
+	rec(root, "", "")
 }

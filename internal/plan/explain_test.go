@@ -15,15 +15,17 @@ func TestExplainOrderMatchesEstimates(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// The income branch (1 row) must be scanned before the increase branch
-	// (2 rows in the fixture).
+	// The income branch (fewer rows in the fixture) must be scanned before
+	// the increase branch.
 	incomeAt := strings.Index(out, "@income")
 	increaseAt := strings.Index(out, "@increase")
 	if incomeAt < 0 || increaseAt < 0 || incomeAt > increaseAt {
 		t.Fatalf("branch order wrong:\n%s", out)
 	}
-	if !strings.Contains(out, "1. scan") || !strings.Contains(out, "2. join") {
-		t.Fatalf("missing plan steps:\n%s", out)
+	for _, want := range []string{"strategy RP", "scan ROOTPATHS", "hash-join", "project", "dedup", "est=", "est cost"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("plan missing %q:\n%s", want, out)
+		}
 	}
 
 	// NoReorder keeps pattern order.
@@ -37,13 +39,15 @@ func TestExplainOrderMatchesEstimates(t *testing.T) {
 		t.Fatalf("NoReorder explain broken:\n%s", out2)
 	}
 
-	// The structural-join plan has its own rendering.
+	// The structural-join plan renders region scans under the twig join.
 	sj, err := plan.Explain(db.Env(), plan.StructuralJoinPlan, pat)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(sj, "semi-join") {
-		t.Fatalf("SJ explain = %s", sj)
+	for _, want := range []string{"structural-join", "semi-join", "region-scan", "value-index"} {
+		if !strings.Contains(sj, want) {
+			t.Fatalf("SJ explain missing %q:\n%s", want, sj)
+		}
 	}
 
 	// Missing index errors.
@@ -53,5 +57,57 @@ func TestExplainOrderMatchesEstimates(t *testing.T) {
 	}
 	if _, err := plan.Explain(&envNone, plan.StructuralJoinPlan, pat); err == nil {
 		t.Fatalf("SJ explain without index: want error")
+	}
+}
+
+// TestExplainActuals: executing a tree fills per-operator actual
+// cardinalities, and the rendering reports est vs. act.
+func TestExplainActuals(t *testing.T) {
+	db := buildDB(t, auctionXML)
+	pat := xpath.MustParse(`/site/regions/namerica/item/quantity[. = 2]`)
+	ids, es, err := plan.Execute(db.Env(), plan.DataPathsPlan, pat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if es.Plan == nil || !es.Plan.Executed {
+		t.Fatalf("ExecStats.Plan not attached/executed: %+v", es.Plan)
+	}
+	out := es.Plan.Render()
+	if !strings.Contains(out, "act=") {
+		t.Fatalf("executed plan missing actuals:\n%s", out)
+	}
+	if !strings.Contains(out, "strategy DP") {
+		t.Fatalf("executed plan missing strategy:\n%s", out)
+	}
+	// The dedup root's actual cardinality is the result count.
+	if es.Plan.Root.ActRows != int64(len(ids)) {
+		t.Fatalf("root act=%d, want %d", es.Plan.Root.ActRows, len(ids))
+	}
+	// Estimates are exact on this substrate: the probe's est equals act.
+	var mismatch bool
+	es.Plan.Walk(func(n *plan.Node, _ int) {
+		if n.Kind == plan.OpIndexProbe && n.ActRows >= 0 && n.EstRows != n.ActRows {
+			mismatch = true
+		}
+	})
+	if mismatch {
+		t.Fatalf("probe est != act on exact statistics:\n%s", out)
+	}
+}
+
+// TestExplainChosen renders the planner's deliberation: every candidate
+// with a cost and the chosen tree.
+func TestExplainChosen(t *testing.T) {
+	db := buildDB(t, auctionXML)
+	pat := xpath.MustParse(`/site/people/person/name`)
+	out, strat, err := plan.ExplainChosen(db.Env(), pat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "planner:") || !strings.Contains(out, "candidate plan(s)") {
+		t.Fatalf("missing planner header:\n%s", out)
+	}
+	if !strings.Contains(out, "strategy "+strat.String()) {
+		t.Fatalf("chosen strategy %v not rendered:\n%s", strat, out)
 	}
 }

@@ -1,0 +1,201 @@
+package plan
+
+import (
+	"fmt"
+
+	"repro/internal/relop"
+	"repro/internal/xpath"
+)
+
+// OpKind identifies a physical operator. The algebra is small and closed:
+// every strategy's plan is a tree over these eight operators, which is what
+// lets one executor (and one parallel executor, and one EXPLAIN renderer)
+// serve all of them — the strategies differ only in which access method
+// their IndexProbe leaves use and in what the probes cost.
+type OpKind uint8
+
+const (
+	// OpIndexProbe materialises one covering branch with the strategy's
+	// free access-method probe (one ROOTPATHS lookup, an edge-index walk,
+	// m ASR relation probes, ...). Leaves of every branch-based plan.
+	OpIndexProbe OpKind = iota
+	// OpHashJoin joins the accumulated relation with a materialised branch
+	// on the id of their deepest shared twig node, then projects away
+	// columns no later operator needs and deduplicates.
+	OpHashJoin
+	// OpINLJoin is the index-nested-loop join of paper Section 3.3: the
+	// branch below the join node is probed once per distinct id in the
+	// accumulated relation (BoundIndex-style), instead of being
+	// materialised. Chosen when the branch is estimated to be much less
+	// selective than the accumulated relation.
+	OpINLJoin
+	// OpPathFilter semi-joins the accumulated relation against a branch
+	// that adds no new columns (a synthetic value branch on an interior
+	// node whose path is already covered): a pure filter.
+	OpPathFilter
+	// OpStructuralJoin reduces the whole twig with region-encoded binary
+	// structural semi-joins (one bottom-up and one top-down pass) over its
+	// OpRegionScan children — the containment-join extension strategy.
+	OpStructuralJoin
+	// OpRegionScan fetches the region-encoded candidate list of one twig
+	// node (element-list B+-tree, or the value index for valued nodes).
+	OpRegionScan
+	// OpProject keeps only the output node's column.
+	OpProject
+	// OpDedup sorts and deduplicates the output ids (the plan's final
+	// DISTINCT).
+	OpDedup
+)
+
+var opNames = [...]string{
+	OpIndexProbe:     "scan",
+	OpHashJoin:       "hash-join",
+	OpINLJoin:        "inl-join",
+	OpPathFilter:     "path-filter",
+	OpStructuralJoin: "structural-join",
+	OpRegionScan:     "region-scan",
+	OpProject:        "project",
+	OpDedup:          "dedup",
+}
+
+func (k OpKind) String() string {
+	if int(k) < len(opNames) {
+		return opNames[k]
+	}
+	return "unknown-op"
+}
+
+// Node is one physical operator in a plan tree. The builder fills the
+// estimates; execution fills ActRows and the per-operator counters — the
+// query-level ExecStats is the sum over the tree's nodes, so the counters
+// are fed by the operators themselves rather than by ad-hoc increments.
+type Node struct {
+	Kind    OpKind
+	Detail  string  // access-method / join-site rendering for EXPLAIN
+	EstRows int64   // estimated output cardinality
+	EstCost float64 // estimated cost of the subtree rooted here
+
+	Children []*Node
+
+	// ActRows is the operator's actual output cardinality, or -1 when the
+	// operator did not run (not yet executed, or skipped because an
+	// earlier operator produced an empty relation).
+	ActRows int64
+
+	// Builder state consumed by the executor.
+	branch *xpath.Branch        // probed branch (IndexProbe, INLJoin, PathFilter)
+	jNode  *xpath.Node          // join / filter twig node (HashJoin, INLJoin, PathFilter)
+	keep   map[*xpath.Node]bool // columns retained after this operator
+	output *xpath.Node          // Project: the output column
+	twig   *xpath.Node          // RegionScan: twig node whose candidates are fetched
+
+	// stats is this operator's share of the query counters; probes count
+	// their lookups and rows, joins their tuple flow.
+	stats ExecStats
+
+	// cached holds pre-materialised probe output installed by the
+	// parallel executor (nil otherwise).
+	cached    []relop.Tuple
+	hasCached bool
+}
+
+// Walk visits the subtree in depth-first pre-order, passing each node's
+// depth (0 at n).
+func (n *Node) Walk(fn func(node *Node, depth int)) {
+	var rec func(c *Node, d int)
+	rec = func(c *Node, d int) {
+		fn(c, d)
+		for _, ch := range c.Children {
+			rec(ch, d+1)
+		}
+	}
+	rec(n, 0)
+}
+
+// Tree is a complete physical plan: the operator tree, the strategy whose
+// access methods its probes use, and the plan-level estimates.
+type Tree struct {
+	Strategy Strategy
+	Pattern  *xpath.Pattern
+	Root     *Node
+	// EstCost is the cost model's estimate for the whole tree (the number
+	// the planner minimises when choosing between strategies).
+	EstCost float64
+	// Branches is the number of covering branches the plan evaluates.
+	Branches int
+	// Executed reports whether the tree has been run (ActRows valid).
+	Executed bool
+	// Parallel reports whether the probe leaves were fanned out over
+	// worker goroutines when the tree ran.
+	Parallel bool
+}
+
+// Walk visits every operator of the tree in depth-first pre-order.
+func (t *Tree) Walk(fn func(node *Node, depth int)) { t.Root.Walk(fn) }
+
+// aggregate sums the per-operator counters into a query-level ExecStats and
+// attaches the executed tree to it.
+func (t *Tree) aggregate() *ExecStats {
+	es := &ExecStats{}
+	t.Walk(func(n *Node, _ int) {
+		o := &n.stats
+		es.IndexLookups += o.IndexLookups
+		es.RowsScanned += o.RowsScanned
+		es.INLProbes += o.INLProbes
+		es.Join.Add(o.Join)
+		for id := range o.relations {
+			es.touchRelation(id)
+		}
+		if n.Kind == OpINLJoin && n.ActRows >= 0 {
+			es.UsedINL = true
+		}
+	})
+	es.BranchesJoined = t.Branches
+	es.Parallel = t.Parallel
+	es.Plan = t
+	return es
+}
+
+// resetRuntime clears execution state so a tree can be re-run (plans are
+// otherwise single-use; the engine's plan cache stores strategy choices,
+// not trees, precisely because actuals are per-execution).
+func (t *Tree) resetRuntime() {
+	t.Walk(func(n *Node, _ int) {
+		n.ActRows = -1
+		n.stats = ExecStats{}
+		n.cached = nil
+		n.hasCached = false
+	})
+	t.Executed = false
+	t.Parallel = false
+}
+
+// probeDetail renders the access-method description of a branch probe.
+func probeDetail(strat Strategy, br xpath.Branch) string {
+	return fmt.Sprintf("%s %s", accessMethodName(strat), br.String())
+}
+
+// accessMethodName names the access method a strategy's probes use.
+func accessMethodName(s Strategy) string {
+	switch s {
+	case RootPathsPlan:
+		return "ROOTPATHS"
+	case DataPathsPlan:
+		return "DATAPATHS"
+	case EdgePlan:
+		return "edge-links"
+	case DataGuideEdgePlan:
+		return "DataGuide+value"
+	case FabricEdgePlan:
+		return "IndexFabric"
+	case ASRPlan:
+		return "ASR"
+	case JoinIndexPlan:
+		return "JoinIndex"
+	case XRelPlan:
+		return "XRel"
+	case StructuralJoinPlan:
+		return "element-lists"
+	}
+	return "unknown"
+}

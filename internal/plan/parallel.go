@@ -1,0 +1,90 @@
+package plan
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/xpath"
+)
+
+// ExecuteParallel runs the pattern under the given strategy with its
+// covering branches evaluated concurrently: the plan is built with every
+// branch materialised (no index-nested-loop joins — bound probes are
+// inherently sequential, their probe set being the previous join's output),
+// and the generic parallel tree executor fans the probe leaves out over a
+// bounded pool of worker goroutines sharing the one buffer pool. The result
+// ids are identical to Execute's — the fan-out changes wall-clock shape,
+// not semantics — which is what the differential harness asserts.
+//
+// workers <= 0 uses GOMAXPROCS; workers == 1 (or a single-branch pattern,
+// or the structural-join strategy, whose twig-wide join is sequential)
+// falls back to the serial executor.
+func ExecuteParallel(env *Env, strat Strategy, pat *xpath.Pattern, workers int) ([]int64, *ExecStats, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers <= 1 || strat == StructuralJoinPlan {
+		return Execute(env, strat, pat)
+	}
+	// Single-branch trees fall back to serial execution inside
+	// ExecuteTreeParallel (fewer than two probe leaves, no join to lose
+	// INL on), so no pre-check is needed here.
+	penv := *env
+	penv.INLFactor = -1 // materialise every branch up front
+	t, err := Build(&penv, strat, pat)
+	if err != nil {
+		return nil, &ExecStats{}, err
+	}
+	return ExecuteTreeParallel(env, t, workers)
+}
+
+// ExecuteTreeParallel is the generic parallel executor: it works on any
+// plan tree by materialising every OpIndexProbe leaf concurrently (at most
+// `workers` in flight, <= 0 meaning GOMAXPROCS), then running the tree's
+// join/filter/projection spine serially over the pre-materialised leaves.
+// Trees without at least two probe leaves (or workers == 1) run entirely
+// serially.
+func ExecuteTreeParallel(env *Env, t *Tree, workers int) ([]int64, *ExecStats, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if t.Executed {
+		t.resetRuntime()
+	}
+	var probes []*Node
+	t.Walk(func(n *Node, _ int) {
+		if n.Kind == OpIndexProbe {
+			probes = append(probes, n)
+		}
+	})
+	if workers > 1 && len(probes) > 1 {
+		t.Parallel = true
+		sem := make(chan struct{}, workers)
+		errs := make([]error, len(probes))
+		var wg sync.WaitGroup
+		for i, p := range probes {
+			wg.Add(1)
+			go func(i int, p *Node) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				ev, err := newEvaluator(env, t.Strategy, &p.stats)
+				if err == nil {
+					p.cached, err = ev.Free(*p.branch)
+					p.hasCached = true
+				}
+				errs[i] = err
+			}(i, p)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				t.Executed = true
+				return nil, t.aggregate(), err
+			}
+		}
+	}
+	ids, err := runRoot(env, t)
+	t.Executed = true
+	return ids, t.aggregate(), err
+}

@@ -1,20 +1,23 @@
-// Package plan translates query twig patterns into executable plans, one
-// evaluation strategy per member of the index family, and executes them.
+// Package plan translates query twig patterns into physical-operator plan
+// trees, one plan builder per member of the index family, costs them with a
+// calibrated cost model, and executes them.
 //
-// All strategies share the same twig evaluation skeleton, which mirrors how
-// a relational processor would run the paper's plans:
+// The algebra mirrors how a relational processor runs the paper's plans:
 //
 //  1. cover the twig with its root-to-leaf branch paths (Section 2.2);
-//  2. evaluate each branch to a relation of node-id tuples, one column per
-//     twig node on the branch — how a branch is evaluated is what
-//     distinguishes the strategies (one ROOTPATHS lookup vs. a cascade of
-//     edge joins vs. m ASR relation probes, ...);
-//  3. stitch the branch relations together with joins on the id of the
-//     deepest shared twig node, choosing index-nested-loop probes instead
-//     of materialize-and-merge when the statistics say the remaining branch
-//     is much less selective than the intermediate result and the strategy
-//     supports bound (BoundIndex-style) probes;
-//  4. project and deduplicate the output node's column.
+//  2. materialise each branch with an OpIndexProbe leaf — how a branch is
+//     probed is what distinguishes the strategies (one ROOTPATHS lookup vs.
+//     a cascade of edge joins vs. m ASR relation probes, ...);
+//  3. stitch the branch relations together with OpHashJoin / OpINLJoin /
+//     OpPathFilter operators on the id of the deepest shared twig node,
+//     choosing index-nested-loop probes when the statistics say the
+//     remaining branch is much less selective than the intermediate result
+//     and the strategy supports bound (BoundIndex-style) probes;
+//  4. project and deduplicate the output node's column (OpProject, OpDedup).
+//
+// On top sits a cost-based planner (Choose): it enumerates the strategies
+// whose indices are built, costs each strategy's tree, and picks the
+// cheapest — the role DB2's optimizer plays in the paper's experiments.
 package plan
 
 import (
@@ -128,6 +131,8 @@ func (e *Env) inlThreshold() (int64, bool) {
 
 // ExecStats reports the work a plan performed; these counters are the
 // machine-independent stand-ins for the paper's wall-clock measurements.
+// They are aggregated from the executed plan tree's per-operator counters
+// (each operator counts its own probes, rows and join tuples).
 type ExecStats struct {
 	IndexLookups   int64 // index probe operations (range scans started)
 	RowsScanned    int64 // index rows visited across all probes
@@ -136,10 +141,14 @@ type ExecStats struct {
 	RelationsUsed  int // distinct ASR/JI relations touched
 	Join           relop.Counters
 	BranchesJoined int
-	// Parallel reports whether the branches were actually fanned out over
-	// worker goroutines (ExecuteParallel can fall back to the serial
+	// Parallel reports whether the probe leaves were actually fanned out
+	// over worker goroutines (ExecuteParallel can fall back to the serial
 	// executor for single-branch patterns and structural joins).
 	Parallel bool
+	// Plan is the executed physical plan tree, with per-operator estimated
+	// and actual cardinalities (nil when execution failed before a tree
+	// was built).
+	Plan *Tree
 
 	relations map[pathdict.PathID]struct{}
 }
@@ -153,8 +162,8 @@ func (es *ExecStats) touchRelation(id pathdict.PathID) {
 }
 
 // inlFactor is the planner's threshold: a branch is evaluated with bound
-// probes when its estimated row count exceeds inlFactor times the current
-// intermediate result size.
+// probes when its estimated row count exceeds inlFactor times the
+// estimated intermediate result size.
 const inlFactor = 4
 
 // rel is an intermediate result: tuples with one column per twig node.
@@ -198,91 +207,16 @@ func (r *rel) project(keep map[*xpath.Node]bool) {
 	r.tuples = relop.DistinctTuples(out)
 }
 
-// evaluator is the strategy-specific branch machinery.
+// evaluator is the strategy-specific access-method machinery behind the
+// probe operators.
 type evaluator interface {
 	// Free evaluates a branch from scratch, returning tuples with one
-	// column per br.Nodes entry.
+	// column per br.Nodes entry. Feeds OpIndexProbe.
 	Free(br xpath.Branch) ([]relop.Tuple, error)
-	// CanBound reports whether bound (index-nested-loop) probes are
-	// supported.
-	CanBound() bool
 	// Bound evaluates the branch below br.Nodes[jIdx] for each head id in
 	// jids, returning tuples with one column per br.Nodes[jIdx+1:] entry.
+	// Feeds OpINLJoin; only strategies with canBound() support it.
 	Bound(br xpath.Branch, jIdx int, jids []int64) (map[int64][]relop.Tuple, error)
-}
-
-// Execute runs the pattern under the given strategy and returns the sorted
-// distinct ids of the output node's matches.
-func Execute(env *Env, strat Strategy, pat *xpath.Pattern) ([]int64, *ExecStats, error) {
-	es := &ExecStats{}
-	if strat == StructuralJoinPlan {
-		ids, err := executeStructural(env, pat, es)
-		es.BranchesJoined = len(pat.Branches())
-		return ids, es, err
-	}
-	ev, err := newEvaluator(env, strat, es)
-	if err != nil {
-		return nil, es, err
-	}
-
-	branches := coveringBranches(pat)
-	es.BranchesJoined = len(branches)
-
-	order, ests := branchOrder(env, branches)
-
-	ids, err := mergeBranches(pat, branches, order, func(r *rel, oi int) (*rel, error) {
-		br := branches[oi]
-		if r == nil {
-			tuples, err := ev.Free(br)
-			if err != nil {
-				return nil, err
-			}
-			return &rel{cols: append([]*xpath.Node(nil), br.Nodes...), tuples: relop.DistinctTuples(tuples)}, nil
-		}
-		return r, extend(env, ev, es, r, br, ests[oi])
-	})
-	return ids, es, err
-}
-
-// mergeBranches is the join/projection skeleton shared by the serial and
-// parallel executors — keeping it in one place is what guarantees the two
-// produce identical result sets. fold evaluates-and-folds one branch (and
-// records whatever counters its captured ExecStats needs): with r == nil it
-// returns the branch's initial relation, otherwise it extends r and returns
-// it.
-func mergeBranches(pat *xpath.Pattern, branches []xpath.Branch, order []int, fold func(r *rel, oi int) (*rel, error)) ([]int64, error) {
-	var r *rel
-	for k, oi := range order {
-		var err error
-		if r, err = fold(r, oi); err != nil {
-			return nil, err
-		}
-		// Project away columns no future branch joins on and that are not
-		// the output, then deduplicate — the relational plan's DISTINCT
-		// on branch-point ids, without which predicate branches would
-		// cross-product (e.g. persons x items under one site element).
-		keep := map[*xpath.Node]bool{pat.Output: true}
-		for _, fi := range order[k+1:] {
-			for _, n := range branches[fi].Nodes {
-				keep[n] = true
-			}
-		}
-		r.project(keep)
-		if len(r.tuples) == 0 {
-			break
-		}
-	}
-	if r == nil {
-		return nil, fmt.Errorf("plan: pattern has no branches")
-	}
-	if len(r.tuples) == 0 {
-		return nil, nil
-	}
-	outCol := r.col(pat.Output)
-	if outCol < 0 {
-		return nil, fmt.Errorf("plan: output node %q not covered", pat.Output.Label)
-	}
-	return relop.DistinctInts(relop.Project(r.tuples, outCol)), nil
 }
 
 // branchOrder orders branches by estimated (exact) match count, cheapest
@@ -306,96 +240,6 @@ func branchOrder(env *Env, branches []xpath.Branch) (order []int, ests []int64) 
 		}
 	}
 	return order, ests
-}
-
-// deepestShared returns the index within br of the deepest twig node already
-// present as a column of r, or -1.
-func (r *rel) deepestShared(br xpath.Branch) int {
-	for i := len(br.Nodes) - 1; i >= 0; i-- {
-		if r.col(br.Nodes[i]) >= 0 {
-			return i
-		}
-	}
-	return -1
-}
-
-// extend folds branch br into r, joining on the deepest twig node of br
-// already present in r. It chooses index-nested-loop bound probes when the
-// statistics say the branch is much less selective than r; otherwise it
-// materialises the branch with a free probe and hash-joins.
-func extend(env *Env, ev evaluator, es *ExecStats, r *rel, br xpath.Branch, est int64) error {
-	jIdx := r.deepestShared(br)
-	if jIdx < 0 {
-		return fmt.Errorf("plan: branch %s shares no node with the intermediate result", br)
-	}
-	newNodes := br.Nodes[jIdx+1:]
-	if len(newNodes) > 0 {
-		jCol := r.col(br.Nodes[jIdx])
-		factor, inlAllowed := env.inlThreshold()
-		useINL := inlAllowed && ev.CanBound() && len(r.tuples) > 0 && est > factor*int64(len(r.tuples))
-		if useINL {
-			es.UsedINL = true
-			jids := relop.DistinctInts(relop.Project(r.tuples, jCol))
-			subs, err := ev.Bound(br, jIdx, jids)
-			if err != nil {
-				return err
-			}
-			var out []relop.Tuple
-			for _, t := range r.tuples {
-				for _, sub := range subs[t[jCol]] {
-					nt := make(relop.Tuple, 0, len(t)+len(sub))
-					nt = append(nt, t...)
-					nt = append(nt, sub...)
-					out = append(out, nt)
-				}
-			}
-			es.Join.TuplesIn += int64(len(r.tuples))
-			es.Join.TuplesOut += int64(len(out))
-			r.cols = append(r.cols, newNodes...)
-			r.tuples = relop.DistinctTuples(out)
-			return nil
-		}
-	}
-	tuples, err := ev.Free(br)
-	if err != nil {
-		return err
-	}
-	return extendFree(es, r, br, jIdx, tuples)
-}
-
-// extendFree folds branch br into r from already-materialised free-probe
-// tuples (one column per br.Nodes entry). It is the merge step shared by the
-// serial hash-join path and the parallel executor, which materialises every
-// branch up front on worker goroutines.
-func extendFree(es *ExecStats, r *rel, br xpath.Branch, jIdx int, tuples []relop.Tuple) error {
-	newNodes := br.Nodes[jIdx+1:]
-	if len(newNodes) == 0 {
-		// Branch fully contained (a synthetic value branch on an interior
-		// node whose path is already covered): semi-join on the leaf column.
-		keyCol := len(br.Nodes) - 1
-		keys := relop.KeySet(tuples, keyCol)
-		r.tuples = relop.SemiJoin(r.tuples, r.col(br.Nodes[keyCol]), keys, &es.Join)
-		return nil
-	}
-	jCol := r.col(br.Nodes[jIdx])
-	tuples = relop.DistinctTuples(tuples)
-	// Project the branch tuples down to join column + new columns.
-	proj := make([]relop.Tuple, len(tuples))
-	for i, t := range tuples {
-		nt := make(relop.Tuple, 0, 1+len(newNodes))
-		nt = append(nt, t[jIdx])
-		nt = append(nt, t[jIdx+1:]...)
-		proj[i] = nt
-	}
-	joined := relop.HashJoin(r.tuples, proj, jCol, 0, &es.Join)
-	// Drop the duplicated join column (first column of the right side).
-	width := len(r.cols)
-	for i, t := range joined {
-		joined[i] = append(t[:width], t[width+1:]...)
-	}
-	r.cols = append(r.cols, newNodes...)
-	r.tuples = relop.DistinctTuples(joined)
-	return nil
 }
 
 // coveringBranches returns the root-to-leaf branches of the pattern plus a
@@ -483,48 +327,30 @@ func suffixSyms(pat []pathdict.PStep) pathdict.Path {
 	return out
 }
 
+// newEvaluator constructs the access-method adapter for a strategy, wiring
+// its counters to es (each probe operator passes its own stats, so the
+// counters are attributed to the operator that did the work).
 func newEvaluator(env *Env, strat Strategy, es *ExecStats) (evaluator, error) {
+	if err := checkIndices(env, strat); err != nil {
+		return nil, err
+	}
 	switch strat {
 	case RootPathsPlan:
-		if env.RP == nil {
-			return nil, fmt.Errorf("plan: ROOTPATHS index not built")
-		}
 		return &rpEval{env: env, es: es}, nil
 	case DataPathsPlan:
-		if env.DP == nil {
-			return nil, fmt.Errorf("plan: DATAPATHS index not built")
-		}
 		return &dpEval{env: env, es: es}, nil
 	case EdgePlan:
-		if env.Edge == nil {
-			return nil, fmt.Errorf("plan: Edge indices not built")
-		}
 		return &edgeEval{env: env, es: es}, nil
 	case DataGuideEdgePlan:
-		if env.DG == nil || env.Edge == nil {
-			return nil, fmt.Errorf("plan: DataGuide+Edge requires both indices")
-		}
 		return &dgEval{env: env, es: es}, nil
 	case FabricEdgePlan:
-		if env.IF == nil || env.Edge == nil || env.Stats == nil {
-			return nil, fmt.Errorf("plan: IndexFabric+Edge requires the fabric, edge indices and statistics")
-		}
 		return &ifEval{env: env, es: es}, nil
 	case ASRPlan:
-		if env.ASR == nil {
-			return nil, fmt.Errorf("plan: ASR relations not built")
-		}
 		return &asrEval{env: env, es: es}, nil
 	case JoinIndexPlan:
-		if env.JI == nil {
-			return nil, fmt.Errorf("plan: join indices not built")
-		}
 		return &jiEval{env: env, es: es}, nil
 	case XRelPlan:
-		if env.XRel == nil || env.Edge == nil {
-			return nil, fmt.Errorf("plan: XRel+Edge requires both indices")
-		}
 		return &xrelEval{env: env, es: es}, nil
 	}
-	return nil, fmt.Errorf("plan: unknown strategy %d", strat)
+	return nil, fmt.Errorf("plan: strategy %v has no branch evaluator", strat)
 }

@@ -9,6 +9,7 @@ type QueryCounters struct {
 	queries           atomic.Int64
 	parallelQueries   atomic.Int64
 	branchesEvaluated atomic.Int64
+	planCacheHits     atomic.Int64
 }
 
 // CountQuery records one executed query; parallel marks it as served by the
@@ -22,11 +23,16 @@ func (c *QueryCounters) CountQuery(parallel bool, branches int) {
 	c.branchesEvaluated.Add(int64(branches))
 }
 
+// CountPlanCacheHit records one auto-planned query whose strategy choice
+// was served from the per-pattern plan cache.
+func (c *QueryCounters) CountPlanCacheHit() { c.planCacheHits.Add(1) }
+
 // QuerySnapshot is a point-in-time copy of the counters.
 type QuerySnapshot struct {
 	Queries           int64 // queries executed
 	ParallelQueries   int64 // of which via the parallel executor
 	BranchesEvaluated int64 // covering branches evaluated across all queries
+	PlanCacheHits     int64 // auto-planned queries answered from the plan cache
 }
 
 // Snapshot returns a consistent-enough copy (each field individually atomic).
@@ -35,5 +41,6 @@ func (c *QueryCounters) Snapshot() QuerySnapshot {
 		Queries:           c.queries.Load(),
 		ParallelQueries:   c.parallelQueries.Load(),
 		BranchesEvaluated: c.branchesEvaluated.Load(),
+		PlanCacheHits:     c.planCacheHits.Load(),
 	}
 }

@@ -1,9 +1,9 @@
 // Package stats collects the exact cardinality statistics the planner uses
-// to order branches and choose between index-nested-loop and merge joins.
-// The paper runs RUNSTATS-style collection before querying ("we collected
-// detailed statistics on all relations and indices before running our
-// queries"); here the statistics are exact per-rooted-path and
-// per-(rooted-path, value) match counts.
+// to order branches, choose between index-nested-loop and merge joins, and
+// cost rival access paths. The paper runs RUNSTATS-style collection before
+// querying ("we collected detailed statistics on all relations and indices
+// before running our queries"); here the statistics are exact
+// per-rooted-path and per-(rooted-path, value) match counts.
 package stats
 
 import (
@@ -16,17 +16,24 @@ import (
 
 // Stats holds match counts over the rooted schema paths of a store. After
 // Collect returns, the count maps are immutable, so concurrent readers need
-// no synchronisation; only the estimate memo cache is mutated afterwards and
-// it is guarded by a read-write latch (reads vastly outnumber writes once
-// the workload's branch patterns have been seen).
+// no synchronisation; only the estimate memo caches are mutated afterwards
+// and they are guarded by a read-write latch (reads vastly outnumber writes
+// once the workload's branch patterns have been seen).
 type Stats struct {
 	ptab      *pathdict.PathTable // rooted paths
 	pathCount map[pathdict.PathID]int64
 	valCount  map[valKey]int64
 	byLast    map[pathdict.Sym][]pathdict.PathID // rooted paths by final designator
 
-	mu       sync.RWMutex
-	estCache map[string]int64
+	mu sync.RWMutex
+	// patIDs interns compiled linear patterns into dense references so the
+	// memo caches can use small comparable struct keys; the lookup goes
+	// through a map[string] index expression over a stack buffer, so the
+	// steady state performs no allocation per estimate.
+	patIDs     map[string]patRef
+	nextPat    patRef
+	estCache   map[estKey]int64
+	matchCache map[patRef]int64
 }
 
 type valKey struct {
@@ -34,15 +41,28 @@ type valKey struct {
 	value string
 }
 
+// patRef is a dense reference to an interned compiled pattern.
+type patRef int32
+
+// estKey is the comparable memo key for EstimateBranch: the interned
+// pattern plus the value restriction.
+type estKey struct {
+	pat      patRef
+	hasValue bool
+	value    string
+}
+
 // Collect walks the store once and builds the statistics. Labels are
 // interned into dict.
 func Collect(store *xmldb.Store, dict *pathdict.Dict) *Stats {
 	s := &Stats{
-		ptab:      pathdict.NewPathTable(),
-		pathCount: map[pathdict.PathID]int64{},
-		valCount:  map[valKey]int64{},
-		byLast:    map[pathdict.Sym][]pathdict.PathID{},
-		estCache:  map[string]int64{},
+		ptab:       pathdict.NewPathTable(),
+		pathCount:  map[pathdict.PathID]int64{},
+		valCount:   map[valKey]int64{},
+		byLast:     map[pathdict.Sym][]pathdict.PathID{},
+		patIDs:     map[string]patRef{},
+		estCache:   map[estKey]int64{},
+		matchCache: map[patRef]int64{},
 	}
 	pathrel.EmitRootPaths(store, dict, func(r pathrel.Row) {
 		id := s.ptab.Intern(r.Path)
@@ -73,6 +93,37 @@ func (s *Stats) ValueCount(id pathdict.PathID, value string) int64 {
 	return s.valCount[valKey{id, value}]
 }
 
+// patRefFor interns the compiled pattern, returning its dense reference.
+// The hot path — a pattern already seen — performs no allocation: the
+// encoded key lives in a stack buffer and the map lookup uses the
+// allocation-free string(b) index form.
+func (s *Stats) patRefFor(pat []pathdict.PStep) patRef {
+	var arr [96]byte
+	b := arr[:0]
+	for _, st := range pat {
+		d := byte(0)
+		if st.Desc {
+			d = 1
+		}
+		b = append(b, d, byte(st.Sym>>8), byte(st.Sym))
+	}
+	s.mu.RLock()
+	id, ok := s.patIDs[string(b)]
+	s.mu.RUnlock()
+	if ok {
+		return id
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if id, ok := s.patIDs[string(b)]; ok {
+		return id
+	}
+	id = s.nextPat
+	s.nextPat++
+	s.patIDs[string(b)] = id
+	return id
+}
+
 // EstimateBranch returns the exact number of index rows a FreeIndex probe
 // for the given linear pattern would visit: the sum of (value-restricted)
 // counts over every rooted path matching the pattern. Matching is anchored
@@ -80,7 +131,7 @@ func (s *Stats) ValueCount(id pathdict.PathID, value string) int64 {
 // are examined; results are memoised (the paper excludes optimization time
 // from its measurements, so estimation must stay off the critical path).
 func (s *Stats) EstimateBranch(pat []pathdict.PStep, hasValue bool, value string) int64 {
-	key := estKey(pat, hasValue, value)
+	key := estKey{pat: s.patRefFor(pat), hasValue: hasValue, value: value}
 	s.mu.RLock()
 	v, ok := s.estCache[key]
 	s.mu.RUnlock()
@@ -105,19 +156,32 @@ func (s *Stats) EstimateBranch(pat []pathdict.PStep, hasValue bool, value string
 	return total
 }
 
-func estKey(pat []pathdict.PStep, hasValue bool, value string) string {
-	b := make([]byte, 0, len(pat)*3+len(value)+2)
-	for _, st := range pat {
-		if st.Desc {
-			b = append(b, '~')
+// CountMatchingRootedPaths returns the number of distinct rooted schema
+// paths the pattern matches — the m of "a // costs m relation accesses"
+// (paper Section 5.2.6), which the cost model charges to the per-path
+// strategies (ASR, Join Index, XRel, DataGuide, Index Fabric). Memoised
+// like EstimateBranch.
+func (s *Stats) CountMatchingRootedPaths(pat []pathdict.PStep) int64 {
+	if len(pat) == 0 {
+		return 0
+	}
+	ref := s.patRefFor(pat)
+	s.mu.RLock()
+	v, ok := s.matchCache[ref]
+	s.mu.RUnlock()
+	if ok {
+		return v
+	}
+	var total int64
+	for _, id := range s.byLast[pat[len(pat)-1].Sym] {
+		if pathdict.MatchPath(pat, s.ptab.Path(id)) {
+			total++
 		}
-		b = append(b, byte(st.Sym>>8), byte(st.Sym))
 	}
-	if hasValue {
-		b = append(b, 1)
-		b = append(b, value...)
-	}
-	return string(b)
+	s.mu.Lock()
+	s.matchCache[ref] = total
+	s.mu.Unlock()
+	return total
 }
 
 // MatchingRootedPaths returns the rooted paths matching a linear pattern.

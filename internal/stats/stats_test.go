@@ -81,6 +81,26 @@ func TestEstimateMatchesProbeRows(t *testing.T) {
 	}
 }
 
+func TestEstimateHitPathDoesNotAllocate(t *testing.T) {
+	// The estimate memo sits on the query hot path; a cache hit must not
+	// allocate (the interned-pattern struct key replaced the old
+	// fmt-style string key precisely for this).
+	_, d, st := testStore(t)
+	pat := compilePat(t, d, []bool{true, false}, []string{"item", "q"})
+	st.EstimateBranch(pat, true, "2") // populate
+	st.CountMatchingRootedPaths(pat)
+	if n := testing.AllocsPerRun(100, func() {
+		st.EstimateBranch(pat, true, "2")
+	}); n != 0 {
+		t.Fatalf("EstimateBranch cache hit allocates %.1f times per call", n)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		st.CountMatchingRootedPaths(pat)
+	}); n != 0 {
+		t.Fatalf("CountMatchingRootedPaths cache hit allocates %.1f times per call", n)
+	}
+}
+
 func TestMatchingRootedPaths(t *testing.T) {
 	_, d, st := testStore(t)
 	pat := compilePat(t, d, []bool{true}, []string{"item"})

@@ -163,7 +163,7 @@ func TestFileDiskTornTail(t *testing.T) {
 		offsets[m.end+1] = true
 	}
 	for i := 0; i < 64; i++ {
-		offsets[int64(rng.Intn(len(wal) + 1))] = true
+		offsets[int64(rng.Intn(len(wal)+1))] = true
 	}
 	for off := range offsets {
 		if off < 0 || off > walSize {

@@ -28,9 +28,9 @@ const (
 	walRecFrame  = 'F'
 	walRecCommit = 'C'
 
-	walFrameHeaderSize = 1 + 4                                  // type + pageID
-	walFrameSize       = walFrameHeaderSize + PageSize + 4      // + payload + crc
-	walCommitSize      = 1 + 4 + 4 + 4 + 4                      // type + meta + crc
+	walFrameHeaderSize = 1 + 4                             // type + pageID
+	walFrameSize       = walFrameHeaderSize + PageSize + 4 // + payload + crc
+	walCommitSize      = 1 + 4 + 4 + 4 + 4                 // type + meta + crc
 )
 
 // Meta is the commit-time database metadata: it is carried by every commit

@@ -28,6 +28,7 @@ func Parse(query string) (*Pattern, error) {
 	if err != nil {
 		return nil, fmt.Errorf("xpath: parse %q: %w", query, err)
 	}
+	pat.canon = pat.String()
 	return pat, nil
 }
 

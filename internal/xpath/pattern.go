@@ -54,11 +54,22 @@ type Pattern struct {
 	Output *Node
 	// Source is the original query text (for diagnostics).
 	Source string
+
+	// canon memoises the canonical rendering (filled by Parse): Pattern
+	// trees are immutable after parsing and String is on the query hot
+	// path as the engine's plan-cache key, so re-rendering per query
+	// would cost more than the cache lookup it keys.
+	canon string
 }
 
 // String renders the pattern back to XPath-like syntax. The rendering
-// re-parses to an equivalent pattern (used by property tests).
+// re-parses to an equivalent pattern (used by property tests), so it is a
+// canonical form: syntactically different but equivalent queries render
+// identically.
 func (p *Pattern) String() string {
+	if p.canon != "" {
+		return p.canon
+	}
 	var b strings.Builder
 	writeTrunk(&b, p.Root, p.Output)
 	return b.String()

@@ -5,19 +5,82 @@ import (
 	"io"
 	"strings"
 
+	"repro/internal/plan"
 	"repro/internal/xmldb"
 )
 
 // Result is the outcome of one query: the distinct, document-order-sorted
 // ids of the nodes matching the query's output node, plus execution
-// counters.
+// counters and the physical plan that ran.
 type Result struct {
-	Query    string
+	Query string
+	// Strategy is the strategy that executed the query. For Query (and
+	// QueryWith(Auto, ...)) it is the one the cost-based planner chose.
 	Strategy Strategy
 	IDs      []int64
 	Stats    ExecStats
+	// Plan is the executed physical-operator tree: probe/join/filter/
+	// project operators with the planner's estimated and the executor's
+	// actual cardinality per operator. Nil for Oracle queries.
+	Plan *PlanNode
 
 	db *DB
+}
+
+// PlanNode is one operator of an executed query plan.
+type PlanNode struct {
+	// Op is the operator kind: "scan", "hash-join", "inl-join",
+	// "path-filter", "structural-join", "region-scan", "project", "dedup".
+	Op string
+	// Detail describes the operator's access method or join site (e.g.
+	// "DATAPATHS /site//item[. = 'v']", "at site").
+	Detail string
+	// EstRows is the planner's estimated output cardinality.
+	EstRows int64
+	// ActualRows is the executed cardinality, or -1 when the operator was
+	// skipped (an earlier operator produced an empty relation).
+	ActualRows int64
+	Children   []*PlanNode
+}
+
+// Render draws the plan subtree as an indented text tree with estimated
+// vs. actual cardinalities per operator.
+func (n *PlanNode) Render() string {
+	var b strings.Builder
+	plan.DrawTree(&b, n, func(p *PlanNode) string {
+		line := p.Op
+		if p.Detail != "" {
+			line += " " + p.Detail
+		}
+		if p.ActualRows >= 0 {
+			line += fmt.Sprintf("  (est=%d rows, act=%d)", p.EstRows, p.ActualRows)
+		} else {
+			line += fmt.Sprintf("  (est=%d rows, not run)", p.EstRows)
+		}
+		return line
+	}, func(p *PlanNode) []*PlanNode { return p.Children })
+	return b.String()
+}
+
+// publicPlan converts an executed internal plan tree to the public mirror.
+func publicPlan(t *plan.Tree) *PlanNode {
+	if t == nil {
+		return nil
+	}
+	var conv func(n *plan.Node) *PlanNode
+	conv = func(n *plan.Node) *PlanNode {
+		out := &PlanNode{
+			Op:         n.Kind.String(),
+			Detail:     n.Detail,
+			EstRows:    n.EstRows,
+			ActualRows: n.ActRows,
+		}
+		for _, c := range n.Children {
+			out.Children = append(out.Children, conv(c))
+		}
+		return out
+	}
+	return conv(t.Root)
 }
 
 // Count returns the number of matches.

@@ -281,14 +281,20 @@ func (db *DB) Build(kinds ...IndexKind) error {
 // BuildAll constructs the entire index family.
 func (db *DB) BuildAll() error { return db.eng.BuildAll() }
 
-// Query evaluates an XPath twig query under the best available strategy.
+// Query evaluates an XPath twig query under the cheapest available
+// strategy: the cost-based planner builds a candidate plan per built index
+// family member, costs each against the collected statistics, and executes
+// the cheapest (choices are cached per pattern until the next load, build
+// or update). Result.Strategy reports what was chosen and Result.Plan the
+// executed operator tree with estimated vs. actual cardinalities.
 //
 // The supported query language is the paper's twig patterns: / and // axes,
 // element and @attribute name tests, and predicates of the forms [p],
 // [p = 'value'], [. = 'value'] and [p1 and p2], where p is a relative path.
 func (db *DB) Query(q string) (*Result, error) { return db.QueryWith(Auto, q) }
 
-// QueryWith evaluates a query under an explicit strategy.
+// QueryWith evaluates a query under an explicit strategy — the pin that
+// bypasses the cost-based planner (Auto re-enables it).
 func (db *DB) QueryWith(strat Strategy, q string) (*Result, error) {
 	return db.queryWith(strat, q, 1)
 }
@@ -386,6 +392,7 @@ func (db *DB) queryWith(strat Strategy, q string, branchWorkers int) (*Result, e
 			JoinTuplesOut:  es.Join.TuplesOut,
 			BranchesJoined: es.BranchesJoined,
 		}
+		res.Plan = publicPlan(es.Plan)
 	}
 	return res, nil
 }
@@ -401,6 +408,7 @@ type QueryStats struct {
 	Queries           int64 // indexed queries executed (Oracle not counted)
 	ParallelQueries   int64 // of which actually fanned branches out over workers
 	BranchesEvaluated int64 // covering branches evaluated across all queries
+	PlanCacheHits     int64 // auto-planned queries whose strategy came from the plan cache
 
 	BytesRead    int64 // bytes read from the page device
 	BytesWritten int64 // bytes written (for file-backed: WAL + checkpoints)
@@ -415,6 +423,7 @@ func (db *DB) QueryStats() QueryStats {
 		Queries:           s.Queries,
 		ParallelQueries:   s.ParallelQueries,
 		BranchesEvaluated: s.BranchesEvaluated,
+		PlanCacheHits:     s.PlanCacheHits,
 		BytesRead:         d.BytesRead,
 		BytesWritten:      d.BytesWritten,
 		WALFsyncs:         d.WALFsyncs,
@@ -462,9 +471,13 @@ type ExecStats struct {
 	BranchesJoined int
 }
 
-// Explain returns a textual description of the plan QueryWith would run:
-// the covering branch paths in execution order, their exact cardinality
-// estimates from the collected statistics, and the join shape.
+// Explain returns the physical plan QueryWith would run: the operator tree
+// (scans, hash/index-nested-loop joins, filters, projection, dedup) with
+// the planner's exact cardinality estimate per operator. With Auto it also
+// reports the cost-based planner's deliberation — every candidate strategy
+// with its estimated plan cost and which one would be chosen. For the plan
+// a query *did* run, with actual per-operator cardinalities, see
+// Result.Plan.
 func (db *DB) Explain(strat Strategy, q string) (string, error) {
 	pat, err := xpath.Parse(q)
 	if err != nil {

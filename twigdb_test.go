@@ -101,13 +101,21 @@ func TestAutoStrategySelection(t *testing.T) {
 	if res.Strategy != twigdb.StrategyRootPaths {
 		t.Fatalf("auto picked %v, want RP", res.Strategy)
 	}
-	db2 := openBook(t, twigdb.RootPaths, twigdb.DataPaths)
+	// With both path indices built, the cost-based planner picks one of
+	// them (never a baseline) and reports the executed plan tree.
+	db2 := openBook(t, twigdb.RootPaths, twigdb.DataPaths, twigdb.Edge)
 	res, err = db2.Query(`/book/title`)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.Strategy != twigdb.StrategyDataPaths {
-		t.Fatalf("auto picked %v, want DP", res.Strategy)
+	if res.Strategy != twigdb.StrategyDataPaths && res.Strategy != twigdb.StrategyRootPaths {
+		t.Fatalf("auto picked %v, want a path index", res.Strategy)
+	}
+	if res.Plan == nil || res.Plan.Op != "dedup" {
+		t.Fatalf("Result.Plan not attached: %+v", res.Plan)
+	}
+	if got := res.Plan.Render(); !strings.Contains(got, "act=") || !strings.Contains(got, "scan") {
+		t.Fatalf("plan rendering missing actuals:\n%s", got)
 	}
 }
 
