@@ -7,7 +7,7 @@ BENCHES = BenchmarkInsert|BenchmarkBuildAll|BenchmarkConcurrentQuery
 # Short-budget fuzz smoke for CI (full runs: go test -fuzz=... by hand).
 FUZZTIME ?= 10s
 
-.PHONY: all build vet test race fuzz recover ci bench bench1 bench2 bench3 bench4
+.PHONY: all build vet test race fuzz recover stress ci bench bench1 bench2 bench3 bench4 bench5
 
 all: test
 
@@ -38,11 +38,18 @@ fuzz:
 recover:
 	$(GO) test -race -run 'TestCrashRecoveryTorture|TestPersist|TestFileDisk' ./internal/engine/ ./internal/storage/
 
+# Writer-vs-reader stress under the race detector: snapshot-consistency
+# churn (marker-pair oracle), group-commit amortisation, and the legacy
+# reader/writer stress, explicitly and repeatedly (they also run once as
+# part of `race`).
+stress:
+	$(GO) test -race -count=2 -run 'TestSnapshotConsistencyUnderChurn|TestGroupCommitAmortisesFsyncs|TestStress' .
+
 # Everything CI runs, in order.
-ci: test race fuzz recover
+ci: test race fuzz recover stress
 
 # Machine-readable trajectory entries at the repo root.
-bench: bench1 bench2 bench3 bench4
+bench: bench1 bench2 bench3 bench4 bench5
 
 # Micro-benchmarks with allocation reporting -> BENCH_1.json.
 bench1:
@@ -62,3 +69,9 @@ bench3:
 # strategy per workload query (see docs/PLANNER.md) -> BENCH_4.json.
 bench4:
 	$(GO) run ./cmd/twigbench -planner -out BENCH_4.json
+
+# Mixed read/write workload: reader p50 under a continuous writer vs the
+# read-only baseline (snapshot isolation), plus fsyncs per committed
+# update with 1 vs 4 writers (WAL group commit) -> BENCH_5.json.
+bench5:
+	$(GO) run ./cmd/twigbench -mixed -out BENCH_5.json

@@ -7,6 +7,7 @@
 //	twigbench -parallel [-workers N] [-queries N] [-iolat D] [-iopoolkb KB] [-out BENCH_2.json]
 //	twigbench -file [-iopoolkb KB] [-out BENCH_3.json]
 //	twigbench -planner [-out BENCH_4.json]
+//	twigbench -mixed [-workers N] [-queries N] [-out BENCH_5.json]
 //
 // The -scale flag multiplies the synthetic dataset sizes (default 1).
 // -parallel runs the concurrent-session throughput experiment: the XMark
@@ -20,6 +21,11 @@
 // DBLP workload query is timed under the planner's chosen plan and under
 // all nine pinned strategies; regret is chosen-plan latency over the best
 // pinned strategy's latency.
+// -mixed runs the mixed read/write workload: 4 reader sessions against a
+// continuous subtree-update writer (readers pin immutable snapshots, so
+// their p50 must stay within 2x of the read-only baseline), plus the
+// file-backed group-commit phase measuring fsyncs per committed update
+// with 1 writer vs 4 concurrent writers (-workers overrides the 4).
 package main
 
 import (
@@ -37,12 +43,43 @@ func main() {
 	parallel := flag.Bool("parallel", false, "run the concurrent-session throughput experiment")
 	file := flag.Bool("file", false, "run the file-backed storage experiment (build, reopen, cold-cache query)")
 	planner := flag.Bool("planner", false, "run the cost-based-planner regret experiment")
+	mixed := flag.Bool("mixed", false, "run the mixed read/write workload experiment (snapshot reads + group commit)")
 	workers := flag.Int("workers", 8, "concurrent sessions in the -parallel run")
 	queries := flag.Int("queries", 1600, "total queries per -parallel run")
 	iolat := flag.Duration("iolat", 200*time.Microsecond, "simulated per-miss read latency of the disk-resident regime (0 disables the regime)")
 	iopoolkb := flag.Int("iopoolkb", 512, "buffer pool KB of the disk-resident regime")
 	out := flag.String("out", "", "output path for the -parallel/-file JSON result (default BENCH_2.json / BENCH_3.json)")
 	flag.Parse()
+
+	if *mixed {
+		if *out == "" {
+			*out = "BENCH_5.json"
+		}
+		cfg := bench.DefaultMixedConfig() // 4 readers, 4 group-commit writers
+		cfg.Scale = *scale
+		cfg.Queries = *queries
+		// -workers, when given explicitly, sets the group-commit phase's
+		// concurrent writer count (the read phases keep the default reader
+		// sessions; -parallel's default of 8 must not silently change the
+		// recorded 4-writer acceptance setup).
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "workers" {
+				cfg.Writers = *workers
+			}
+		})
+		res, err := bench.MixedExperiment(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "twigbench:", err)
+			os.Exit(1)
+		}
+		fmt.Print(res.String())
+		if err := res.WriteJSON(*out); err != nil {
+			fmt.Fprintln(os.Stderr, "twigbench:", err)
+			os.Exit(1)
+		}
+		fmt.Println("wrote", *out)
+		return
+	}
 
 	if *planner {
 		if *out == "" {

@@ -28,6 +28,15 @@ type Tree struct {
 	height  int
 	pages   int64
 	entries int64
+
+	// cowFrontier makes the write path copy-on-write: pages with an id
+	// below the frontier are shared with an immutable published version of
+	// the tree (an engine snapshot) and are never modified in place —
+	// mutations copy them to freshly allocated pages and propagate the new
+	// child ids up the descent path, diverging this handle's root from the
+	// version it was cloned from. Zero (every valid id is >= 0) keeps the
+	// historical modify-in-place behaviour. See CloneCOW.
+	cowFrontier storage.PageID
 }
 
 // Stats describes a tree's shape and footprint.
@@ -89,6 +98,49 @@ func Open(pool *storage.Pool, m Meta) *Tree {
 	}
 }
 
+// CloneCOW returns a writable handle on the same tree whose mutations
+// copy-on-write every page with id < frontier instead of modifying it in
+// place: the clone and the original share all pages until the clone's
+// writes diverge them, after which the original still describes exactly
+// the tree as of the clone point. The caller passes the device's page
+// count at the moment the original became immutable (the engine records it
+// when publishing a snapshot), which is a conservative superset of the
+// pages the original can reference. Pages the original stops referencing
+// are leaked on the device — acceptable while nothing frees pages (the
+// file format's free list is reserved for exactly this).
+func (t *Tree) CloneCOW(frontier storage.PageID) *Tree {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return &Tree{
+		pool:        t.pool,
+		name:        t.name,
+		root:        t.root,
+		height:      t.height,
+		pages:       t.pages,
+		entries:     t.entries,
+		cowFrontier: frontier,
+	}
+}
+
+// writable returns a pinned page for id that is safe to mutate: the page
+// itself when it is at or above the COW frontier (allocated after the
+// shared version froze), otherwise a fresh copy on a newly allocated page.
+// The caller must check Page.ID and propagate a changed id to the parent.
+func (t *Tree) writable(id storage.PageID) (storage.Page, error) {
+	pg, err := t.pool.Fetch(id)
+	if err != nil || id >= t.cowFrontier {
+		return pg, err
+	}
+	np, err := t.pool.Allocate()
+	if err != nil {
+		t.pool.Unpin(pg, false)
+		return storage.Page{}, err
+	}
+	copy(np.Data, pg.Data)
+	t.pool.Unpin(pg, false)
+	return np, nil
+}
+
 // Stats returns the tree's current shape.
 func (t *Tree) Stats() Stats {
 	t.mu.RLock()
@@ -136,21 +188,22 @@ func (t *Tree) Insert(key, val []byte) error {
 	if len(key)+len(val) > MaxEntrySize {
 		return fmt.Errorf("btree %s: entry too large (%d bytes, max %d)", t.name, len(key)+len(val), MaxEntrySize)
 	}
-	sep, right, err := t.insertAt(t.root, key, val, t.height)
+	newRoot, sep, right, err := t.insertAt(t.root, key, val, t.height)
 	if err != nil {
 		return err
 	}
+	t.root = newRoot
 	t.entries++
 	if right == storage.InvalidPage {
 		return nil
 	}
 	// Root split: new root with the old root as leftmost child.
-	newRoot := pageContent{
+	rootPC := pageContent{
 		leaf:    false,
 		aux:     t.root,
 		entries: []entry{{key: sep, child: right}},
 	}
-	id, err := t.alloc(&newRoot)
+	id, err := t.alloc(&rootPC)
 	if err != nil {
 		return err
 	}
@@ -160,55 +213,74 @@ func (t *Tree) Insert(key, val []byte) error {
 }
 
 // insertAt inserts into the subtree rooted at id (at the given height,
-// 1 = leaf). On split it returns the separator key and new right sibling.
+// 1 = leaf). It returns the subtree's possibly-new root page id — under
+// copy-on-write a frozen page is replaced by a mutated copy, which the
+// caller must re-point its child entry at — plus, on split, the separator
+// key and new right sibling.
 //
 // The common case mutates the slotted page in place — binary search on the
 // encoded slot array, cell appended at the heap floor, slots memmoved —
 // without decoding a single entry. Only when the page needs compaction, a
 // prefix change, or a split does it fall back to the decode/re-encode path.
-func (t *Tree) insertAt(id storage.PageID, key, val []byte, height int) ([]byte, storage.PageID, error) {
-	pg, err := t.pool.Fetch(id)
-	if err != nil {
-		return nil, storage.InvalidPage, err
-	}
+func (t *Tree) insertAt(id storage.PageID, key, val []byte, height int) (storage.PageID, []byte, storage.PageID, error) {
 	if height > 1 {
 		// Internal: descend into the child for this key, then handle a
-		// possible child split.
+		// possible child id change (COW) or split.
+		pg, err := t.pool.Fetch(id)
+		if err != nil {
+			return id, nil, storage.InvalidPage, err
+		}
 		childIdx, child := descendChild(pg.Data, key)
 		t.pool.Unpin(pg, false)
-		sep, right, err := t.insertAt(child, key, val, height-1)
-		if err != nil || right == storage.InvalidPage {
-			return nil, storage.InvalidPage, err
-		}
-		pg, err = t.pool.Fetch(id)
+		newChild, sep, right, err := t.insertAt(child, key, val, height-1)
 		if err != nil {
-			return nil, storage.InvalidPage, err
+			return id, nil, storage.InvalidPage, err
+		}
+		if newChild == child && right == storage.InvalidPage {
+			return id, nil, storage.InvalidPage, nil
+		}
+		wpg, err := t.writable(id)
+		if err != nil {
+			return id, nil, storage.InvalidPage, err
+		}
+		if newChild != child {
+			setChildInPlace(wpg.Data, childIdx, newChild)
+		}
+		if right == storage.InvalidPage {
+			t.pool.Unpin(wpg, true)
+			return wpg.ID, nil, storage.InvalidPage, nil
 		}
 		pos := childIdx + 1 // separator goes right after the descended child
-		if insertInternalInPlace(pg.Data, pos, sep, right) {
-			t.pool.Unpin(pg, true)
-			return nil, storage.InvalidPage, nil
+		if insertInternalInPlace(wpg.Data, pos, sep, right) {
+			t.pool.Unpin(wpg, true)
+			return wpg.ID, nil, storage.InvalidPage, nil
 		}
-		pc := decodePage(pg.Data)
-		t.pool.Unpin(pg, false)
+		pc := decodePage(wpg.Data)
+		t.pool.Unpin(wpg, true)
 		pc.entries = append(pc.entries, entry{})
 		copy(pc.entries[pos+1:], pc.entries[pos:])
 		pc.entries[pos] = entry{key: sep, child: right}
-		return t.storeSplit(id, &pc)
+		sep2, right2, err := t.storeSplit(wpg.ID, &pc)
+		return wpg.ID, sep2, right2, err
 	}
-	// Leaf.
-	pos := searchCell(pg.Data, key)
-	if insertLeafInPlace(pg.Data, pos, key, val) {
-		t.pool.Unpin(pg, true)
-		return nil, storage.InvalidPage, nil
+	// Leaf: always mutated, so materialise a writable page up front.
+	wpg, err := t.writable(id)
+	if err != nil {
+		return id, nil, storage.InvalidPage, err
 	}
-	pc := decodePage(pg.Data)
-	t.pool.Unpin(pg, false)
+	pos := searchCell(wpg.Data, key)
+	if insertLeafInPlace(wpg.Data, pos, key, val) {
+		t.pool.Unpin(wpg, true)
+		return wpg.ID, nil, storage.InvalidPage, nil
+	}
+	pc := decodePage(wpg.Data)
+	t.pool.Unpin(wpg, true)
 	e := entry{key: append([]byte(nil), key...), val: append([]byte(nil), val...)}
 	pc.entries = append(pc.entries, entry{})
 	copy(pc.entries[pos+1:], pc.entries[pos:])
 	pc.entries[pos] = e
-	return t.storeSplit(id, &pc)
+	sep, right, err := t.storeSplit(wpg.ID, &pc)
+	return wpg.ID, sep, right, err
 }
 
 // storeSplit writes pc back to id, splitting into a new right sibling if it

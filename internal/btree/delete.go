@@ -7,58 +7,125 @@ import (
 )
 
 // Delete removes the first entry exactly matching (key, val) and reports
-// whether one was found. Duplicate keys are scanned in order, following the
-// leaf chain if necessary.
+// whether one was found. Duplicate keys are scanned in order, crossing into
+// the next leaf if necessary via the descent path (not the leaf chain,
+// which copy-on-write does not keep accurate across tree versions).
 //
 // Deletion is lazy: pages are never merged or rebalanced, and an empty leaf
 // stays in the tree (iterators skip it). This matches the read-mostly usage
 // of the paper — updates exist (Section 7 discusses them as future work) but
-// bulk build remains the fast path.
+// bulk build remains the fast path. Under a COW frontier (see CloneCOW) the
+// one modified leaf and its descent spine are copied instead of modified.
 func (t *Tree) Delete(key, val []byte) (bool, error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	// Descend to the leftmost leaf that can contain key.
-	id := t.root
-	for h := t.height; h > 1; h-- {
-		pg, err := t.pool.Fetch(id)
-		if err != nil {
-			return false, err
-		}
-		_, child := descendChild(pg.Data, key)
-		t.pool.Unpin(pg, false)
-		id = child
+	newRoot, found, _, err := t.deleteAt(t.root, key, val, t.height)
+	if err != nil {
+		return false, err
 	}
-	for id != storage.InvalidPage {
-		pg, err := t.pool.Fetch(id)
+	t.root = newRoot
+	if found {
+		t.entries--
+	}
+	return found, nil
+}
+
+// deleteAt removes the first (key, val) match from the subtree rooted at
+// id. It returns the subtree's possibly-new root (a COW copy when the
+// modified spine crossed the frontier), whether a match was deleted, and
+// whether the scan ran off the subtree's right edge while still inside the
+// key's duplicate run (cont: the parent must continue into the next child).
+func (t *Tree) deleteAt(id storage.PageID, key, val []byte, height int) (newID storage.PageID, found, cont bool, err error) {
+	if height == 1 {
+		return t.deleteInLeaf(id, key, val)
+	}
+	myID := id
+	childPos := -2 // sentinel: first iteration locates the child by key
+	for {
+		pg, err := t.pool.Fetch(myID)
 		if err != nil {
-			return false, err
+			return myID, false, false, err
 		}
-		n := pageNumCells(pg.Data)
-		next := pageAux(pg.Data)
-		for i := 0; i < n; i++ {
-			cmp := compareCellKey(pg.Data, i, key)
-			if cmp < 0 {
-				continue
-			}
-			if cmp > 0 {
+		var child storage.PageID
+		if childPos == -2 {
+			childPos, child = descendChild(pg.Data, key)
+		} else {
+			// The previous child was exhausted inside the duplicate run:
+			// advance to the next sibling while its separator still
+			// admits entries equal to key.
+			childPos++
+			if childPos >= pageNumCells(pg.Data) {
 				t.pool.Unpin(pg, false)
-				return false, nil // past all duplicates of key
+				return myID, false, true, nil
 			}
-			_, cellVal := leafCell(pg.Data, i)
-			if !bytes.Equal(cellVal, val) {
-				continue
+			if compareCellKey(pg.Data, childPos, key) > 0 {
+				t.pool.Unpin(pg, false)
+				return myID, false, false, nil
 			}
-			// Found: drop slot i in place. The cell bytes linger as heap
-			// garbage until a later insert forces a compacting re-encode.
+			_, child = internalCell(pg.Data, childPos)
+		}
+		t.pool.Unpin(pg, false)
+		newChild, found, cont, err := t.deleteAt(child, key, val, height-1)
+		if err != nil {
+			return myID, false, false, err
+		}
+		if newChild != child {
+			wpg, err := t.writable(myID)
+			if err != nil {
+				return myID, false, false, err
+			}
+			setChildInPlace(wpg.Data, childPos, newChild)
+			t.pool.Unpin(wpg, true)
+			myID = wpg.ID
+		}
+		if found || !cont {
+			return myID, found, false, nil
+		}
+	}
+}
+
+// deleteInLeaf scans one leaf for (key, val); see deleteAt for the return
+// contract.
+func (t *Tree) deleteInLeaf(id storage.PageID, key, val []byte) (storage.PageID, bool, bool, error) {
+	pg, err := t.pool.Fetch(id)
+	if err != nil {
+		return id, false, false, err
+	}
+	n := pageNumCells(pg.Data)
+	for i := 0; i < n; i++ {
+		cmp := compareCellKey(pg.Data, i, key)
+		if cmp < 0 {
+			continue
+		}
+		if cmp > 0 {
+			t.pool.Unpin(pg, false)
+			return id, false, false, nil // past all duplicates of key
+		}
+		_, cellVal := leafCell(pg.Data, i)
+		if !bytes.Equal(cellVal, val) {
+			continue
+		}
+		// Found: drop slot i, copying the leaf first if it is frozen. The
+		// cell bytes linger as heap garbage until a later insert forces a
+		// compacting re-encode.
+		if id >= t.cowFrontier {
 			deleteCellInPlace(pg.Data, i)
 			t.pool.Unpin(pg, true)
-			t.entries--
-			return true, nil
+			return id, true, false, nil
 		}
+		np, err := t.pool.Allocate() // copy straight from the still-pinned frozen page
+		if err != nil {
+			t.pool.Unpin(pg, false)
+			return id, false, false, err
+		}
+		copy(np.Data, pg.Data)
 		t.pool.Unpin(pg, false)
-		id = next
+		deleteCellInPlace(np.Data, i)
+		t.pool.Unpin(np, true)
+		return np.ID, true, false, nil
 	}
-	return false, nil
+	t.pool.Unpin(pg, false)
+	return id, false, true, nil
 }
 
 // DeleteAll removes every entry with exactly the given key, returning the

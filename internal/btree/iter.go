@@ -10,6 +10,13 @@ import (
 // that are valid only until the next call to Next or Close; Value returns a
 // private copy.
 //
+// The iterator keeps the descent path from the root and advances across
+// leaves by climbing to the nearest ancestor with a further child, rather
+// than following the leaf chain: chain pointers are only advisory since
+// copy-on-write (a copied or split leaf cannot reach back to fix its left
+// sibling's pointer without copying the whole level), while the descent
+// path is always internally consistent for the tree version being read.
+//
 // An open iterator holds the tree's read latch, so concurrent readers are
 // fine but a mutation of the same tree from the owning goroutine would
 // self-deadlock: always Close iterators before calling Insert or Delete.
@@ -25,6 +32,7 @@ import (
 //	if err := it.Err(); err != nil { ... }
 type Iterator struct {
 	tree    *Tree
+	path    []iterLevel  // descent path above the current leaf (root first)
 	pg      storage.Page // pinned current leaf; Data == nil when done
 	idx     int
 	err     error
@@ -32,27 +40,36 @@ type Iterator struct {
 	latched bool   // true while this iterator holds tree.mu.RLock
 }
 
+// iterLevel records one internal page of the descent path and which child
+// slot was descended into (-1 is the leftmost/aux child).
+type iterLevel struct {
+	id  storage.PageID
+	idx int
+}
+
 // Seek returns an iterator positioned at the first entry >= key. The
 // iterator holds the tree's read latch until Close.
 func (t *Tree) Seek(key []byte) (*Iterator, error) {
 	t.mu.RLock()
+	it := &Iterator{tree: t, latched: true}
 	id := t.root
 	for h := t.height; h > 1; h-- {
 		pg, err := t.pool.Fetch(id)
 		if err != nil {
-			t.mu.RUnlock()
+			it.Close()
 			return nil, err
 		}
-		_, child := descendChild(pg.Data, key)
+		childIdx, child := descendChild(pg.Data, key)
 		t.pool.Unpin(pg, false)
+		it.path = append(it.path, iterLevel{id: id, idx: childIdx})
 		id = child
 	}
 	pg, err := t.pool.Fetch(id)
 	if err != nil {
-		t.mu.RUnlock()
+		it.Close()
 		return nil, err
 	}
-	it := &Iterator{tree: t, pg: pg, latched: true}
+	it.pg = pg
 	// First entry >= key within this leaf.
 	it.idx = searchCell(pg.Data, key)
 	it.skipExhausted()
@@ -64,22 +81,58 @@ func (t *Tree) Scan() (*Iterator, error) {
 	return t.Seek(nil)
 }
 
-// skipExhausted advances across empty / finished leaves via the leaf chain.
+// skipExhausted advances across empty / finished leaves.
 func (it *Iterator) skipExhausted() {
-	for it.pg.Data != nil && it.idx >= pageNumCells(it.pg.Data) {
-		next := pageAux(it.pg.Data)
+	for it.err == nil && it.pg.Data != nil && it.idx >= pageNumCells(it.pg.Data) {
 		it.tree.pool.Unpin(it.pg, false)
 		it.pg = storage.Page{}
-		if next == storage.InvalidPage {
-			return
-		}
-		pg, err := it.tree.pool.Fetch(next)
+		it.nextLeaf()
+	}
+}
+
+// nextLeaf repositions the iterator at the first cell of the next leaf in
+// key order: it climbs the recorded descent path to the nearest ancestor
+// with a further child and descends that child's leftmost spine. Leaves
+// it.pg zero when the rightmost leaf was already consumed.
+func (it *Iterator) nextLeaf() {
+	for d := len(it.path) - 1; d >= 0; d-- {
+		lv := &it.path[d]
+		pg, err := it.tree.pool.Fetch(lv.id)
 		if err != nil {
 			it.err = err
 			return
 		}
-		it.pg = pg
-		it.idx = 0
+		if lv.idx+1 < pageNumCells(pg.Data) {
+			lv.idx++
+			_, child := internalCell(pg.Data, lv.idx)
+			it.tree.pool.Unpin(pg, false)
+			it.path = it.path[:d+1]
+			it.descendFirst(child)
+			return
+		}
+		it.tree.pool.Unpin(pg, false)
+	}
+	it.path = it.path[:0] // every level exhausted: iteration done
+}
+
+// descendFirst descends the leftmost spine under id, extending the path,
+// and pins the leaf it lands on.
+func (it *Iterator) descendFirst(id storage.PageID) {
+	for {
+		pg, err := it.tree.pool.Fetch(id)
+		if err != nil {
+			it.err = err
+			return
+		}
+		if pageType(pg.Data) == pageLeaf {
+			it.pg = pg
+			it.idx = 0
+			return
+		}
+		child := pageAux(pg.Data) // leftmost child
+		it.path = append(it.path, iterLevel{id: id, idx: -1})
+		it.tree.pool.Unpin(pg, false)
+		id = child
 	}
 }
 

@@ -172,6 +172,18 @@ func insertSlot(d []byte, pos, off int) {
 	putU16(d[9:11], off)
 }
 
+// setChildInPlace re-points child slot pos of an internal page (-1 for the
+// leftmost/aux child) at a new page id — the 4-byte overwrite that
+// propagates a copy-on-write page replacement up the descent path.
+func setChildInPlace(d []byte, pos int, child storage.PageID) {
+	if pos < 0 {
+		putI32(d[5:9], int32(child))
+		return
+	}
+	off := cellOffset(d, pos)
+	putI32(d[off+2:], int32(child))
+}
+
 // deleteCellInPlace removes slot i by shifting later slots left. The cell
 // bytes become heap garbage reclaimed at the next fallback re-encode, except
 // when the cell sits exactly at the heap floor, in which case the floor is

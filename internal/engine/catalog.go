@@ -111,118 +111,119 @@ func (w *catWriter) pathsOptions(o index.PathsOptions) {
 	w.u8(flags)
 }
 
-// encodeCatalog serialises the engine's durable state. Callers hold the
-// exclusive engine lock.
-func encodeCatalog(db *DB) []byte {
+// encodeCatalog serialises a snapshot's durable state. Callers hold the
+// writer lock (the snapshot itself is immutable; the lock orders catalog
+// page-chain reuse).
+func encodeCatalog(s *Snapshot) []byte {
 	w := &catWriter{b: make([]byte, 0, 4096)}
 	w.b = append(w.b, catalogMagic...)
 	w.uvarint(catalogVersion)
 
 	// Store.
-	w.uvarint(uint64(db.store.NextID()))
-	w.uvarint(uint64(len(db.store.Docs)))
-	for _, d := range db.store.Docs {
+	w.uvarint(uint64(s.store.NextID()))
+	w.uvarint(uint64(len(s.store.Docs)))
+	for _, d := range s.store.Docs {
 		w.node(d.Root)
 	}
 
 	// Dictionary: labels in symbol order, so re-interning reproduces syms.
-	n := db.dict.Size()
+	n := s.dict.Size()
 	w.uvarint(uint64(n))
-	for s := 1; s <= n; s++ {
-		w.str(db.dict.Label(pathdict.Sym(s)))
+	for sym := 1; sym <= n; sym++ {
+		w.str(s.dict.Label(pathdict.Sym(sym)))
 	}
 
 	// Shared path table.
 	var shared []pathdict.Path
-	db.ptab.All(func(_ pathdict.PathID, p pathdict.Path) { shared = append(shared, p) })
+	s.ptab.All(func(_ pathdict.PathID, p pathdict.Path) { shared = append(shared, p) })
 	w.paths(shared)
 
 	// Index snapshots.
 	var mask byte
-	if db.env.RP != nil {
+	if s.env.RP != nil {
 		mask |= catHasRP
 	}
-	if db.env.DP != nil {
+	if s.env.DP != nil {
 		mask |= catHasDP
 	}
-	if db.env.Edge != nil {
+	if s.env.Edge != nil {
 		mask |= catHasEdge
 	}
-	if db.env.DG != nil {
+	if s.env.DG != nil {
 		mask |= catHasDG
 	}
-	if db.env.IF != nil {
+	if s.env.IF != nil {
 		mask |= catHasIF
 	}
-	if db.env.ASR != nil {
+	if s.env.ASR != nil {
 		mask |= catHasASR
 	}
-	if db.env.JI != nil {
+	if s.env.JI != nil {
 		mask |= catHasJI
 	}
-	if db.env.XRel != nil {
+	if s.env.XRel != nil {
 		mask |= catHasXRel
 	}
 	w.u8(mask)
 
-	if rp := db.env.RP; rp != nil {
+	if rp := s.env.RP; rp != nil {
 		w.pathsOptions(rp.Options())
 		w.treeMeta(rp.TreeMeta())
 	}
-	if dp := db.env.DP; dp != nil {
+	if dp := s.env.DP; dp != nil {
 		w.pathsOptions(dp.Options())
 		w.treeMeta(dp.TreeMeta())
 	}
-	if e := db.env.Edge; e != nil {
+	if e := s.env.Edge; e != nil {
 		v, f, b := e.TreeMetas()
 		w.treeMeta(v)
 		w.treeMeta(f)
 		w.treeMeta(b)
 	}
-	if dg := db.env.DG; dg != nil {
+	if dg := s.env.DG; dg != nil {
 		var ps []pathdict.Path
 		dg.Paths().All(func(_ pathdict.PathID, p pathdict.Path) { ps = append(ps, p) })
 		w.paths(ps)
 		w.treeMeta(dg.TreeMeta())
 	}
-	if f := db.env.IF; f != nil {
+	if f := s.env.IF; f != nil {
 		w.treeMeta(f.TreeMeta())
 	}
-	if a := db.env.ASR; a != nil {
-		s := a.Snapshot()
-		w.paths(s.Paths)
-		for _, m := range s.Tables {
+	if a := s.env.ASR; a != nil {
+		as := a.Snapshot()
+		w.paths(as.Paths)
+		for _, m := range as.Tables {
 			w.treeMeta(m)
 		}
-		w.uvarint(uint64(len(s.Rooted)))
-		for _, id := range s.Rooted {
+		w.uvarint(uint64(len(as.Rooted)))
+		for _, id := range as.Rooted {
 			w.uvarint(uint64(id))
 		}
-		w.uvarint(uint64(len(s.Roots)))
-		for _, id := range s.Roots {
-			w.uvarint(uint64(id))
-		}
-	}
-	if j := db.env.JI; j != nil {
-		s := j.Snapshot()
-		w.paths(s.Paths)
-		for i := range s.Paths {
-			w.treeMeta(s.Fwd[i])
-			w.treeMeta(s.Bwd[i])
-		}
-		w.uvarint(uint64(len(s.Rooted)))
-		for _, id := range s.Rooted {
-			w.uvarint(uint64(id))
-		}
-		w.uvarint(uint64(len(s.Roots)))
-		for _, id := range s.Roots {
+		w.uvarint(uint64(len(as.Roots)))
+		for _, id := range as.Roots {
 			w.uvarint(uint64(id))
 		}
 	}
-	if x := db.env.XRel; x != nil {
-		s := x.Snapshot()
-		w.paths(s.Paths)
-		w.treeMeta(s.Tree)
+	if j := s.env.JI; j != nil {
+		js := j.Snapshot()
+		w.paths(js.Paths)
+		for i := range js.Paths {
+			w.treeMeta(js.Fwd[i])
+			w.treeMeta(js.Bwd[i])
+		}
+		w.uvarint(uint64(len(js.Rooted)))
+		for _, id := range js.Rooted {
+			w.uvarint(uint64(id))
+		}
+		w.uvarint(uint64(len(js.Roots)))
+		for _, id := range js.Roots {
+			w.uvarint(uint64(id))
+		}
+	}
+	if x := s.env.XRel; x != nil {
+		xs := x.Snapshot()
+		w.paths(xs.Paths)
+		w.treeMeta(xs.Tree)
 	}
 	return w.b
 }
@@ -340,9 +341,10 @@ func (r *catReader) pathsOptions() index.PathsOptions {
 	return index.PathsOptions{RawIDs: flags&1 != 0, PathIDKeys: flags&2 != 0}
 }
 
-// decodeCatalog restores the engine's durable state from blob. Called
+// decodeCatalog restores the engine's durable state from blob into the
+// initial snapshot (and the DB's shared dictionary/path table). Called
 // during Open, before the DB is shared.
-func decodeCatalog(db *DB, blob []byte) error {
+func decodeCatalog(db *DB, snap *Snapshot, blob []byte) error {
 	r := &catReader{b: blob}
 	if len(blob) < len(catalogMagic) || string(blob[:len(catalogMagic)]) != catalogMagic {
 		return fmt.Errorf("engine: corrupt catalog: bad magic")
@@ -392,17 +394,19 @@ func decodeCatalog(db *DB, blob []byte) error {
 		return r.err
 	}
 
-	db.store = store
 	db.dict = dict
 	db.ptab = ptab
-	db.env.Store = store
-	db.env.Dict = dict
+	snap.store = store
+	snap.dict = dict
+	snap.ptab = ptab
+	snap.env.Store = store
+	snap.env.Dict = dict
 
 	if mask&catHasRP != 0 {
 		opts := r.pathsOptions()
 		m := r.treeMeta()
 		if r.err == nil {
-			db.env.RP = index.OpenRootPaths(db.pool, dict, ptab, m, opts)
+			snap.env.RP = index.OpenRootPaths(db.pool, dict, ptab, m, opts)
 		}
 	}
 	if mask&catHasDP != 0 {
@@ -410,26 +414,26 @@ func decodeCatalog(db *DB, blob []byte) error {
 		opts.KeepHead = db.cfg.PathsOptions.KeepHead // not serialisable; re-supplied
 		m := r.treeMeta()
 		if r.err == nil {
-			db.env.DP = index.OpenDataPaths(db.pool, dict, ptab, m, opts)
+			snap.env.DP = index.OpenDataPaths(db.pool, dict, ptab, m, opts)
 		}
 	}
 	if mask&catHasEdge != 0 {
 		v, f, b := r.treeMeta(), r.treeMeta(), r.treeMeta()
 		if r.err == nil {
-			db.env.Edge = index.OpenEdge(db.pool, dict, v, f, b)
+			snap.env.Edge = index.OpenEdge(db.pool, dict, v, f, b)
 		}
 	}
 	if mask&catHasDG != 0 {
 		ps := r.paths()
 		m := r.treeMeta()
 		if r.err == nil {
-			db.env.DG = index.OpenDataGuide(db.pool, dict, ps, m)
+			snap.env.DG = index.OpenDataGuide(db.pool, dict, ps, m)
 		}
 	}
 	if mask&catHasIF != 0 {
 		m := r.treeMeta()
 		if r.err == nil {
-			db.env.IF = index.OpenIndexFabric(db.pool, dict, m)
+			snap.env.IF = index.OpenIndexFabric(db.pool, dict, m)
 		}
 	}
 	if mask&catHasASR != 0 {
@@ -445,7 +449,7 @@ func decodeCatalog(db *DB, blob []byte) error {
 			s.Roots = append(s.Roots, int64(r.uvarint()))
 		}
 		if r.err == nil {
-			db.env.ASR = index.OpenASR(db.pool, dict, s)
+			snap.env.ASR = index.OpenASR(db.pool, dict, s)
 		}
 	}
 	if mask&catHasJI != 0 {
@@ -462,7 +466,7 @@ func decodeCatalog(db *DB, blob []byte) error {
 			s.Roots = append(s.Roots, int64(r.uvarint()))
 		}
 		if r.err == nil {
-			db.env.JI = index.OpenJoinIndex(db.pool, dict, s)
+			snap.env.JI = index.OpenJoinIndex(db.pool, dict, s)
 		}
 	}
 	if mask&catHasXRel != 0 {
@@ -470,7 +474,7 @@ func decodeCatalog(db *DB, blob []byte) error {
 		s.Paths = r.paths()
 		s.Tree = r.treeMeta()
 		if r.err == nil {
-			db.env.XRel = index.OpenXRel(db.pool, dict, s)
+			snap.env.XRel = index.OpenXRel(db.pool, dict, s)
 		}
 	}
 	return r.err

@@ -50,42 +50,41 @@ func DefaultConfig() Config {
 
 // DB is an XML database instance.
 //
-// A DB is safe for concurrent use. Reads (QueryPattern and friends,
-// Explain, Spaces) hold a shared lock; structural mutations (loading
-// documents, building indices, subtree insert/delete) hold it exclusively,
-// so a query always observes a consistent store + index state. Below the DB
-// lock, the substrate is independently latched (buffer pool shards, B+-tree
-// latches, the designator dictionary) — see docs/CONCURRENCY.md for the
-// lock hierarchy.
+// A DB is safe for concurrent use, and reads never block on writes: every
+// query pins the current Snapshot — an immutable version of the store,
+// dictionaries, statistics and index handles published through one atomic
+// pointer — and runs entirely against it, while mutations (loading
+// documents, building indices, subtree insert/delete) serialise on a
+// writer lock, prepare the *next* snapshot copy-on-write off to the side,
+// and publish it with a single pointer swap. On file-backed databases,
+// commits group-coalesce their WAL fsyncs (storage.FileDisk.SyncTo). See
+// docs/CONCURRENCY.md for the full design and lock hierarchy.
 type DB struct {
 	cfg   Config
-	store *xmldb.Store
 	dict  *pathdict.Dict
 	ptab  *pathdict.PathTable
 	dev   storage.Device
 	fdisk *storage.FileDisk // non-nil when file-backed (dev == fdisk)
 	pool  *storage.Pool
 
+	// current is the published snapshot; queries load it without locking.
+	current atomic.Pointer[Snapshot]
+
+	// writeMu serialises mutations: only one writer at a time prepares and
+	// publishes a successor snapshot. It is never taken by readers.
+	writeMu sync.Mutex
+
+	// frontier is the device page count captured when the current snapshot
+	// was published (writer-owned, under writeMu): pages below it may be
+	// referenced by the published snapshot (or an older pinned one) and
+	// must be copied, not modified, by the next writer. It only grows, so
+	// every retired snapshot stays protected for as long as it is pinned.
+	frontier storage.PageID
+
 	// catalogPages is the page chain holding the last written catalog;
 	// commits overwrite it in place (safe: overwrites are WAL frames).
+	// Writer-owned, under writeMu.
 	catalogPages []storage.PageID
-
-	// mu is the database lock: shared for queries, exclusive for loads,
-	// builds and subtree updates.
-	mu sync.RWMutex
-	// planMu guards the per-pattern plan cache. It nests strictly inside
-	// mu (taken only while holding at least the shared database lock) and
-	// never wraps any other latch.
-	planMu    sync.Mutex
-	planCache map[string]plan.Strategy
-	// statsMu serialises the lazy statistics (re)build so that concurrent
-	// readers racing to a nil env.Stats collect exactly once (the
-	// build-once latch for the engine's lazily-built planner state);
-	// statsReady lets the steady state skip the latch with one atomic load.
-	statsMu    sync.Mutex
-	statsReady atomic.Bool
-
-	env plan.Env
 
 	counters stats.QueryCounters
 }
@@ -115,10 +114,9 @@ func Open(cfg Config) (*DB, error) {
 		cfg.BufferPoolBytes = 40 << 20
 	}
 	db := &DB{
-		cfg:   cfg,
-		store: xmldb.NewStore(),
-		dict:  pathdict.NewDict(),
-		ptab:  pathdict.NewPathTable(),
+		cfg:  cfg,
+		dict: pathdict.NewDict(),
+		ptab: pathdict.NewPathTable(),
 	}
 	if cfg.Path == "" {
 		db.dev = storage.NewDisk()
@@ -136,13 +134,14 @@ func Open(cfg Config) (*DB, error) {
 	} else {
 		db.pool = storage.NewPool(db.dev, cfg.BufferPoolBytes)
 	}
-	db.env.Store = db.store
-	db.env.Dict = db.dict
+	snap := &Snapshot{store: xmldb.NewStore(), dict: db.dict, ptab: db.ptab}
+	snap.env.Store = snap.store
+	snap.env.Dict = db.dict
 	if db.fdisk != nil {
 		if root := db.fdisk.Meta().CatalogRoot; root != storage.InvalidPage {
 			blob, pages, err := readCatalogChain(db.dev, root)
 			if err == nil {
-				err = decodeCatalog(db, blob)
+				err = decodeCatalog(db, snap, blob)
 			}
 			if err != nil {
 				db.fdisk.Close()
@@ -151,49 +150,91 @@ func Open(cfg Config) (*DB, error) {
 			db.catalogPages = pages
 		}
 	}
+	db.current.Store(snap)
+	db.frontier = storage.PageID(db.dev.NumPages())
 	return db, nil
 }
+
+// pin loads the current snapshot and pins it for the duration of one query.
+// Pinning is an atomic counter bump — no lock — and only observational:
+// the COW frontier already protects every page the snapshot references.
+func (db *DB) pin() *Snapshot {
+	s := db.current.Load()
+	s.pins.Add(1)
+	db.counters.CountSnapshotPin()
+	return s
+}
+
+func (db *DB) unpin(s *Snapshot) { s.pins.Add(-1) }
+
+// CurrentSnapshot returns the published snapshot without pinning it (for
+// observability and white-box tests; queries pin internally).
+func (db *DB) CurrentSnapshot() *Snapshot { return db.current.Load() }
 
 // walCheckpointBytes is the WAL size beyond which a commit boundary
 // triggers an automatic checkpoint, bounding log growth and recovery time.
 const walCheckpointBytes = 64 << 20
 
-// commitLocked is the commit boundary for file-backed databases: flush
-// every dirty pool frame to the device (WAL frames), serialise the catalog
-// into its page chain, and seal it all with a fsynced commit record. When
-// the WAL has outgrown walCheckpointBytes it also checkpoints; callers
-// that checkpoint themselves right after (Checkpoint, Close) use
-// commitOnly to avoid paying the superblock rewrite and fsyncs twice.
-// No-op for in-memory databases. Callers hold the exclusive lock.
-func (db *DB) commitLocked() error {
-	if err := db.commitOnly(); err != nil || db.fdisk == nil {
-		return err
-	}
-	if db.fdisk.WALSize() > walCheckpointBytes {
-		return db.fdisk.Checkpoint()
-	}
-	return nil
-}
-
-// commitOnly is commitLocked without the auto-checkpoint.
-func (db *DB) commitOnly() error {
+// commitAppend is the writer's commit step for file-backed databases:
+// flush every dirty pool frame to the device (WAL frames), serialise next's
+// catalog into its page chain, and append — without fsyncing — the commit
+// record that seals them. It returns the commit sequence to pass to
+// FileDisk.SyncTo once the writer lock is released, so concurrent commits
+// coalesce their fsyncs (group commit). No-op for in-memory databases.
+// Callers hold writeMu.
+func (db *DB) commitAppend(next *Snapshot) (int64, error) {
 	if db.fdisk == nil {
-		return nil
+		return 0, nil
 	}
 	if err := db.pool.FlushAll(); err != nil {
-		return fmt.Errorf("engine: commit flush: %w", err)
+		return 0, fmt.Errorf("engine: commit flush: %w", err)
 	}
-	root, pages, err := writeCatalogChain(db.dev, db.catalogPages, encodeCatalog(db))
+	root, pages, err := writeCatalogChain(db.dev, db.catalogPages, encodeCatalog(next))
 	db.catalogPages = pages
 	if err != nil {
-		return err
+		return 0, err
 	}
-	if err := db.fdisk.Commit(storage.Meta{
+	seq, err := db.fdisk.CommitAsync(storage.Meta{
 		NumPages:    int32(db.dev.NumPages()),
 		CatalogRoot: root,
 		FreeHead:    storage.InvalidPage,
-	}); err != nil {
-		return fmt.Errorf("engine: commit: %w", err)
+	})
+	if err != nil {
+		return 0, fmt.Errorf("engine: commit: %w", err)
+	}
+	return seq, nil
+}
+
+// publish makes next the current snapshot and advances the COW frontier
+// past every page allocated so far. Callers hold writeMu.
+func (db *DB) publish(next *Snapshot) {
+	db.frontier = storage.PageID(db.dev.NumPages())
+	db.current.Store(next)
+}
+
+// commitPublish commits next (appending its commit record), publishes it,
+// auto-checkpoints if the WAL has outgrown its budget, releases the writer
+// lock, and finally waits for durability — the fsync wait happens outside
+// writeMu, which is what lets N concurrent committers share one fsync.
+// The caller must hold writeMu and must not touch it afterwards.
+func (db *DB) commitPublish(next *Snapshot) error {
+	seq, err := db.commitAppend(next)
+	if err != nil {
+		db.writeMu.Unlock()
+		return err
+	}
+	db.publish(next)
+	if db.fdisk != nil && db.fdisk.WALSize() > walCheckpointBytes {
+		// Checkpointing under writeMu keeps "no pending frames" true; it
+		// also makes every commit durable, so the SyncTo below is free.
+		if err := db.fdisk.Checkpoint(); err != nil {
+			db.writeMu.Unlock()
+			return err
+		}
+	}
+	db.writeMu.Unlock()
+	if db.fdisk != nil {
+		return db.fdisk.SyncTo(seq)
 	}
 	return nil
 }
@@ -202,12 +243,12 @@ func (db *DB) commitOnly() error {
 // database file, truncating the log (so the next open replays nothing).
 // No-op for in-memory databases.
 func (db *DB) Checkpoint() error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.writeMu.Lock()
+	defer db.writeMu.Unlock()
 	if db.fdisk == nil {
 		return nil
 	}
-	if err := db.commitOnly(); err != nil {
+	if _, err := db.commitAppend(db.current.Load()); err != nil {
 		return err
 	}
 	return db.fdisk.Checkpoint()
@@ -216,12 +257,12 @@ func (db *DB) Checkpoint() error {
 // Close commits, checkpoints and closes a file-backed database; a closed
 // DB must not be used further. No-op for in-memory databases.
 func (db *DB) Close() error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.writeMu.Lock()
+	defer db.writeMu.Unlock()
 	if db.fdisk == nil {
 		return nil
 	}
-	if err := db.commitOnly(); err != nil {
+	if _, err := db.commitAppend(db.current.Load()); err != nil {
 		db.fdisk.Close()
 		return err
 	}
@@ -243,109 +284,97 @@ func (db *DB) LoadXML(r io.Reader) error {
 	return nil
 }
 
-// AddDocument adds an already-built document tree.
+// AddDocument adds an already-built document tree, publishing a new
+// snapshot that shares every existing document. Index handles carry over
+// unchanged (they do not cover the new document until rebuilt — load
+// documents before building).
 func (db *DB) AddDocument(doc *xmldb.Document) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	db.store.AddDocument(doc)
-	db.env.Stats = nil // invalidate statistics
-	db.statsReady.Store(false)
-	db.invalidatePlans()
+	db.writeMu.Lock()
+	defer db.writeMu.Unlock()
+	cur := db.current.Load()
+	next := cur.clone()
+	store, _, err := cur.store.CloneForWrite(0)
+	if err != nil {
+		panic(err) // unreachable: the virtual root always exists
+	}
+	store.AddDocument(doc)
+	next.store = store
+	next.env.Store = store
+	// No stale fallback: statistics describing a store without this
+	// document must not be reused indefinitely (nothing re-derives them
+	// for a load — the next query collects lazily, as loads always have).
+	next.stale = nil
+	db.publish(next)
 }
 
-// invalidatePlans drops every cached plan choice; called whenever the
-// document set, the statistics, or the set of built indices changes (all of
-// which can change which plan is cheapest — or executable at all).
-func (db *DB) invalidatePlans() {
-	db.planMu.Lock()
-	db.planCache = nil
-	db.planMu.Unlock()
-}
-
-// Store exposes the underlying XML store.
-func (db *DB) Store() *xmldb.Store { return db.store }
+// Store exposes the current snapshot's XML store.
+func (db *DB) Store() *xmldb.Store { return db.current.Load().store }
 
 // Dict exposes the shared designator dictionary.
 func (db *DB) Dict() *pathdict.Dict { return db.dict }
 
-// Env exposes the planner environment (for white-box tests and benches).
-func (db *DB) Env() *plan.Env { return &db.env }
+// Env exposes the current snapshot's planner environment, statistics
+// materialised (for white-box tests and benches; treat it as read-only —
+// copy before tweaking knobs).
+func (db *DB) Env() *plan.Env { return db.current.Load().queryEnv() }
 
 // Pool exposes the shared buffer pool.
 func (db *DB) Pool() *storage.Pool { return db.pool }
 
 // CollectStats runs statistics collection (RUNSTATS); it is invoked
-// automatically by Build and lazily by queries, and must be re-run after
-// loading more documents.
+// automatically by Build and lazily by queries. It publishes a successor
+// snapshot with freshly collected statistics.
 func (db *DB) CollectStats() {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	db.env.Stats = stats.Collect(db.store, db.dict)
-	db.statsReady.Store(true)
-	db.invalidatePlans()
+	db.writeMu.Lock()
+	defer db.writeMu.Unlock()
+	cur := db.current.Load()
+	next := cur.clone()
+	next.env.Stats = stats.Collect(next.store, db.dict)
+	next.statsReady.Store(true)
+	db.publish(next)
 }
 
-// ensureStats lazily builds the statistics exactly once, under the shared
-// lock: the statsMu latch makes concurrent first-queries collect once and
-// publishes env.Stats to every reader that passes through here. env.Stats
-// is only reset to nil under the exclusive lock, so after ensureStats
-// returns it stays valid for the remainder of the reader's critical
-// section. The steady state is one uncontended atomic load (the
-// statsReady store is ordered after the env.Stats write, so a reader
-// observing true also observes the built stats).
-func (db *DB) ensureStats() {
-	if db.statsReady.Load() {
-		return
-	}
-	db.statsMu.Lock()
-	defer db.statsMu.Unlock()
-	if db.env.Stats == nil {
-		db.env.Stats = stats.Collect(db.store, db.dict)
-	}
-	db.statsReady.Store(true)
-}
-
-// Build constructs the given index structures. Indices already built are
-// rebuilt from scratch.
+// Build constructs the given index structures, publishing a successor
+// snapshot that carries them (plus fresh statistics). Indices already
+// built are rebuilt from scratch; other index handles carry over.
 func (db *DB) Build(kinds ...index.Kind) error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	if db.env.Stats == nil {
-		db.env.Stats = stats.Collect(db.store, db.dict)
-	}
-	db.statsReady.Store(true)
+	db.writeMu.Lock()
+	cur := db.current.Load()
+	next := cur.clone()
+	next.env.Stats = stats.Collect(next.store, db.dict)
+	next.statsReady.Store(true)
 	for _, k := range kinds {
 		var err error
 		switch k {
 		case index.KindRootPaths:
 			opts := db.cfg.PathsOptions
 			opts.KeepHead = nil // head pruning applies to DATAPATHS only
-			db.env.RP, err = index.BuildRootPaths(db.pool, db.store, db.dict, db.ptab, opts)
+			next.env.RP, err = index.BuildRootPaths(db.pool, next.store, db.dict, db.ptab, opts)
 		case index.KindDataPaths:
-			db.env.DP, err = index.BuildDataPaths(db.pool, db.store, db.dict, db.ptab, db.cfg.PathsOptions)
+			next.env.DP, err = index.BuildDataPaths(db.pool, next.store, db.dict, db.ptab, db.cfg.PathsOptions)
 		case index.KindEdge:
-			db.env.Edge, err = index.BuildEdge(db.pool, db.store, db.dict)
+			next.env.Edge, err = index.BuildEdge(db.pool, next.store, db.dict)
 		case index.KindDataGuide:
-			db.env.DG, err = index.BuildDataGuide(db.pool, db.store, db.dict)
+			next.env.DG, err = index.BuildDataGuide(db.pool, next.store, db.dict)
 		case index.KindIndexFabric:
-			db.env.IF, err = index.BuildIndexFabric(db.pool, db.store, db.dict)
+			next.env.IF, err = index.BuildIndexFabric(db.pool, next.store, db.dict)
 		case index.KindASR:
-			db.env.ASR, err = index.BuildASR(db.pool, db.store, db.dict)
+			next.env.ASR, err = index.BuildASR(db.pool, next.store, db.dict)
 		case index.KindJoinIndex:
-			db.env.JI, err = index.BuildJoinIndex(db.pool, db.store, db.dict)
+			next.env.JI, err = index.BuildJoinIndex(db.pool, next.store, db.dict)
 		case index.KindXRel:
-			db.env.XRel, err = index.BuildXRel(db.pool, db.store, db.dict)
+			next.env.XRel, err = index.BuildXRel(db.pool, next.store, db.dict)
 		case index.KindContainment:
-			db.env.Containment, err = containment.Build(db.pool, db.store, db.dict)
+			next.env.Containment, err = containment.Build(db.pool, next.store, db.dict)
 		default:
 			err = fmt.Errorf("engine: unknown index kind %d", k)
 		}
 		if err != nil {
+			db.writeMu.Unlock()
 			return fmt.Errorf("engine: building %v: %w", k, err)
 		}
 	}
-	db.invalidatePlans()
-	return db.commitLocked()
+	return db.commitPublish(next)
 }
 
 // BuildAll constructs every index structure in the family.
@@ -362,72 +391,110 @@ func (db *DB) BuildAll() error {
 // ROOTPATHS and DATAPATHS indices (paper Section 7). The other index
 // structures do not support incremental maintenance and are invalidated;
 // rebuild them with Build if their strategies are still needed.
+//
+// The update is prepared copy-on-write against a successor snapshot —
+// concurrent queries keep reading the current one, unblocked — and becomes
+// visible atomically when it is published. On a file-backed database the
+// call returns once the commit is durable; concurrent committers share
+// their WAL fsync (group commit).
 func (db *DB) InsertSubtree(parentID int64, sub *xmldb.Node) error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	parent := db.store.NodeByID(parentID)
-	if parent == nil {
+	db.writeMu.Lock()
+	cur := db.current.Load()
+	if cur.store.NodeByID(parentID) == nil {
+		db.writeMu.Unlock()
 		return fmt.Errorf("engine: no node with id %d", parentID)
 	}
-	if err := db.store.AttachSubtree(parent, sub); err != nil {
+	next := cur.clone()
+	store, parent, err := cur.store.CloneForWrite(parentID)
+	if err != nil {
+		db.writeMu.Unlock()
 		return err
 	}
-	if db.env.RP != nil {
-		if err := db.env.RP.InsertSubtree(db.store, sub); err != nil {
+	next.store = store
+	next.env.Store = store
+	next.cowIndices(db.frontier)
+	if err := store.AttachSubtree(parent, sub); err != nil {
+		db.writeMu.Unlock()
+		return err
+	}
+	if next.env.RP != nil {
+		if err := next.env.RP.InsertSubtree(store, sub); err != nil {
+			db.writeMu.Unlock()
 			return err
 		}
 	}
-	if db.env.DP != nil {
-		if err := db.env.DP.InsertSubtree(db.store, sub); err != nil {
+	if next.env.DP != nil {
+		if err := next.env.DP.InsertSubtree(store, sub); err != nil {
+			db.writeMu.Unlock()
 			return err
 		}
 	}
-	db.invalidateDerived()
-	return db.commitLocked()
+	if err := db.commitPublish(next); err != nil {
+		return err
+	}
+	db.installStats(next)
+	return nil
+}
+
+// installStats re-derives the statistics of a freshly published snapshot
+// on the writer's time, outside every lock — after the commit record is
+// appended, after the pointer swap, after the group-commit fsync — so it
+// neither stretches the writer critical section (which would break fsync
+// coalescing) nor leaves the first reader of the new version stalling on
+// a full collection. Readers arriving before it finishes plan with the
+// predecessor's statistics (bounded staleness; see Snapshot.queryEnv).
+// Skipped when the version was never analysed (bulk-load phases) or has
+// already been superseded (the newer version's writer installs instead).
+func (db *DB) installStats(next *Snapshot) {
+	if next.stale == nil || db.current.Load() != next {
+		return
+	}
+	next.deriveStats()
 }
 
 // DeleteSubtree removes the node with the given id and its subtree,
 // incrementally maintaining ROOTPATHS and DATAPATHS and invalidating the
-// non-updatable index structures.
+// non-updatable index structures. Prepared copy-on-write and published
+// atomically, like InsertSubtree.
 func (db *DB) DeleteSubtree(nodeID int64) error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	n := db.store.NodeByID(nodeID)
-	if n == nil {
+	db.writeMu.Lock()
+	cur := db.current.Load()
+	if cur.store.NodeByID(nodeID) == nil {
+		db.writeMu.Unlock()
 		return fmt.Errorf("engine: no node with id %d", nodeID)
 	}
-	// Index rows are derived from the root path, so delete them while the
-	// subtree is still connected.
-	if db.env.RP != nil {
-		if err := db.env.RP.DeleteSubtree(db.store, n); err != nil {
-			return err
-		}
-	}
-	if db.env.DP != nil {
-		if err := db.env.DP.DeleteSubtree(db.store, n); err != nil {
-			return err
-		}
-	}
-	if err := db.store.DetachSubtree(n); err != nil {
+	next := cur.clone()
+	store, n, err := cur.store.CloneForWrite(nodeID)
+	if err != nil {
+		db.writeMu.Unlock()
 		return err
 	}
-	db.invalidateDerived()
-	return db.commitLocked()
-}
-
-// invalidateDerived drops the statistics, the cached plan choices, and the
-// index structures that do not support incremental updates.
-func (db *DB) invalidateDerived() {
-	db.invalidatePlans()
-	db.env.Stats = nil
-	db.statsReady.Store(false)
-	db.env.Edge = nil
-	db.env.DG = nil
-	db.env.IF = nil
-	db.env.ASR = nil
-	db.env.JI = nil
-	db.env.XRel = nil
-	db.env.Containment = nil
+	next.store = store
+	next.env.Store = store
+	next.cowIndices(db.frontier)
+	// Index rows are derived from the root path, so delete them while the
+	// subtree is still connected.
+	if next.env.RP != nil {
+		if err := next.env.RP.DeleteSubtree(store, n); err != nil {
+			db.writeMu.Unlock()
+			return err
+		}
+	}
+	if next.env.DP != nil {
+		if err := next.env.DP.DeleteSubtree(store, n); err != nil {
+			db.writeMu.Unlock()
+			return err
+		}
+	}
+	if err := store.DetachSubtree(n); err != nil {
+		db.writeMu.Unlock()
+		return err
+	}
+	if err := db.commitPublish(next); err != nil {
+		return err
+	}
+	db.installStats(next)
+	return nil
 }
 
 // Query parses and executes q under the given strategy.
@@ -439,12 +506,13 @@ func (db *DB) Query(q string, strat plan.Strategy) ([]int64, *plan.ExecStats, er
 	return db.QueryPattern(pat, strat)
 }
 
-// QueryPattern executes an already-parsed pattern.
+// QueryPattern executes an already-parsed pattern against the current
+// snapshot, which it pins for the query's lifetime — no lock is taken and
+// no concurrent mutation can block or tear it.
 func (db *DB) QueryPattern(pat *xpath.Pattern, strat plan.Strategy) ([]int64, *plan.ExecStats, error) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	db.ensureStats()
-	ids, es, err := plan.Execute(&db.env, strat, pat)
+	s := db.pin()
+	defer db.unpin(s)
+	ids, es, err := plan.Execute(s.queryEnv(), strat, pat)
 	if es != nil {
 		db.counters.CountQuery(false, es.BranchesJoined)
 	}
@@ -456,10 +524,9 @@ func (db *DB) QueryPattern(pat *xpath.Pattern, strat plan.Strategy) ([]int64, *p
 // bounded pool of `workers` goroutines sharing the buffer pool, then merged
 // with the usual positional joins. workers <= 1 degenerates to QueryPattern.
 func (db *DB) QueryPatternParallel(pat *xpath.Pattern, strat plan.Strategy, workers int) ([]int64, *plan.ExecStats, error) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	db.ensureStats()
-	ids, es, err := plan.ExecuteParallel(&db.env, strat, pat, workers)
+	s := db.pin()
+	defer db.unpin(s)
+	ids, es, err := plan.ExecuteParallel(s.queryEnv(), strat, pat, workers)
 	if es != nil {
 		db.counters.CountQuery(es.Parallel, es.BranchesJoined)
 	}
@@ -470,37 +537,34 @@ func (db *DB) QueryPatternParallel(pat *xpath.Pattern, strat plan.Strategy, work
 func (db *DB) QueryCounters() stats.QuerySnapshot { return db.counters.Snapshot() }
 
 // MatchNaive evaluates pat with the naive in-memory matcher (no indices)
-// under the shared lock, so it is safe to run concurrently with subtree
-// updates — the Oracle of the differential tests.
+// against the pinned snapshot's frozen store — the Oracle of the
+// differential tests. Safe to run concurrently with subtree updates.
 func (db *DB) MatchNaive(pat *xpath.Pattern) []int64 {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	return naive.Match(db.store, pat)
+	s := db.pin()
+	defer db.unpin(s)
+	return naive.Match(s.store, pat)
 }
 
-// ViewNodes invokes fn once under the shared lock with an id-to-node lookup,
-// so callers can materialise node details without racing subtree updates.
-// The looked-up nodes must not be retained or dereferenced after fn returns.
+// ViewNodes invokes fn once with an id-to-node lookup over the pinned
+// snapshot, so callers can materialise node details at a consistent
+// version. The looked-up nodes must not be retained after fn returns.
 func (db *DB) ViewNodes(fn func(byID func(int64) *xmldb.Node)) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	fn(db.store.NodeByID)
+	s := db.pin()
+	defer db.unpin(s)
+	fn(s.store.NodeByID)
 }
 
-// NodeCount returns the number of element/attribute nodes, under the shared
-// lock.
+// NodeCount returns the number of element/attribute nodes in the current
+// snapshot.
 func (db *DB) NodeCount() int {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	return db.store.NodeCount()
+	return db.current.Load().store.NodeCount()
 }
 
 // Explain renders the plan for a pattern under a strategy.
 func (db *DB) Explain(pat *xpath.Pattern, strat plan.Strategy) (string, error) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	db.ensureStats()
-	return plan.Explain(&db.env, strat, pat)
+	s := db.pin()
+	defer db.unpin(s)
+	return plan.Explain(s.queryEnv(), strat, pat)
 }
 
 // DefaultStrategy returns the statically-preferred strategy among the
@@ -508,85 +572,47 @@ func (db *DB) Explain(pat *xpath.Pattern, strat plan.Strategy) (string, error) {
 // consulting the cost-based planner — the pattern-independent fallback.
 // Note that under concurrent mutation the answer can be stale by the time
 // the caller queries with it; use QueryPatternBest, which plans and
-// executes atomically (and, unlike this ladder, picks per query).
+// executes against one pinned snapshot (and, unlike this ladder, picks per
+// query).
 func (db *DB) DefaultStrategy() (plan.Strategy, error) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	return db.defaultStrategyLocked()
+	return defaultStrategyFor(db.current.Load().Env())
 }
 
-// choosePlanLocked resolves the cheapest strategy for pat under the shared
-// lock, consulting the per-pattern plan cache first. The cache key is the
-// pattern's canonical rendering, so syntactically different but equivalent
-// queries share an entry. With parallel set, planning runs against an
-// INL-disabled environment — the parallel executor materialises every
-// branch, so costing bound-probe plans would price trees that never run —
-// and such choices are cached under a separate keyspace. On a miss the
-// planner's chosen tree is returned too (nil on a hit), so the caller can
-// execute it directly instead of rebuilding it; cacheHit reports whether
-// planning was skipped.
-func (db *DB) choosePlanLocked(pat *xpath.Pattern, parallel bool) (strat plan.Strategy, tree *plan.Tree, cacheHit bool, err error) {
-	key := pat.String()
-	env := &db.env
-	if parallel {
-		key = "par|" + key
-		penv := db.env
-		penv.INLFactor = -1
-		env = &penv
-	}
-	db.planMu.Lock()
-	s, ok := db.planCache[key]
-	db.planMu.Unlock()
-	if ok {
-		return s, nil, true, nil
-	}
-	t, _, err := plan.Choose(env, pat)
-	if err != nil {
-		return 0, nil, false, err
-	}
-	db.planMu.Lock()
-	if db.planCache == nil {
-		db.planCache = map[string]plan.Strategy{}
-	}
-	db.planCache[key] = t.Strategy
-	db.planMu.Unlock()
-	return t.Strategy, t, false, nil
-}
-
-// defaultStrategyLocked is DefaultStrategy for callers already holding mu.
-func (db *DB) defaultStrategyLocked() (plan.Strategy, error) {
+// defaultStrategyFor is the static preference ladder over an environment.
+func defaultStrategyFor(env *plan.Env) (plan.Strategy, error) {
 	switch {
-	case db.env.DP != nil:
+	case env.DP != nil:
 		return plan.DataPathsPlan, nil
-	case db.env.RP != nil:
+	case env.RP != nil:
 		return plan.RootPathsPlan, nil
-	case db.env.IF != nil && db.env.Edge != nil:
+	case env.IF != nil && env.Edge != nil:
 		return plan.FabricEdgePlan, nil
-	case db.env.DG != nil && db.env.Edge != nil:
+	case env.DG != nil && env.Edge != nil:
 		return plan.DataGuideEdgePlan, nil
-	case db.env.ASR != nil:
+	case env.ASR != nil:
 		return plan.ASRPlan, nil
-	case db.env.JI != nil:
+	case env.JI != nil:
 		return plan.JoinIndexPlan, nil
-	case db.env.Edge != nil:
+	case env.Edge != nil:
 		return plan.EdgePlan, nil
 	}
 	return 0, fmt.Errorf("engine: no index built")
 }
 
 // QueryPatternBest runs the cost-based planner over the built indices and
-// executes pat under the cheapest plan, all within one critical section —
-// planning first and querying later in separate sections would let a
-// concurrent index invalidation strand the choice. Plan choices are cached
-// per normalised pattern (invalidated by loads, builds and subtree
-// updates); cache hits are counted in the query counters. workers == 1
-// runs the serial executor; anything else goes through the parallel one
-// (which resolves <= 0 to GOMAXPROCS). Returns the strategy that ran.
+// executes pat under the cheapest plan, all against one pinned snapshot —
+// a concurrent update can never invalidate the chosen index between
+// planning and execution, because both happen on the same immutable
+// version. Plan choices are cached per normalised pattern on the snapshot
+// (a new version starts fresh: new statistics can change every choice);
+// cache hits are counted in the query counters. workers == 1 runs the
+// serial executor; anything else goes through the parallel one (which
+// resolves <= 0 to GOMAXPROCS). Returns the strategy that ran.
 func (db *DB) QueryPatternBest(pat *xpath.Pattern, workers int) ([]int64, *plan.ExecStats, plan.Strategy, error) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	db.ensureStats()
-	strat, tree, cacheHit, err := db.choosePlanLocked(pat, workers != 1)
+	s := db.pin()
+	defer db.unpin(s)
+	env := s.queryEnv()
+	strat, tree, cacheHit, err := s.choosePlan(env, pat, workers != 1)
 	if err != nil {
 		return nil, nil, 0, err
 	}
@@ -599,14 +625,14 @@ func (db *DB) QueryPatternBest(pat *xpath.Pattern, workers int) ([]int64, *plan.
 	case workers != 1 && tree != nil:
 		// Cache miss, parallel: the chosen tree was planned INL-free, so
 		// it is exactly what the parallel executor runs.
-		ids, es, err = plan.ExecuteTreeParallel(&db.env, tree, workers)
+		ids, es, err = plan.ExecuteTreeParallel(env, tree, workers)
 	case workers != 1:
-		ids, es, err = plan.ExecuteParallel(&db.env, strat, pat, workers)
+		ids, es, err = plan.ExecuteParallel(env, strat, pat, workers)
 	case tree != nil:
 		// Cache miss, serial: run the tree the planner just built.
-		ids, es, err = plan.ExecuteTree(&db.env, tree)
+		ids, es, err = plan.ExecuteTree(env, tree)
 	default:
-		ids, es, err = plan.Execute(&db.env, strat, pat)
+		ids, es, err = plan.Execute(env, strat, pat)
 	}
 	if es != nil {
 		db.counters.CountQuery(es.Parallel, es.BranchesJoined)
@@ -616,42 +642,42 @@ func (db *DB) QueryPatternBest(pat *xpath.Pattern, workers int) ([]int64, *plan.
 
 // ExplainBest renders the cost-based planner's deliberation for pat (every
 // candidate strategy with its estimated plan cost) followed by the chosen
-// plan tree, resolved in one critical section; returns the strategy chosen.
+// plan tree, resolved against one pinned snapshot; returns the strategy
+// chosen.
 func (db *DB) ExplainBest(pat *xpath.Pattern) (string, plan.Strategy, error) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	db.ensureStats()
-	return plan.ExplainChosen(&db.env, pat)
+	s := db.pin()
+	defer db.unpin(s)
+	return plan.ExplainChosen(s.queryEnv(), pat)
 }
 
 // Spaces reports the footprint of every built index.
 func (db *DB) Spaces() []index.Space {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
+	s := db.pin()
+	defer db.unpin(s)
 	var out []index.Space
-	if db.env.RP != nil {
-		out = append(out, db.env.RP.Space())
+	if s.env.RP != nil {
+		out = append(out, s.env.RP.Space())
 	}
-	if db.env.DP != nil {
-		out = append(out, db.env.DP.Space())
+	if s.env.DP != nil {
+		out = append(out, s.env.DP.Space())
 	}
-	if db.env.Edge != nil {
-		out = append(out, db.env.Edge.Space())
+	if s.env.Edge != nil {
+		out = append(out, s.env.Edge.Space())
 	}
-	if db.env.DG != nil {
-		out = append(out, db.env.DG.Space())
+	if s.env.DG != nil {
+		out = append(out, s.env.DG.Space())
 	}
-	if db.env.IF != nil {
-		out = append(out, db.env.IF.Space())
+	if s.env.IF != nil {
+		out = append(out, s.env.IF.Space())
 	}
-	if db.env.ASR != nil {
-		out = append(out, db.env.ASR.Space())
+	if s.env.ASR != nil {
+		out = append(out, s.env.ASR.Space())
 	}
-	if db.env.JI != nil {
-		out = append(out, db.env.JI.Space())
+	if s.env.JI != nil {
+		out = append(out, s.env.JI.Space())
 	}
-	if db.env.XRel != nil {
-		out = append(out, db.env.XRel.Space())
+	if s.env.XRel != nil {
+		out = append(out, s.env.XRel.Space())
 	}
 	return out
 }

@@ -1,0 +1,227 @@
+// Snapshot-isolated reads: the engine publishes its entire queryable state
+// — store, dictionaries, statistics, index handles and the per-pattern plan
+// cache — as one immutable Snapshot behind an atomic pointer. Queries load
+// the pointer once, pin the snapshot for their whole lifetime, and never
+// take a database lock: a concurrent writer prepares the *next* snapshot
+// off to the side (copy-on-write at the catalog/document/index-handle
+// granularity, and per-page COW inside the B+-trees) and makes it visible
+// with a single pointer swap. Old snapshots retire when their last reader
+// unpins them and the garbage collector reclaims the structs; the device
+// pages only they referenced are leaked until a future page free list
+// (storage.Meta.FreeHead) learns to reclaim them.
+package engine
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/pathdict"
+	"repro/internal/plan"
+	"repro/internal/stats"
+	"repro/internal/storage"
+	"repro/internal/xmldb"
+	"repro/internal/xpath"
+)
+
+// Snapshot is one immutable version of the database. Everything reachable
+// from it is frozen — except the lazily built statistics (guarded by the
+// build-once latch below) and the plan cache (its own mutex), both of
+// which are monotonic caches whose content is derived purely from the
+// frozen state.
+type Snapshot struct {
+	// seq is the snapshot's position in the version chain (0 = the state
+	// at Open).
+	seq uint64
+
+	store *xmldb.Store
+	dict  *pathdict.Dict      // shared across versions: append-only, latched
+	ptab  *pathdict.PathTable // shared across versions: append-only, latched
+
+	env plan.Env
+
+	// pins counts readers currently inside a query against this snapshot;
+	// purely observational (correctness never depends on it — the COW
+	// frontier conservatively protects every page the snapshot can
+	// reference), surfaced through QueryStats.
+	pins atomic.Int64
+
+	// planMu guards the per-pattern plan cache. Each snapshot starts with
+	// an empty cache: a new version means new statistics, which can change
+	// every choice.
+	planMu    sync.Mutex
+	planCache map[string]plan.Strategy
+
+	// statsMu serialises the statistics (re)build so concurrent
+	// first-queries collect exactly once; statsReady lets the steady state
+	// skip the latch with one atomic load (the statsReady store is ordered
+	// after the env.Stats write, so a reader observing true also observes
+	// the built stats).
+	statsMu    sync.Mutex
+	statsReady atomic.Bool
+
+	// stale is the predecessor's statistics, carried over as a
+	// bounded-staleness planning fallback: queries arriving before this
+	// version's own statistics are derived plan with the predecessor's
+	// instead of stalling on a full collection — the writer re-derives
+	// fresh ones right after publishing (outside every lock) and installs
+	// them through the statsMu protocol. Immutable after publish.
+	stale *stats.Stats
+}
+
+// Seq returns the snapshot's version number.
+func (s *Snapshot) Seq() uint64 { return s.seq }
+
+// Pins returns the number of readers currently pinning the snapshot.
+func (s *Snapshot) Pins() int64 { return s.pins.Load() }
+
+// Store returns the snapshot's (frozen) XML store.
+func (s *Snapshot) Store() *xmldb.Store { return s.store }
+
+// Env returns the snapshot's planner environment.
+func (s *Snapshot) Env() *plan.Env { return &s.env }
+
+// ensureStats builds the statistics exactly once per snapshot, holding the
+// stats latch across the collection so concurrent first-queries collect
+// once and the rest wait. Only used on the no-fallback path (a snapshot
+// with a stale predecessor uses deriveStats/queryEnv instead, which never
+// make a reader wait out a collection). Because the snapshot's store is
+// immutable, the collected statistics describe exactly the state every
+// reader of this snapshot sees — a query can never plan against statistics
+// from a different version than the indices it probes.
+func (s *Snapshot) ensureStats() {
+	if s.statsReady.Load() {
+		return
+	}
+	s.statsMu.Lock()
+	defer s.statsMu.Unlock()
+	if s.env.Stats == nil {
+		s.env.Stats = stats.Collect(s.store, s.dict)
+	}
+	s.statsReady.Store(true)
+}
+
+// deriveStats collects the snapshot's statistics WITHOUT holding the stats
+// latch — readers on the stale fallback take that latch for their env copy,
+// and must never block behind a full collection — then installs them under
+// it. The writer calls this after publishing a successor version.
+func (s *Snapshot) deriveStats() {
+	if s.statsReady.Load() {
+		return
+	}
+	st := stats.Collect(s.store, s.dict)
+	s.statsMu.Lock()
+	if s.env.Stats == nil {
+		s.env.Stats = st
+	}
+	s.statsMu.Unlock()
+	s.statsReady.Store(true)
+}
+
+// queryEnv returns the environment a query should plan and execute with:
+// the snapshot's env once its own statistics are derived; otherwise a copy
+// falling back to the predecessor's statistics (bounded staleness — the
+// writer is re-deriving fresh ones concurrently, and estimates a handful
+// of updates old only affect plan choice, never correctness); and only
+// when no statistics have ever been collected does the query pay a lazy
+// collection itself.
+func (s *Snapshot) queryEnv() *plan.Env {
+	if s.statsReady.Load() {
+		return &s.env
+	}
+	if s.stale != nil {
+		s.statsMu.Lock()
+		env := s.env
+		s.statsMu.Unlock()
+		if env.Stats == nil {
+			env.Stats = s.stale
+		}
+		return &env
+	}
+	s.ensureStats()
+	return &s.env
+}
+
+// choosePlan resolves the cheapest strategy for pat against this snapshot,
+// consulting the per-pattern plan cache first. The cache key is the
+// pattern's canonical rendering, so syntactically different but equivalent
+// queries share an entry. With parallel set, planning runs against an
+// INL-disabled environment — the parallel executor materialises every
+// branch, so costing bound-probe plans would price trees that never run —
+// and such choices are cached under a separate keyspace. On a miss the
+// planner's chosen tree is returned too (nil on a hit), so the caller can
+// execute it directly instead of rebuilding it; cacheHit reports whether
+// planning was skipped.
+func (s *Snapshot) choosePlan(env *plan.Env, pat *xpath.Pattern, parallel bool) (strat plan.Strategy, tree *plan.Tree, cacheHit bool, err error) {
+	key := pat.String()
+	if parallel {
+		key = "par|" + key
+		penv := *env
+		penv.INLFactor = -1
+		env = &penv
+	}
+	s.planMu.Lock()
+	cached, ok := s.planCache[key]
+	s.planMu.Unlock()
+	if ok {
+		return cached, nil, true, nil
+	}
+	t, _, err := plan.Choose(env, pat)
+	if err != nil {
+		return 0, nil, false, err
+	}
+	s.planMu.Lock()
+	if s.planCache == nil {
+		s.planCache = map[string]plan.Strategy{}
+	}
+	s.planCache[key] = t.Strategy
+	s.planMu.Unlock()
+	return t.Strategy, t, false, nil
+}
+
+// clone returns a mutable successor of the snapshot sharing every
+// component; the writer swaps in copied or rebuilt components before
+// publishing it. The plan cache and statistics start empty (both derive
+// from state the successor is about to change). The env copy happens under
+// the stats latch: a concurrent reader may be installing lazily built
+// statistics into this snapshot at the same moment.
+func (s *Snapshot) clone() *Snapshot {
+	next := &Snapshot{
+		seq:   s.seq + 1,
+		store: s.store,
+		dict:  s.dict,
+		ptab:  s.ptab,
+	}
+	s.statsMu.Lock()
+	next.env = s.env
+	s.statsMu.Unlock()
+	// The successor's statistics slot starts empty (its writer re-derives
+	// them after publishing); the predecessor's become the staleness
+	// fallback so no reader ever stalls on a collection.
+	next.stale = next.env.Stats
+	if next.stale == nil {
+		next.stale = s.stale
+	}
+	next.env.Stats = nil
+	return next
+}
+
+// cowIndices replaces the incrementally maintained indices (ROOTPATHS /
+// DATAPATHS) with copy-on-write clones whose mutations cannot touch pages
+// the predecessor references (frontier = device page count when the
+// predecessor froze), and drops the index structures that do not support
+// incremental maintenance.
+func (s *Snapshot) cowIndices(frontier storage.PageID) {
+	if s.env.RP != nil {
+		s.env.RP = s.env.RP.CloneCOW(frontier)
+	}
+	if s.env.DP != nil {
+		s.env.DP = s.env.DP.CloneCOW(frontier)
+	}
+	s.env.Edge = nil
+	s.env.DG = nil
+	s.env.IF = nil
+	s.env.ASR = nil
+	s.env.JI = nil
+	s.env.XRel = nil
+	s.env.Containment = nil
+}

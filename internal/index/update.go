@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/pathdict"
 	"repro/internal/pathrel"
+	"repro/internal/storage"
 	"repro/internal/xmldb"
 )
 
@@ -14,6 +15,22 @@ import (
 // prefixes of the /book/author/name path"). A subtree update touches one
 // index entry per (chain ending in the subtree, value row), exactly the
 // rows pathrel.EmitSubtreeRows enumerates.
+
+// CloneCOW returns a writable handle on the index whose mutations
+// copy-on-write every B+-tree page below frontier, leaving this handle's
+// view intact — the index half of the engine's snapshot isolation: the
+// published snapshot keeps reading the frozen tree while the writer
+// maintains the clone (see btree.Tree.CloneCOW). The dictionary and path
+// table are shared: both are append-only and internally latched, so old
+// snapshots are unaffected by new interning.
+func (rp *RootPaths) CloneCOW(frontier storage.PageID) *RootPaths {
+	return &RootPaths{tree: rp.tree.CloneCOW(frontier), dict: rp.dict, ptab: rp.ptab, opts: rp.opts}
+}
+
+// CloneCOW is RootPaths.CloneCOW for DATAPATHS.
+func (dp *DataPaths) CloneCOW(frontier storage.PageID) *DataPaths {
+	return &DataPaths{tree: dp.tree.CloneCOW(frontier), dict: dp.dict, ptab: dp.ptab, opts: dp.opts}
+}
 
 // rowKey builds the index key for one 4-ary row under the build options.
 func (rp *RootPaths) rowKey(r pathrel.Row, rev *pathdict.Path) []byte {

@@ -4,6 +4,7 @@ import (
 	"runtime"
 	"sync"
 
+	"repro/internal/relop"
 	"repro/internal/xpath"
 )
 
@@ -51,16 +52,31 @@ func ExecuteTreeParallel(env *Env, t *Tree, workers int) ([]int64, *ExecStats, e
 	if t.Executed {
 		t.resetRuntime()
 	}
+	// Collect the probe leaves, deduplicated by identity: a tree that
+	// shares one probe node between two parents must materialise — and
+	// count — it exactly once, not race two goroutines over it.
 	var probes []*Node
+	seen := map[*Node]bool{}
 	t.Walk(func(n *Node, _ int) {
-		if n.Kind == OpIndexProbe {
+		if n.Kind == OpIndexProbe && !seen[n] {
+			seen[n] = true
 			probes = append(probes, n)
 		}
 	})
 	if workers > 1 && len(probes) > 1 {
 		t.Parallel = true
 		sem := make(chan struct{}, workers)
-		errs := make([]error, len(probes))
+		// Branch goroutines write only their private result slot — never
+		// the shared plan nodes. The per-operator counters and cached
+		// tuples are installed into the nodes after the barrier, on this
+		// goroutine, so tree state has a single writer (asserted by the
+		// serial-vs-parallel ExecStats equality test under -race).
+		type probeResult struct {
+			tuples []relop.Tuple
+			stats  ExecStats
+			err    error
+		}
+		results := make([]probeResult, len(probes))
 		var wg sync.WaitGroup
 		for i, p := range probes {
 			wg.Add(1)
@@ -68,17 +84,28 @@ func ExecuteTreeParallel(env *Env, t *Tree, workers int) ([]int64, *ExecStats, e
 				defer wg.Done()
 				sem <- struct{}{}
 				defer func() { <-sem }()
-				ev, err := newEvaluator(env, t.Strategy, &p.stats)
+				r := &results[i]
+				ev, err := newEvaluator(env, t.Strategy, &r.stats)
 				if err == nil {
-					p.cached, err = ev.Free(*p.branch)
-					p.hasCached = true
+					r.tuples, err = ev.Free(*p.branch)
 				}
-				errs[i] = err
+				r.err = err
 			}(i, p)
 		}
 		wg.Wait()
-		for _, err := range errs {
-			if err != nil {
+		// Install every completed probe's counters before reporting any
+		// error, so the aggregated ExecStats accounts for all the work
+		// that actually ran.
+		for i, p := range probes {
+			if results[i].err != nil {
+				continue
+			}
+			p.stats = results[i].stats
+			p.cached = results[i].tuples
+			p.hasCached = true
+		}
+		for i := range probes {
+			if err := results[i].err; err != nil {
 				t.Executed = true
 				return nil, t.aggregate(), err
 			}

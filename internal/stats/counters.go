@@ -10,6 +10,7 @@ type QueryCounters struct {
 	parallelQueries   atomic.Int64
 	branchesEvaluated atomic.Int64
 	planCacheHits     atomic.Int64
+	snapshotsPinned   atomic.Int64
 }
 
 // CountQuery records one executed query; parallel marks it as served by the
@@ -27,12 +28,17 @@ func (c *QueryCounters) CountQuery(parallel bool, branches int) {
 // was served from the per-pattern plan cache.
 func (c *QueryCounters) CountPlanCacheHit() { c.planCacheHits.Add(1) }
 
+// CountSnapshotPin records one reader pinning an engine snapshot for the
+// lifetime of a query.
+func (c *QueryCounters) CountSnapshotPin() { c.snapshotsPinned.Add(1) }
+
 // QuerySnapshot is a point-in-time copy of the counters.
 type QuerySnapshot struct {
 	Queries           int64 // queries executed
 	ParallelQueries   int64 // of which via the parallel executor
 	BranchesEvaluated int64 // covering branches evaluated across all queries
 	PlanCacheHits     int64 // auto-planned queries answered from the plan cache
+	SnapshotsPinned   int64 // snapshot pins taken by readers (one per query)
 }
 
 // Snapshot returns a consistent-enough copy (each field individually atomic).
@@ -42,5 +48,6 @@ func (c *QueryCounters) Snapshot() QuerySnapshot {
 		ParallelQueries:   c.parallelQueries.Load(),
 		BranchesEvaluated: c.branchesEvaluated.Load(),
 		PlanCacheHits:     c.planCacheHits.Load(),
+		SnapshotsPinned:   c.snapshotsPinned.Load(),
 	}
 }

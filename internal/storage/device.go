@@ -42,7 +42,12 @@ type DeviceStats struct {
 	BytesRead    int64 // bytes read (pages + WAL frames replayed on reads)
 	BytesWritten int64 // bytes written (WAL frames + checkpoint copies)
 	WALAppends   int64 // WAL records appended (frames + commits)
-	WALFsyncs    int64 // fsyncs of the WAL (one per commit boundary)
+	WALFsyncs    int64 // fsyncs of the WAL (one per durable boundary)
 	WALBytes     int64 // current WAL length in bytes
-	Checkpoints  int64 // checkpoints completed (WAL truncations)
+	// GroupCommitBatches counts the fsync batches performed by the
+	// group-commit path (FileDisk.SyncTo): each batch makes every commit
+	// appended before it durable, so commits/batches > 1 means concurrent
+	// commits amortised their fsyncs.
+	GroupCommitBatches int64
+	Checkpoints        int64 // checkpoints completed (WAL truncations)
 }

@@ -62,11 +62,27 @@ type FileDisk struct {
 	pending  map[PageID]int64 // frames appended since the last commit
 	walSize  int64
 
+	// commitSeq numbers commit records as they are appended (guarded by
+	// mu); durableSeq is the highest commit sequence known to be durable —
+	// advanced by SyncTo's fsyncs and by Checkpoint (which makes every
+	// committed state durable through the database file). The gap between
+	// them is the group-commit window: commits whose records are appended
+	// but whose callers are still waiting in SyncTo for a shared fsync.
+	commitSeq  int64
+	durableSeq atomic.Int64
+
+	// syncMu serialises group-commit fsyncs: the holder is the batch
+	// leader, syncing the log for itself and for every commit appended
+	// before it started; waiters that acquire it afterwards usually find
+	// their commit already durable and return without an fsync of their own.
+	syncMu sync.Mutex
+
 	readLat atomic.Int64
 
 	reads, writes           atomic.Int64
 	bytesRead, bytesWritten atomic.Int64
 	walAppends, walFsyncs   atomic.Int64
+	groupBatches            atomic.Int64
 	checkpoints             atomic.Int64
 }
 
@@ -225,30 +241,83 @@ func (f *FileDisk) Write(id PageID, buf []byte) error {
 // Commit appends a commit record carrying meta and fsyncs the WAL: every
 // frame appended so far — and meta itself — is now durable and will survive
 // a crash. When nothing changed since the last commit the call is a no-op
-// (no record, no fsync).
+// (no record, no fsync). Commit is CommitAsync followed by SyncTo; callers
+// that can overlap other work between the two (the engine's group-committed
+// subtree updates) use the halves directly so concurrent commits coalesce
+// into one fsync.
 func (f *FileDisk) Commit(meta Meta) error {
+	seq, err := f.CommitAsync(meta)
+	if err != nil {
+		return err
+	}
+	return f.SyncTo(seq)
+}
+
+// CommitAsync appends a commit record carrying meta without forcing it to
+// disk, and returns the commit's sequence number: the commit is logically
+// applied (Read sees its frames, Meta returns meta) but not yet durable.
+// Pass the sequence to SyncTo to wait for durability. When nothing changed
+// since the last commit the call is a no-op and returns the current
+// sequence (already durable or about to be).
+func (f *FileDisk) CommitAsync(meta Meta) (int64, error) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	if len(f.pending) == 0 && meta == f.meta {
-		return nil
+		return f.commitSeq, nil
 	}
 	rec := appendWALCommit(make([]byte, 0, walCommitSize), meta)
 	if _, err := f.wal.WriteAt(rec, f.walSize); err != nil {
-		return fmt.Errorf("storage: wal commit append: %w", err)
-	}
-	if err := f.wal.Sync(); err != nil {
-		return fmt.Errorf("storage: wal fsync: %w", err)
+		return 0, fmt.Errorf("storage: wal commit append: %w", err)
 	}
 	f.walSize += int64(len(rec))
 	f.walAppends.Add(1)
-	f.walFsyncs.Add(1)
 	f.bytesWritten.Add(int64(len(rec)))
 	for id, off := range f.pending {
 		f.walIndex[id] = off
 	}
 	f.pending = map[PageID]int64{}
 	f.meta = meta
+	f.commitSeq++
+	return f.commitSeq, nil
+}
+
+// SyncTo blocks until the commit with the given sequence number is durable,
+// coalescing concurrent callers into one fsync (group commit): the first
+// caller to acquire the sync latch becomes the batch leader and fsyncs the
+// log once for every commit appended before it started; later callers find
+// their sequence already covered and return without an fsync of their own.
+// A checkpoint also satisfies waiters (it makes every committed state
+// durable through the database file).
+func (f *FileDisk) SyncTo(seq int64) error {
+	if f.durableSeq.Load() >= seq {
+		return nil
+	}
+	f.syncMu.Lock()
+	defer f.syncMu.Unlock()
+	if f.durableSeq.Load() >= seq {
+		return nil // a leader's batch (or a checkpoint) covered us
+	}
+	f.mu.RLock()
+	target := f.commitSeq
+	f.mu.RUnlock()
+	if err := f.wal.Sync(); err != nil {
+		return fmt.Errorf("storage: wal fsync: %w", err)
+	}
+	f.walFsyncs.Add(1)
+	f.groupBatches.Add(1)
+	storeMax(&f.durableSeq, target)
 	return nil
+}
+
+// storeMax advances v to at least target (never backwards: a slow fsync
+// leader must not undo the progress a checkpoint published meanwhile).
+func storeMax(v *atomic.Int64, target int64) {
+	for {
+		cur := v.Load()
+		if cur >= target || v.CompareAndSwap(cur, target) {
+			return
+		}
+	}
 }
 
 // Checkpoint migrates every committed WAL frame into the database file,
@@ -289,6 +358,9 @@ func (f *FileDisk) Checkpoint() error {
 	f.walSize = 0
 	f.walIndex = map[PageID]int64{}
 	f.checkpoints.Add(1)
+	// Every committed state now lives durably in the database file, so any
+	// SyncTo waiter still queued for a pre-checkpoint commit is satisfied.
+	storeMax(&f.durableSeq, f.commitSeq)
 	return nil
 }
 
@@ -327,10 +399,11 @@ func (f *FileDisk) DeviceStats() DeviceStats {
 		Writes:       f.writes.Load(),
 		BytesRead:    f.bytesRead.Load(),
 		BytesWritten: f.bytesWritten.Load(),
-		WALAppends:   f.walAppends.Load(),
-		WALFsyncs:    f.walFsyncs.Load(),
-		WALBytes:     f.WALSize(),
-		Checkpoints:  f.checkpoints.Load(),
+		WALAppends:         f.walAppends.Load(),
+		WALFsyncs:          f.walFsyncs.Load(),
+		WALBytes:           f.WALSize(),
+		GroupCommitBatches: f.groupBatches.Load(),
+		Checkpoints:        f.checkpoints.Load(),
 	}
 }
 

@@ -70,7 +70,19 @@ type shard struct {
 	frames   map[PageID]*frame
 	lru      frame // ring sentinel: lru.next = least recently used
 	stats    PoolStats
+
+	// waitHead/waitTail is the FIFO queue of fetchers waiting in makeRoom
+	// for a frame to become evictable. Only the head of the queue may take
+	// room, and newly arriving fetchers queue behind it instead of taking
+	// freed frames directly — without that rule a woken waiter loses every
+	// freed frame to a faster fetcher and eventually exhausts its wait
+	// budget with frames passing it by (a spurious all-pinned error under
+	// saturated QueryBatch traffic).
+	waitHead, waitTail *roomWaiter
 }
+
+// roomWaiter is one queued makeRoom caller (intrusive FIFO link).
+type roomWaiter struct{ next *roomWaiter }
 
 // Pool is an LRU buffer pool over a Device (the in-memory Disk or the
 // durable FileDisk), lock-striped into shards keyed by PageID. All access
@@ -226,7 +238,7 @@ func (p *Pool) Fetch(id PageID) (Page, error) {
 		// dead frame and drop them on wake-up (above).
 		delete(s.frames, id)
 		f.pins--
-		s.unpinned.Signal()
+		s.unpinned.Broadcast() // Broadcast, not Signal: a non-head waiter must not swallow the head's wake-up
 	}
 	s.mu.Unlock()
 	if err != nil {
@@ -292,7 +304,7 @@ func (p *Pool) Unpin(pg Page, dirty bool) {
 	f.pins--
 	if f.pins == 0 {
 		s.pushBack(f)
-		s.unpinned.Signal()
+		s.unpinned.Broadcast() // see makeRoom: only the queue head takes room, so all waiters must wake
 	}
 }
 
@@ -384,27 +396,83 @@ const roomWaitBudget = 200 * time.Millisecond
 // deadlocking.
 const roomWaitTick = 20 * time.Millisecond
 
+// tryRoom makes space for one more frame if it can without waiting: a free
+// slot, or evicting the least recently used unpinned frame. It reports
+// whether room is available.
+func (s *shard) tryRoom() (bool, error) {
+	if len(s.frames) < s.capacity {
+		return true, nil
+	}
+	victim := s.lru.next
+	if victim == &s.lru {
+		return false, nil
+	}
+	s.unlink(victim)
+	if victim.dirty {
+		if err := s.dev.Write(victim.id, victim.data); err != nil {
+			return false, err
+		}
+		s.stats.PageWrites++
+	}
+	delete(s.frames, victim.id)
+	return true, nil
+}
+
 // makeRoom ensures the shard has space for one more frame: it evicts the
 // least recently used unpinned frame, or — when every frame is momentarily
 // pinned, which tiny per-shard capacities under heavy session concurrency
 // make possible — waits (bounded) for an Unpin instead of failing.
+//
+// Waiters are served fairly: freed frames go to the oldest waiter. While
+// any fetcher is queued, newcomers join the queue behind it rather than
+// grabbing freed frames directly, and only the queue head takes room —
+// so a waiter can never burn its whole budget losing wake-up races to
+// faster fetchers, and errors out only when the shard genuinely cannot
+// produce a frame for it within the budget.
 func (s *shard) makeRoom() error {
+	if s.waitHead == nil {
+		if ok, err := s.tryRoom(); ok || err != nil {
+			return err
+		}
+	}
+	w := &roomWaiter{}
+	if s.waitTail == nil {
+		s.waitHead = w
+	} else {
+		s.waitTail.next = w
+	}
+	s.waitTail = w
+	defer func() {
+		// Leave the queue (head on success; possibly mid-queue on timeout)
+		// and wake the rest: the new head must learn it may now take room,
+		// and each Unpin signals only once.
+		if s.waitHead == w {
+			s.waitHead = w.next
+		} else {
+			for p := s.waitHead; p != nil; p = p.next {
+				if p.next == w {
+					p.next = w.next
+					break
+				}
+			}
+		}
+		if w.next == nil {
+			s.waitTail = nil
+			for p := s.waitHead; p != nil; p = p.next {
+				s.waitTail = p
+			}
+		}
+		if s.waitHead != nil {
+			s.unpinned.Broadcast()
+		}
+	}()
 	var deadline time.Time
 	for {
-		if len(s.frames) < s.capacity {
-			return nil
-		}
-		victim := s.lru.next
-		if victim != &s.lru {
-			s.unlink(victim)
-			if victim.dirty {
-				if err := s.dev.Write(victim.id, victim.data); err != nil {
-					return err
-				}
-				s.stats.PageWrites++
+		if s.waitHead == w {
+			ok, err := s.tryRoom()
+			if ok || err != nil {
+				return err
 			}
-			delete(s.frames, victim.id)
-			return nil
 		}
 		now := time.Now()
 		if deadline.IsZero() {

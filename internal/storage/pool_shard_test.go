@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 	"testing"
+	"time"
 )
 
 // TestPoolShardSelection: tiny pools stay unsharded (preserving the exact
@@ -159,4 +160,100 @@ func TestPoolShardedPinnedNotEvicted(t *testing.T) {
 		t.Fatalf("pinned page clobbered under shard pressure: %#x", got)
 	}
 	p.Unpin(pinned, true)
+}
+
+// TestMakeRoomFairnessUnderChurn is the regression test for the makeRoom
+// wake-up race: a fetcher waiting for room used to compete with every
+// faster fetcher for each freed frame, could lose the race every round for
+// the whole roomWaitBudget, and then surfaced a spurious "buffer pool
+// exhausted" error even though frames were being freed constantly. With the
+// FIFO hand-off, freed frames go to the oldest waiter and newcomers queue
+// behind it, so under continuous churn every fetch must succeed.
+func TestMakeRoomFairnessUnderChurn(t *testing.T) {
+	dev := NewDisk()
+	// One stripe, two frames: every miss needs room, so fetchers fight
+	// over eviction constantly.
+	p := NewPoolShards(dev, 2*PageSize, 1)
+	const pages = 8
+	dev.AllocateN(pages)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+
+	// Fast fetchers: tight miss loops that historically snatched every
+	// freed frame from under the waiters.
+	for g := 0; g < 4; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			i := 0
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				pg, err := p.Fetch(PageID((g + i) % pages))
+				if err != nil {
+					errs <- err
+					return
+				}
+				p.Unpin(pg, false)
+				i++
+			}
+		}()
+	}
+
+	// Slow fetchers: interleave distinct pages so they regularly queue in
+	// makeRoom while the fast loops churn. Every fetch must succeed well
+	// within the wait budget.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		for id := PageID(0); id < pages; id++ {
+			pg, err := p.Fetch(id)
+			if err != nil {
+				close(stop)
+				wg.Wait()
+				t.Fatalf("fetch of page %d starved: %v", id, err)
+			}
+			p.Unpin(pg, false)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestMakeRoomWaiterGetsFreedFrame: with the whole shard pinned, a queued
+// fetcher must obtain the one frame an Unpin frees — even when a rival
+// fetcher arrives at the same moment — rather than timing out.
+func TestMakeRoomWaiterGetsFreedFrame(t *testing.T) {
+	dev := NewDisk()
+	p := NewPoolShards(dev, PageSize, 1) // capacity 1: one frame total
+	dev.AllocateN(3)
+
+	held, err := p.Fetch(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	got := make(chan error, 1)
+	go func() {
+		pg, err := p.Fetch(1) // queues: the only frame is pinned
+		if err == nil {
+			p.Unpin(pg, false)
+		}
+		got <- err
+	}()
+	// Give the waiter time to queue, then free the frame.
+	time.Sleep(20 * time.Millisecond)
+	p.Unpin(held, false)
+	if err := <-got; err != nil {
+		t.Fatalf("queued fetcher lost the freed frame: %v", err)
+	}
 }

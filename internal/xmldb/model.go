@@ -198,6 +198,86 @@ func (s *Store) DetachSubtree(n *Node) error {
 	return nil
 }
 
+// CloneForWrite returns a copy of the store prepared for mutating the
+// subtree location identified by targetID, plus target's node in the copy.
+// The document containing the target is deep-copied (every node fresh, so
+// parent/child pointers inside it are internally consistent); all other
+// documents are shared by pointer with the original, which must from now on
+// be treated as immutable — this is the store half of the engine's
+// copy-on-write snapshots, at document granularity. A targetID of 0 (the
+// virtual root) copies only the root itself and shares every document.
+//
+// Shared documents keep their original root nodes, whose Parent still
+// points at the original store's virtual root; that pointer is only ever
+// used for its ID (the `ID == 0` root checks), never traversed for
+// children, so the aliasing is harmless.
+func (s *Store) CloneForWrite(targetID int64) (*Store, *Node, error) {
+	target := s.byID[targetID]
+	if target == nil {
+		return nil, nil, fmt.Errorf("xmldb: no node with id %d", targetID)
+	}
+	vr := &Node{ID: 0, Label: ""}
+	clone := &Store{
+		VirtualRoot: vr,
+		Docs:        make([]*Document, len(s.Docs)),
+		nextID:      s.nextID,
+		byID:        make(map[int64]*Node, len(s.byID)),
+	}
+	for id, n := range s.byID {
+		clone.byID[id] = n
+	}
+	clone.byID[0] = vr
+
+	// Find the document owning the target (nil for the virtual root).
+	top := target
+	for top.Parent != nil && top.Parent.ID != 0 {
+		top = top.Parent
+	}
+	newTarget := target
+	var newTop *Node
+	var copyTree func(n *Node, parent *Node) *Node
+	copyTree = func(n *Node, parent *Node) *Node {
+		c := &Node{ID: n.ID, Label: n.Label, Value: n.Value, HasValue: n.HasValue, Parent: parent}
+		if len(n.Children) > 0 {
+			c.Children = make([]*Node, len(n.Children))
+			for j, ch := range n.Children {
+				c.Children[j] = copyTree(ch, c)
+			}
+		}
+		clone.byID[c.ID] = c
+		if n == target {
+			newTarget = c
+		}
+		return c
+	}
+	for i, d := range s.Docs {
+		if targetID != 0 && d.Root == top {
+			newTop = copyTree(d.Root, vr)
+			clone.Docs[i] = &Document{Root: newTop}
+		} else {
+			clone.Docs[i] = d
+		}
+	}
+	if targetID == 0 {
+		newTarget = vr
+	} else if newTop == nil && top.Parent != nil && top.Parent.ID == 0 {
+		// Target hangs off the virtual root outside any document (a
+		// subtree attached at id 0): copy just that subtree.
+		newTop = copyTree(top, vr)
+	}
+	// Rebuild the virtual root's child list in the original order, swapping
+	// in the copied top-level subtree.
+	vr.Children = make([]*Node, len(s.VirtualRoot.Children))
+	for i, c := range s.VirtualRoot.Children {
+		if c == top && newTop != nil {
+			vr.Children[i] = newTop
+		} else {
+			vr.Children[i] = c
+		}
+	}
+	return clone, newTarget, nil
+}
+
 // Ancestors returns the nodes from the document root down to n's parent
 // (excluding the virtual root and n itself).
 func (s *Store) Ancestors(n *Node) []*Node {

@@ -230,3 +230,92 @@ func TestWalkPrune(t *testing.T) {
 		t.Fatalf("prune did not reduce visit count: %d of %d", visited, s.NodeCount())
 	}
 }
+
+// TestCloneForWriteIsolation: mutations applied to a clone must be
+// invisible through the original store, and vice versa — document
+// granularity copy-on-write for the engine's snapshots.
+func TestCloneForWriteIsolation(t *testing.T) {
+	s := NewStore()
+	s.AddDocument(&Document{Root: Elem("a", Text("b", "1"), Elem("c", Text("d", "2")))})
+	s.AddDocument(&Document{Root: Elem("x", Text("y", "9"))})
+	c := s.NodeByID(3) // <c>
+	if c == nil || c.Label != "c" {
+		t.Fatalf("node 3 = %+v, want <c>", c)
+	}
+
+	clone, target, err := s.CloneForWrite(c.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if target == c {
+		t.Fatal("clone returned the original node for a copied document")
+	}
+	if target.ID != c.ID || target.Label != "c" {
+		t.Fatalf("clone target = #%d %q, want #%d %q", target.ID, target.Label, c.ID, c.Label)
+	}
+	// Second document untouched: shared by pointer.
+	if clone.Docs[1] != s.Docs[1] {
+		t.Fatal("unaffected document was copied")
+	}
+	// Attach into the clone; the original must not see it.
+	sub := Elem("e", Text("f", "3"))
+	if err := clone.AttachSubtree(target, sub); err != nil {
+		t.Fatal(err)
+	}
+	if got := clone.NodeCount(); got != s.NodeCount()+2 {
+		t.Fatalf("clone NodeCount = %d, want %d", got, s.NodeCount()+2)
+	}
+	if s.NodeByID(sub.ID) != nil {
+		t.Fatal("original store sees the clone's new subtree")
+	}
+	if len(c.Children) != 1 {
+		t.Fatalf("original <c> grew a child (%d children)", len(c.Children))
+	}
+	if len(target.Children) != 2 {
+		t.Fatalf("clone <c> has %d children, want 2", len(target.Children))
+	}
+	// Parent chains inside the copied document are internally consistent.
+	for n := target; n != nil && n.ID != 0; n = n.Parent {
+		if clone.NodeByID(n.ID) != n {
+			t.Fatalf("clone byID[%d] does not resolve to the copied node", n.ID)
+		}
+	}
+	// Detach in a further clone; the first clone keeps the subtree.
+	clone2, t2, err := clone.CloneForWrite(sub.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := clone2.DetachSubtree(t2); err != nil {
+		t.Fatal(err)
+	}
+	if clone.NodeByID(sub.ID) == nil {
+		t.Fatal("detach in clone2 leaked into clone")
+	}
+	if clone2.NodeByID(sub.ID) != nil {
+		t.Fatal("clone2 still resolves the detached subtree")
+	}
+	if clone2.NextID() != clone.NextID() {
+		t.Fatalf("NextID diverged: %d vs %d", clone2.NextID(), clone.NextID())
+	}
+}
+
+// TestCloneForWriteVirtualRoot: cloning for the virtual root shares every
+// document and returns the fresh root.
+func TestCloneForWriteVirtualRoot(t *testing.T) {
+	s := NewStore()
+	s.AddDocument(&Document{Root: Elem("a")})
+	clone, vr, err := s.CloneForWrite(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vr.ID != 0 || vr == s.VirtualRoot {
+		t.Fatalf("virtual-root clone target = %+v", vr)
+	}
+	if clone.Docs[0] != s.Docs[0] {
+		t.Fatal("document copied for a virtual-root clone")
+	}
+	clone.AddDocument(&Document{Root: Elem("b")})
+	if len(s.Docs) != 1 || len(clone.Docs) != 2 {
+		t.Fatalf("doc counts: original %d (want 1), clone %d (want 2)", len(s.Docs), len(clone.Docs))
+	}
+}

@@ -202,11 +202,15 @@ type Options struct {
 // DB is an XML database instance: a forest of loaded documents plus any
 // subset of the index family.
 //
-// A DB is safe for concurrent use: any number of goroutines may query it
-// (Query, QueryWith, QueryParallel, QueryBatch) while others call Insert,
-// Delete, or Build — queries run under a shared lock and mutations under an
-// exclusive one, so every query observes a consistent snapshot. See
-// docs/CONCURRENCY.md for the exact guarantees and the locking hierarchy.
+// A DB is safe for concurrent use, and reads never block on writes: any
+// number of goroutines may query it (Query, QueryWith, QueryParallel,
+// QueryBatch) while others call Insert, Delete, or Build. Every query pins
+// an immutable snapshot of the database — store, statistics and indices at
+// one version — for its whole lifetime, so it observes either all of a
+// concurrent update or none of it, and never waits for a writer. Writers
+// serialise among themselves, prepare the next version copy-on-write, and
+// publish it atomically; on file-backed databases their commits share WAL
+// fsyncs (group commit). See docs/CONCURRENCY.md for the exact guarantees.
 type DB struct {
 	eng *engine.DB
 }
@@ -410,9 +414,21 @@ type QueryStats struct {
 	BranchesEvaluated int64 // covering branches evaluated across all queries
 	PlanCacheHits     int64 // auto-planned queries whose strategy came from the plan cache
 
+	// SnapshotsPinned counts reader-side snapshot pins: every query pins
+	// the current engine snapshot (an immutable version of the store,
+	// statistics and indices) for its whole lifetime instead of taking a
+	// database lock, so reads never block on writes. One pin per query.
+	SnapshotsPinned int64
+
 	BytesRead    int64 // bytes read from the page device
 	BytesWritten int64 // bytes written (for file-backed: WAL + checkpoints)
-	WALFsyncs    int64 // WAL fsyncs (one per durable commit boundary)
+	WALFsyncs    int64 // WAL fsyncs (one per durable batch, not per commit)
+
+	// GroupCommitBatches counts the coalesced fsync batches of the WAL
+	// group-commit path: concurrent Insert/Delete commits share one fsync,
+	// so under write concurrency this stays below the number of committed
+	// updates (the amortisation the mixed benchmark records).
+	GroupCommitBatches int64
 }
 
 // QueryStats returns the lifetime query counters.
@@ -420,41 +436,45 @@ func (db *DB) QueryStats() QueryStats {
 	s := db.eng.QueryCounters()
 	d := db.eng.DeviceStats()
 	return QueryStats{
-		Queries:           s.Queries,
-		ParallelQueries:   s.ParallelQueries,
-		BranchesEvaluated: s.BranchesEvaluated,
-		PlanCacheHits:     s.PlanCacheHits,
-		BytesRead:         d.BytesRead,
-		BytesWritten:      d.BytesWritten,
-		WALFsyncs:         d.WALFsyncs,
+		Queries:            s.Queries,
+		ParallelQueries:    s.ParallelQueries,
+		BranchesEvaluated:  s.BranchesEvaluated,
+		PlanCacheHits:      s.PlanCacheHits,
+		SnapshotsPinned:    s.SnapshotsPinned,
+		BytesRead:          d.BytesRead,
+		BytesWritten:       d.BytesWritten,
+		WALFsyncs:          d.WALFsyncs,
+		GroupCommitBatches: d.GroupCommitBatches,
 	}
 }
 
 // StorageStats reports the full device I/O counters: page reads/writes,
 // bytes moved, WAL appends/fsyncs, current WAL length and checkpoints.
 type StorageStats struct {
-	Reads        int64
-	Writes       int64
-	BytesRead    int64
-	BytesWritten int64
-	WALAppends   int64
-	WALFsyncs    int64
-	WALBytes     int64
-	Checkpoints  int64
+	Reads              int64
+	Writes             int64
+	BytesRead          int64
+	BytesWritten       int64
+	WALAppends         int64
+	WALFsyncs          int64
+	WALBytes           int64
+	GroupCommitBatches int64
+	Checkpoints        int64
 }
 
 // StorageStats returns the device I/O counters.
 func (db *DB) StorageStats() StorageStats {
 	d := db.eng.DeviceStats()
 	return StorageStats{
-		Reads:        d.Reads,
-		Writes:       d.Writes,
-		BytesRead:    d.BytesRead,
-		BytesWritten: d.BytesWritten,
-		WALAppends:   d.WALAppends,
-		WALFsyncs:    d.WALFsyncs,
-		WALBytes:     d.WALBytes,
-		Checkpoints:  d.Checkpoints,
+		Reads:              d.Reads,
+		Writes:             d.Writes,
+		BytesRead:          d.BytesRead,
+		BytesWritten:       d.BytesWritten,
+		WALAppends:         d.WALAppends,
+		WALFsyncs:          d.WALFsyncs,
+		WALBytes:           d.WALBytes,
+		GroupCommitBatches: d.GroupCommitBatches,
+		Checkpoints:        d.Checkpoints,
 	}
 }
 
