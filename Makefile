@@ -7,7 +7,7 @@ BENCHES = BenchmarkInsert|BenchmarkBuildAll|BenchmarkConcurrentQuery
 # Short-budget fuzz smoke for CI (full runs: go test -fuzz=... by hand).
 FUZZTIME ?= 10s
 
-.PHONY: all build vet test race fuzz recover stress ci bench bench1 bench2 bench3 bench4 bench5
+.PHONY: all build vet test race fuzz recover stress faults ci bench bench1 bench2 bench3 bench4 bench5 bench-faults
 
 all: test
 
@@ -45,8 +45,17 @@ recover:
 stress:
 	$(GO) test -race -count=2 -run 'TestSnapshotConsistencyUnderChurn|TestGroupCommitAmortisesFsyncs|TestStress' .
 
+# Fault-injection torture under the race detector: deterministic media
+# faults (bit flips, torn writes, I/O and fsync errors) against the
+# checksum/retry/poison/degraded machinery, plus the randomized
+# differential torture runs (see docs/FAULTS.md).
+faults:
+	$(GO) test -race -run 'TestFaultDisk|TestFaultInjector|TestFileDiskFsyncPoison|TestFileDiskInjectedWriteError|TestFileDiskBitFlip|TestFileDiskChecksum|TestFileDiskRejectsOldFormat|TestFileDiskCorruptInteriorFrame|TestFileDiskRecoveryCounters' ./internal/storage/
+	$(GO) test -race -run 'TestFaultTorture|TestStickyWriteError|TestFsyncFailure|TestCrashDuringCheckpoint' ./internal/engine/
+	$(GO) test -race -run 'TestFaultInjection' .
+
 # Everything CI runs, in order.
-ci: test race fuzz recover stress
+ci: test race fuzz recover stress faults
 
 # Machine-readable trajectory entries at the repo root.
 bench: bench1 bench2 bench3 bench4 bench5
@@ -75,3 +84,9 @@ bench4:
 # update with 1 vs 4 writers (WAL group commit) -> BENCH_5.json.
 bench5:
 	$(GO) run ./cmd/twigbench -mixed -out BENCH_5.json
+
+# Fault-injection smoke: the XMark workload under armed storage faults,
+# differential-checked; fails on any wrong answer or untyped error ->
+# FAULTS.json (see docs/FAULTS.md).
+bench-faults:
+	$(GO) run ./cmd/twigbench -faults -out FAULTS.json

@@ -8,6 +8,7 @@
 //	twigbench -file [-iopoolkb KB] [-out BENCH_3.json]
 //	twigbench -planner [-out BENCH_4.json]
 //	twigbench -mixed [-workers N] [-queries N] [-out BENCH_5.json]
+//	twigbench -faults [-seed N] [-steps N] [-out FAULTS.json]
 //
 // The -scale flag multiplies the synthetic dataset sizes (default 1).
 // -parallel runs the concurrent-session throughput experiment: the XMark
@@ -26,6 +27,12 @@
 // their p50 must stay within 2x of the read-only baseline), plus the
 // file-backed group-commit phase measuring fsyncs per committed update
 // with 1 writer vs 4 concurrent writers (-workers overrides the 4).
+// -faults runs the fault-injection smoke: the XMark workload under a
+// deterministic storage fault injector (bit flips, torn writes, I/O
+// errors, a one-shot fsync failure), differential-checking every answered
+// query and requiring every failure to be a typed error; the result
+// reports injected/detected/retried counts and whether the engine
+// degraded to read-only.
 package main
 
 import (
@@ -44,12 +51,39 @@ func main() {
 	file := flag.Bool("file", false, "run the file-backed storage experiment (build, reopen, cold-cache query)")
 	planner := flag.Bool("planner", false, "run the cost-based-planner regret experiment")
 	mixed := flag.Bool("mixed", false, "run the mixed read/write workload experiment (snapshot reads + group commit)")
+	faults := flag.Bool("faults", false, "run the fault-injection smoke (deterministic storage faults, differential-checked)")
+	seed := flag.Int64("seed", 1, "fault injector + workload seed for the -faults run")
+	steps := flag.Int("steps", 400, "workload steps in the -faults run")
 	workers := flag.Int("workers", 8, "concurrent sessions in the -parallel run")
 	queries := flag.Int("queries", 1600, "total queries per -parallel run")
 	iolat := flag.Duration("iolat", 200*time.Microsecond, "simulated per-miss read latency of the disk-resident regime (0 disables the regime)")
 	iopoolkb := flag.Int("iopoolkb", 512, "buffer pool KB of the disk-resident regime")
 	out := flag.String("out", "", "output path for the -parallel/-file JSON result (default BENCH_2.json / BENCH_3.json)")
 	flag.Parse()
+
+	if *faults {
+		if *out == "" {
+			*out = "FAULTS.json"
+		}
+		cfg := bench.DefaultFaultsConfig()
+		cfg.Scale = *scale
+		cfg.Seed = *seed
+		cfg.Steps = *steps
+		res, err := bench.FaultsExperiment(cfg)
+		if res != nil {
+			fmt.Print(res.String())
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "twigbench:", err)
+			os.Exit(1)
+		}
+		if err := res.WriteJSON(*out); err != nil {
+			fmt.Fprintln(os.Stderr, "twigbench:", err)
+			os.Exit(1)
+		}
+		fmt.Println("wrote", *out)
+		return
+	}
 
 	if *mixed {
 		if *out == "" {

@@ -122,12 +122,29 @@ func (t *Tree) CloneCOW(frontier storage.PageID) *Tree {
 	}
 }
 
+// fetch pins page id and validates its header (O(1), see checkPage): every
+// tree descent goes through here, so a page that arrives structurally
+// broken — from a device without checksums, or pool-state damage after a
+// propagated fault — fails with a typed ErrCorruptPage instead of
+// panicking in cell accessors downstream.
+func (t *Tree) fetch(id storage.PageID) (storage.Page, error) {
+	pg, err := t.pool.Fetch(id)
+	if err != nil {
+		return storage.Page{}, err
+	}
+	if err := checkPage(pg.Data); err != nil {
+		t.pool.Unpin(pg, false)
+		return storage.Page{}, fmt.Errorf("btree %s: page %d: %w", t.name, id, err)
+	}
+	return pg, nil
+}
+
 // writable returns a pinned page for id that is safe to mutate: the page
 // itself when it is at or above the COW frontier (allocated after the
 // shared version froze), otherwise a fresh copy on a newly allocated page.
 // The caller must check Page.ID and propagate a changed id to the parent.
 func (t *Tree) writable(id storage.PageID) (storage.Page, error) {
-	pg, err := t.pool.Fetch(id)
+	pg, err := t.fetch(id)
 	if err != nil || id >= t.cowFrontier {
 		return pg, err
 	}
@@ -226,7 +243,7 @@ func (t *Tree) insertAt(id storage.PageID, key, val []byte, height int) (storage
 	if height > 1 {
 		// Internal: descend into the child for this key, then handle a
 		// possible child id change (COW) or split.
-		pg, err := t.pool.Fetch(id)
+		pg, err := t.fetch(id)
 		if err != nil {
 			return id, nil, storage.InvalidPage, err
 		}
@@ -255,7 +272,11 @@ func (t *Tree) insertAt(id storage.PageID, key, val []byte, height int) (storage
 			t.pool.Unpin(wpg, true)
 			return wpg.ID, nil, storage.InvalidPage, nil
 		}
-		pc := decodePage(wpg.Data)
+		pc, err := decodePage(wpg.Data)
+		if err != nil {
+			t.pool.Unpin(wpg, false)
+			return wpg.ID, nil, storage.InvalidPage, fmt.Errorf("btree %s: page %d: %w", t.name, wpg.ID, err)
+		}
 		t.pool.Unpin(wpg, true)
 		pc.entries = append(pc.entries, entry{})
 		copy(pc.entries[pos+1:], pc.entries[pos:])
@@ -273,7 +294,11 @@ func (t *Tree) insertAt(id storage.PageID, key, val []byte, height int) (storage
 		t.pool.Unpin(wpg, true)
 		return wpg.ID, nil, storage.InvalidPage, nil
 	}
-	pc := decodePage(wpg.Data)
+	pc, err := decodePage(wpg.Data)
+	if err != nil {
+		t.pool.Unpin(wpg, false)
+		return wpg.ID, nil, storage.InvalidPage, fmt.Errorf("btree %s: page %d: %w", t.name, wpg.ID, err)
+	}
 	t.pool.Unpin(wpg, true)
 	e := entry{key: append([]byte(nil), key...), val: append([]byte(nil), val...)}
 	pc.entries = append(pc.entries, entry{})

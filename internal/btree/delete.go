@@ -42,7 +42,7 @@ func (t *Tree) deleteAt(id storage.PageID, key, val []byte, height int) (newID s
 	myID := id
 	childPos := -2 // sentinel: first iteration locates the child by key
 	for {
-		pg, err := t.pool.Fetch(myID)
+		pg, err := t.fetch(myID)
 		if err != nil {
 			return myID, false, false, err
 		}
@@ -87,7 +87,7 @@ func (t *Tree) deleteAt(id storage.PageID, key, val []byte, height int) (newID s
 // deleteInLeaf scans one leaf for (key, val); see deleteAt for the return
 // contract.
 func (t *Tree) deleteInLeaf(id storage.PageID, key, val []byte) (storage.PageID, bool, bool, error) {
-	pg, err := t.pool.Fetch(id)
+	pg, err := t.fetch(id)
 	if err != nil {
 		return id, false, false, err
 	}

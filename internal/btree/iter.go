@@ -54,7 +54,7 @@ func (t *Tree) Seek(key []byte) (*Iterator, error) {
 	it := &Iterator{tree: t, latched: true}
 	id := t.root
 	for h := t.height; h > 1; h-- {
-		pg, err := t.pool.Fetch(id)
+		pg, err := t.fetch(id)
 		if err != nil {
 			it.Close()
 			return nil, err
@@ -64,7 +64,7 @@ func (t *Tree) Seek(key []byte) (*Iterator, error) {
 		it.path = append(it.path, iterLevel{id: id, idx: childIdx})
 		id = child
 	}
-	pg, err := t.pool.Fetch(id)
+	pg, err := t.fetch(id)
 	if err != nil {
 		it.Close()
 		return nil, err
@@ -97,7 +97,7 @@ func (it *Iterator) skipExhausted() {
 func (it *Iterator) nextLeaf() {
 	for d := len(it.path) - 1; d >= 0; d-- {
 		lv := &it.path[d]
-		pg, err := it.tree.pool.Fetch(lv.id)
+		pg, err := it.tree.fetch(lv.id)
 		if err != nil {
 			it.err = err
 			return
@@ -119,7 +119,7 @@ func (it *Iterator) nextLeaf() {
 // and pins the leaf it lands on.
 func (it *Iterator) descendFirst(id storage.PageID) {
 	for {
-		pg, err := it.tree.pool.Fetch(id)
+		pg, err := it.tree.fetch(id)
 		if err != nil {
 			it.err = err
 			return

@@ -229,8 +229,36 @@ func compareCellKey(d []byte, i int, key []byte) int {
 	return bytes.Compare(suffix, key[len(prefix):])
 }
 
-// decodePage decodes all cells of a page; write path only.
-func decodePage(d []byte) pageContent {
+// checkPage validates a page header in O(1): type byte, slot array within
+// the page, heap floor at or above the slot array. It is cheap enough to
+// run on every fetch (see Tree.fetch), turning a structurally impossible
+// page — garbage that slipped past, or a device without checksums — into a
+// typed ErrCorruptPage instead of a downstream panic.
+func checkPage(d []byte) error {
+	t := pageType(d)
+	if t != pageLeaf && t != pageInternal {
+		return fmt.Errorf("btree: bad page type %d: %w", t, storage.ErrCorruptPage)
+	}
+	n := pageNumCells(d)
+	sb := slotBase(d)
+	if sb+2*n > storage.PageSize {
+		return fmt.Errorf("btree: slot array overflows page (%d cells, prefix %d): %w",
+			n, pagePrefixLen(d), storage.ErrCorruptPage)
+	}
+	if h := u16(d[9:11]); h != 0 && (h < sb+2*n || h > storage.PageSize) {
+		return fmt.Errorf("btree: heap floor %d outside [%d, %d]: %w",
+			h, sb+2*n, storage.PageSize, storage.ErrCorruptPage)
+	}
+	return nil
+}
+
+// decodePage decodes all cells of a page (write path only), bounds-checking
+// every cell so a corrupt page surfaces as ErrCorruptPage rather than a
+// slice panic.
+func decodePage(d []byte) (pageContent, error) {
+	if err := checkPage(d); err != nil {
+		return pageContent{}, err
+	}
 	n := pageNumCells(d)
 	prefix := pagePrefix(d)
 	pc := pageContent{
@@ -239,18 +267,32 @@ func decodePage(d []byte) pageContent {
 		entries: make([]entry, n),
 	}
 	for i := 0; i < n; i++ {
+		off := cellOffset(d, i)
 		if pc.leaf {
+			if off+4 > storage.PageSize {
+				return pageContent{}, fmt.Errorf("btree: leaf cell %d at %d: %w", i, off, storage.ErrCorruptPage)
+			}
+			klen, vlen := u16(d[off:]), u16(d[off+2:])
+			if off+4+klen+vlen > storage.PageSize {
+				return pageContent{}, fmt.Errorf("btree: leaf cell %d overflows page: %w", i, storage.ErrCorruptPage)
+			}
 			suffix, val := leafCell(d, i)
 			pc.entries[i] = entry{
 				key: concat(prefix, suffix),
 				val: append([]byte(nil), val...),
 			}
 		} else {
+			if off+6 > storage.PageSize {
+				return pageContent{}, fmt.Errorf("btree: internal cell %d at %d: %w", i, off, storage.ErrCorruptPage)
+			}
+			if klen := u16(d[off:]); off+6+klen > storage.PageSize {
+				return pageContent{}, fmt.Errorf("btree: internal cell %d overflows page: %w", i, storage.ErrCorruptPage)
+			}
 			suffix, child := internalCell(d, i)
 			pc.entries[i] = entry{key: concat(prefix, suffix), child: child}
 		}
 	}
-	return pc
+	return pc, nil
 }
 
 func concat(a, b []byte) []byte {

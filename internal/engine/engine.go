@@ -5,6 +5,7 @@
 package engine
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"sync"
@@ -41,6 +42,11 @@ type Config struct {
 	// docs/STORAGE.md). Empty keeps the historical in-memory device. Use
 	// Open (not New) for file-backed databases.
 	Path string
+	// Faults, when non-nil, wraps the device in a storage.FaultDisk driven
+	// by this injector (see docs/FAULTS.md). The injector is live from the
+	// moment the device is opened — disarm it first if recovery and setup
+	// should run un-faulted, then Arm it (or use SetFaultsArmed).
+	Faults *storage.FaultInjector
 }
 
 // DefaultConfig mirrors the paper's 40MB buffer pool.
@@ -60,12 +66,20 @@ func DefaultConfig() Config {
 // commits group-coalesce their WAL fsyncs (storage.FileDisk.SyncTo). See
 // docs/CONCURRENCY.md for the full design and lock hierarchy.
 type DB struct {
-	cfg   Config
-	dict  *pathdict.Dict
-	ptab  *pathdict.PathTable
-	dev   storage.Device
-	fdisk *storage.FileDisk // non-nil when file-backed (dev == fdisk)
-	pool  *storage.Pool
+	cfg    Config
+	dict   *pathdict.Dict
+	ptab   *pathdict.PathTable
+	dev    storage.Device
+	fdisk  *storage.FileDisk // non-nil when file-backed
+	faults *storage.FaultInjector
+	pool   *storage.Pool
+
+	// degradedCause, once set, puts the database in degraded read-only
+	// mode: the published snapshot keeps serving queries lock-free, while
+	// every mutation is rejected with ErrReadOnly wrapping the cause. Set
+	// when a commit-path failure leaves the FileDisk poisoned (failed
+	// fsync); never cleared — reopen the database to recover.
+	degradedCause atomic.Pointer[degradedState]
 
 	// current is the published snapshot; queries load it without locking.
 	current atomic.Pointer[Snapshot]
@@ -87,6 +101,93 @@ type DB struct {
 	catalogPages []storage.PageID
 
 	counters stats.QueryCounters
+}
+
+// degradedState boxes the root cause of read-only mode.
+type degradedState struct{ cause error }
+
+// ErrReadOnly is returned by every mutation once the database has entered
+// degraded read-only mode (after a poisoned fsync): the last published
+// snapshot keeps serving queries, writers are rejected. errors.Is-match it;
+// the wrapped chain carries the root cause.
+var ErrReadOnly = errors.New("engine: database is in degraded read-only mode")
+
+// degrade transitions the database to read-only mode (first cause wins).
+func (db *DB) degrade(cause error) {
+	db.degradedCause.CompareAndSwap(nil, &degradedState{cause: cause})
+}
+
+// writeGate returns the ErrReadOnly error rejecting a mutation, or nil
+// while the database is healthy. Callers hold writeMu.
+func (db *DB) writeGate() error {
+	if d := db.degradedCause.Load(); d != nil {
+		return fmt.Errorf("%w: %w", ErrReadOnly, d.cause)
+	}
+	return nil
+}
+
+// noteCommitErr inspects a commit-path failure: if it left the FileDisk
+// poisoned (a failed fsync — fsyncgate semantics), the engine degrades to
+// read-only mode. Transient failures (an injected write error, a corrupt
+// WAL frame failing a checkpoint) do not poison the disk and leave the
+// database writable; the failed snapshot was simply never published or
+// never became durable, depending on where the commit path stopped.
+func (db *DB) noteCommitErr(err error) error {
+	if err != nil && db.fdisk != nil {
+		if cause := db.fdisk.Poisoned(); cause != nil {
+			db.degrade(cause)
+		}
+	}
+	return err
+}
+
+// Health describes the database's availability state plus the device
+// counters that explain it (checksum failures, injected faults, retries,
+// poisoned). Queries keep running in read-only mode; ReadOnly only means
+// mutations are rejected.
+type Health struct {
+	// ReadOnly reports degraded read-only mode; Cause is its root cause
+	// (nil while healthy).
+	ReadOnly bool
+	Cause    error
+	// SnapshotSeq is the published snapshot's version number — the state
+	// reads are served from.
+	SnapshotSeq uint64
+	// Device is the full device counter set, including ChecksumFailures,
+	// ChecksumRetries, InjectedFaults, RecoveredCommits and Poisoned.
+	Device storage.DeviceStats
+}
+
+// Health returns the current availability state; lock-free, safe to call
+// from monitoring paths at any frequency.
+func (db *DB) Health() Health {
+	h := Health{
+		SnapshotSeq: db.current.Load().Seq(),
+		Device:      db.dev.DeviceStats(),
+	}
+	if d := db.degradedCause.Load(); d != nil {
+		h.ReadOnly = true
+		h.Cause = d.cause
+	}
+	return h
+}
+
+// FaultInjector returns the injector the database was opened with (nil
+// when fault injection is not configured).
+func (db *DB) FaultInjector() *storage.FaultInjector { return db.faults }
+
+// SetFaultsArmed arms or disarms the configured fault injector; no-op
+// without one. Harnesses disarm it for setup and arm it for the measured
+// phase.
+func (db *DB) SetFaultsArmed(armed bool) {
+	if db.faults == nil {
+		return
+	}
+	if armed {
+		db.faults.Arm()
+	} else {
+		db.faults.Disarm()
+	}
 }
 
 // New creates an empty in-memory database. File-backed databases (Config
@@ -127,6 +228,13 @@ func Open(cfg Config) (*DB, error) {
 		}
 		db.fdisk = fdisk
 		db.dev = fdisk
+	}
+	if cfg.Faults != nil {
+		// For a FileDisk the injector is handed down to the media level
+		// (bit flips land below the checksum); for the in-memory Disk the
+		// FaultDisk applies faults at the Device interface.
+		db.faults = cfg.Faults
+		db.dev = storage.NewFaultDisk(db.dev, cfg.Faults)
 	}
 	db.dev.SetReadLatency(cfg.DiskReadLatency)
 	if cfg.PoolShards > 0 {
@@ -221,7 +329,7 @@ func (db *DB) commitPublish(next *Snapshot) error {
 	seq, err := db.commitAppend(next)
 	if err != nil {
 		db.writeMu.Unlock()
-		return err
+		return db.noteCommitErr(err)
 	}
 	db.publish(next)
 	if db.fdisk != nil && db.fdisk.WALSize() > walCheckpointBytes {
@@ -229,12 +337,15 @@ func (db *DB) commitPublish(next *Snapshot) error {
 		// also makes every commit durable, so the SyncTo below is free.
 		if err := db.fdisk.Checkpoint(); err != nil {
 			db.writeMu.Unlock()
-			return err
+			return db.noteCommitErr(err)
 		}
 	}
 	db.writeMu.Unlock()
 	if db.fdisk != nil {
-		return db.fdisk.SyncTo(seq)
+		// The snapshot is already published: if this fsync fails and
+		// poisons the disk, the state served in read-only mode includes
+		// this commit — applied, just never durable (see docs/FAULTS.md).
+		return db.noteCommitErr(db.fdisk.SyncTo(seq))
 	}
 	return nil
 }
@@ -248,10 +359,13 @@ func (db *DB) Checkpoint() error {
 	if db.fdisk == nil {
 		return nil
 	}
-	if _, err := db.commitAppend(db.current.Load()); err != nil {
+	if err := db.writeGate(); err != nil {
 		return err
 	}
-	return db.fdisk.Checkpoint()
+	if _, err := db.commitAppend(db.current.Load()); err != nil {
+		return db.noteCommitErr(err)
+	}
+	return db.noteCommitErr(db.fdisk.Checkpoint())
 }
 
 // Close commits, checkpoints and closes a file-backed database; a closed
@@ -262,13 +376,19 @@ func (db *DB) Close() error {
 	if db.fdisk == nil {
 		return nil
 	}
+	if db.writeGate() != nil {
+		// Degraded: nothing new can be made durable (the disk is
+		// poisoned), so just release the handles. The file still holds the
+		// last durable state; reopening recovers it.
+		return db.fdisk.Close()
+	}
 	if _, err := db.commitAppend(db.current.Load()); err != nil {
 		db.fdisk.Close()
-		return err
+		return db.noteCommitErr(err)
 	}
 	if err := db.fdisk.Checkpoint(); err != nil {
 		db.fdisk.Close()
-		return err
+		return db.noteCommitErr(err)
 	}
 	return db.fdisk.Close()
 }
@@ -280,17 +400,19 @@ func (db *DB) LoadXML(r io.Reader) error {
 	if err != nil {
 		return err
 	}
-	db.AddDocument(doc)
-	return nil
+	return db.AddDocument(doc)
 }
 
 // AddDocument adds an already-built document tree, publishing a new
 // snapshot that shares every existing document. Index handles carry over
 // unchanged (they do not cover the new document until rebuilt — load
-// documents before building).
-func (db *DB) AddDocument(doc *xmldb.Document) {
+// documents before building). Returns ErrReadOnly on a degraded database.
+func (db *DB) AddDocument(doc *xmldb.Document) error {
 	db.writeMu.Lock()
 	defer db.writeMu.Unlock()
+	if err := db.writeGate(); err != nil {
+		return err
+	}
 	cur := db.current.Load()
 	next := cur.clone()
 	store, _, err := cur.store.CloneForWrite(0)
@@ -305,6 +427,7 @@ func (db *DB) AddDocument(doc *xmldb.Document) {
 	// for a load — the next query collects lazily, as loads always have).
 	next.stale = nil
 	db.publish(next)
+	return nil
 }
 
 // Store exposes the current snapshot's XML store.
@@ -339,6 +462,10 @@ func (db *DB) CollectStats() {
 // built are rebuilt from scratch; other index handles carry over.
 func (db *DB) Build(kinds ...index.Kind) error {
 	db.writeMu.Lock()
+	if err := db.writeGate(); err != nil {
+		db.writeMu.Unlock()
+		return err
+	}
 	cur := db.current.Load()
 	next := cur.clone()
 	next.env.Stats = stats.Collect(next.store, db.dict)
@@ -399,6 +526,10 @@ func (db *DB) BuildAll() error {
 // their WAL fsync (group commit).
 func (db *DB) InsertSubtree(parentID int64, sub *xmldb.Node) error {
 	db.writeMu.Lock()
+	if err := db.writeGate(); err != nil {
+		db.writeMu.Unlock()
+		return err
+	}
 	cur := db.current.Load()
 	if cur.store.NodeByID(parentID) == nil {
 		db.writeMu.Unlock()
@@ -458,6 +589,10 @@ func (db *DB) installStats(next *Snapshot) {
 // atomically, like InsertSubtree.
 func (db *DB) DeleteSubtree(nodeID int64) error {
 	db.writeMu.Lock()
+	if err := db.writeGate(); err != nil {
+		db.writeMu.Unlock()
+		return err
+	}
 	cur := db.current.Load()
 	if cur.store.NodeByID(nodeID) == nil {
 		db.writeMu.Unlock()

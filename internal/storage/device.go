@@ -50,4 +50,12 @@ type DeviceStats struct {
 	// commits amortised their fsyncs.
 	GroupCommitBatches int64
 	Checkpoints        int64 // checkpoints completed (WAL truncations)
+
+	// Fault-hardening counters (FileDisk and FaultDisk; zero elsewhere).
+	ChecksumFailures  int64 // page reads that failed CRC validation
+	ChecksumRetries   int64 // transparent re-reads after a CRC failure
+	InjectedFaults    int64 // faults fired by an attached FaultInjector
+	RecoveredCommits  int64 // commit records replayed by the last recovery
+	WALBytesDiscarded int64 // torn/corrupt WAL tail bytes truncated at open
+	Poisoned          bool  // device rejected further writes after a failed fsync
 }

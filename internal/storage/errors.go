@@ -1,0 +1,38 @@
+package storage
+
+import "errors"
+
+// Typed storage errors. Fault-hardened callers (the engine, the pool, the
+// B+-trees) match these with errors.Is to distinguish disk-state problems —
+// which must surface as errors, degrade the database, or trigger a retry —
+// from programmer errors, which still panic. Every error returned by the
+// storage layer for a media-level problem wraps one of these sentinels.
+var (
+	// ErrCorruptPage reports that a page image failed validation: a db-file
+	// page whose CRC trailer does not match its contents, a WAL frame whose
+	// CRC fails on the read path, or a B+-tree page whose header is
+	// structurally impossible. The read path retries once (a transient
+	// fault may not recur) before returning it.
+	ErrCorruptPage = errors.New("storage: corrupt page")
+
+	// ErrPoisoned reports that the FileDisk has poisoned itself after a
+	// failed fsync (fsyncgate semantics: the kernel may have dropped dirty
+	// cache pages, so nothing written since the last durable boundary can be
+	// trusted). Once poisoned, every write, commit and checkpoint is
+	// rejected; reads keep working, protected by checksums.
+	ErrPoisoned = errors.New("storage: device poisoned by fsync failure")
+
+	// ErrInjected marks an error produced by a FaultInjector rather than the
+	// real device. Tests and the torture harness match it to tell injected
+	// faults from genuine ones.
+	ErrInjected = errors.New("storage: injected fault")
+
+	// ErrNoSpace reports an out-of-space condition (injected ENOSPC).
+	ErrNoSpace = errors.New("storage: no space left on device")
+
+	// ErrNotPinned reports an Unpin of a page that is not pinned — a
+	// reference-count underflow. It is returned, not panicked, because the
+	// pool cannot tell a caller bug from a frame table corrupted by a
+	// propagating disk fault.
+	ErrNotPinned = errors.New("storage: unpin of unpinned page")
+)

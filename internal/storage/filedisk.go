@@ -2,6 +2,7 @@ package storage
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
@@ -13,8 +14,11 @@ import (
 
 // File format (see docs/STORAGE.md for the full specification):
 //
-//   - the database is a single file: a 4KB superblock followed by pages at
-//     offset superblockSize + id*PageSize;
+//   - the database is a single file: a 4KB superblock followed by page
+//     slots of pageSlotSize bytes at offset superblockSize + id*pageSlotSize;
+//     each slot is the 8KB page image followed by a CRC32-IEEE trailer,
+//     verified on every read so a flipped bit surfaces as ErrCorruptPage
+//     instead of garbage keys;
 //   - the write-ahead log lives beside it at path+".wal";
 //   - page writes go only to the WAL; a commit record makes them durable;
 //     a checkpoint copies committed frames into the database file, rewrites
@@ -24,7 +28,7 @@ import (
 //
 //	offset  size  field
 //	0       8     magic "TWIGDBF1"
-//	8       4     format version (1)
+//	8       4     format version (2; v1 had no page checksum trailers)
 //	12      4     page size (8192)
 //	16      4     numPages
 //	20      4     catalog root page id
@@ -33,12 +37,42 @@ import (
 const (
 	superblockSize  = 4096
 	fileFormatMagic = "TWIGDBF1"
-	fileFormatVer   = 1
+	fileFormatVer   = 2
 	superblockUsed  = 32 // bytes covered by the layout above, incl. crc
+
+	pageTrailerSize = 4 // CRC32-IEEE of the page image
+	pageSlotSize    = PageSize + pageTrailerSize
 )
 
 // WALSuffix is appended to the database path to name the write-ahead log.
 const WALSuffix = ".wal"
+
+// slotOff returns the file offset of page id's slot.
+func slotOff(id PageID) int64 {
+	return superblockSize + int64(id)*pageSlotSize
+}
+
+// CheckpointStage names a boundary inside FileDisk.Checkpoint. The
+// crash-during-checkpoint torture test installs a hook (SetCheckpointHook)
+// that snapshots the files at each boundary and verifies recovery from
+// every one of them.
+type CheckpointStage int
+
+const (
+	// CkptPagesMigrated: committed frames copied into the database file;
+	// the superblock still describes the previous checkpoint.
+	CkptPagesMigrated CheckpointStage = iota
+	// CkptSuperblockWritten: new superblock written, file not yet fsynced.
+	CkptSuperblockWritten
+	// CkptFileSynced: database file durable, WAL not yet truncated.
+	CkptFileSynced
+	// CkptWALTruncated: WAL truncated and fsynced — checkpoint complete.
+	CkptWALTruncated
+)
+
+// poisonCause boxes the first fsync error so it can sit in an
+// atomic.Pointer.
+type poisonCause struct{ err error }
 
 // FileDisk is the durable Device: a single paged database file plus a
 // write-ahead log. All writes are WAL appends; Commit fsyncs the log and
@@ -46,6 +80,14 @@ const WALSuffix = ".wal"
 // into the database file and truncates the log; OpenFileDisk replays the
 // committed WAL prefix and discards torn tails, recovering the last
 // committed state after a crash.
+//
+// Integrity: every database-file page slot carries a CRC trailer and every
+// WAL frame a CRC suffix, both verified on the read path (with one
+// transparent retry, since a transient fault may not recur); failures
+// surface as ErrCorruptPage. A failed fsync poisons the disk (fsyncgate
+// semantics: the page cache can no longer be trusted), rejecting every
+// subsequent write, commit and checkpoint with ErrPoisoned while reads
+// keep working.
 //
 // Reads of distinct pages proceed in parallel (shared latch); writes,
 // commits and checkpoints are exclusive. FileDisk assumes a single process
@@ -77,6 +119,20 @@ type FileDisk struct {
 	// their commit already durable and return without an fsync of their own.
 	syncMu sync.Mutex
 
+	// poisoned holds the first fsync failure; once set the disk rejects
+	// writes forever (the kernel may have dropped dirty cache pages, so
+	// nothing since the last durable boundary can be trusted to persist).
+	poisoned atomic.Pointer[poisonCause]
+
+	// inj, when set, injects faults at the media level: bit flips on raw
+	// reads (below the CRC check), torn/failed WAL appends, fsync errors.
+	// Set once via SetFaultInjector before the disk is shared.
+	inj *FaultInjector
+
+	// ckptHook, when set, fires at each CheckpointStage boundary
+	// (test-only; runs under mu).
+	ckptHook func(CheckpointStage)
+
 	readLat atomic.Int64
 
 	reads, writes           atomic.Int64
@@ -84,6 +140,12 @@ type FileDisk struct {
 	walAppends, walFsyncs   atomic.Int64
 	groupBatches            atomic.Int64
 	checkpoints             atomic.Int64
+	checksumFails           atomic.Int64
+	checksumRetries         atomic.Int64
+
+	// Recovery facts from OpenFileDisk (set before the disk is shared).
+	recoveredCommits int64
+	walDiscarded     int64
 }
 
 var _ Device = (*FileDisk)(nil)
@@ -121,6 +183,25 @@ func OpenFileDisk(path string) (*FileDisk, error) {
 			f.Close()
 			return nil, err
 		}
+	} else {
+		// Stamp a fresh file with an empty superblock immediately, so the
+		// file is self-describing from its first byte onward: a crash
+		// inside the first checkpoint (pages migrated, superblock not yet
+		// rewritten) must leave a valid-versioned file, not one that reads
+		// as "bad magic".
+		if err := writeSuperblock(file, f.meta); err != nil {
+			f.Close()
+			return nil, err
+		}
+		if err := file.Sync(); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("storage: initial superblock sync: %w", err)
+		}
+	}
+	wst, err := wal.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
 	}
 	scan, err := scanWAL(wal)
 	if err != nil {
@@ -138,7 +219,40 @@ func OpenFileDisk(path string) (*FileDisk, error) {
 	}
 	f.walSize = scan.committedEnd
 	f.numPages = int(f.meta.NumPages)
+	f.recoveredCommits = scan.commits
+	f.walDiscarded = wst.Size() - scan.committedEnd
 	return f, nil
+}
+
+// SetFaultInjector attaches a fault injector at the media level: bit flips
+// land on the raw bytes read from the file (below the CRC check, so they
+// are detected), torn writes persist only a prefix of a WAL record, fsync
+// faults poison the disk. Must be called before the disk is shared across
+// goroutines; NewFaultDisk calls it for wrapped FileDisks.
+func (f *FileDisk) SetFaultInjector(inj *FaultInjector) { f.inj = inj }
+
+// Poisoned returns the fsync error that poisoned the disk, or nil while it
+// is healthy.
+func (f *FileDisk) Poisoned() error {
+	if pc := f.poisoned.Load(); pc != nil {
+		return pc.err
+	}
+	return nil
+}
+
+// poison records the first fatal fsync error; later calls keep the original
+// cause.
+func (f *FileDisk) poison(err error) {
+	f.poisoned.CompareAndSwap(nil, &poisonCause{err: err})
+}
+
+// poisonedError returns an ErrPoisoned-wrapping error when the disk is
+// poisoned, nil otherwise.
+func (f *FileDisk) poisonedError() error {
+	if pc := f.poisoned.Load(); pc != nil {
+		return fmt.Errorf("%w: %w", ErrPoisoned, pc.err)
+	}
+	return nil
 }
 
 // Meta returns the last committed metadata (after OpenFileDisk: the
@@ -183,12 +297,26 @@ func (f *FileDisk) AllocateN(n int) PageID {
 // default, serves reads at device speed).
 func (f *FileDisk) SetReadLatency(lat Latency) { f.readLat.Store(int64(lat)) }
 
+// walFramePool recycles frame-sized buffers for read-path WAL frame
+// verification (one whole frame must be read to check its CRC).
+var walFramePool = sync.Pool{
+	New: func() any { b := make([]byte, walFrameSize); return &b },
+}
+
 // Read copies page id into buf: the latest WAL frame if one exists
 // (uncommitted frames are visible to the owning process), otherwise the
-// database file; pages allocated but never written read as zeroes.
+// database file; pages allocated but never written read as zeroes. Both
+// sources are CRC-verified; a mismatch is retried once (a transient fault
+// may not recur) and then reported as ErrCorruptPage.
 func (f *FileDisk) Read(id PageID, buf []byte) error {
 	if lat := f.readLat.Load(); lat > 0 {
 		time.Sleep(time.Duration(lat))
+	}
+	if f.inj != nil {
+		f.inj.sleepLatency()
+		if err := f.inj.readError(); err != nil {
+			return fmt.Errorf("storage: read of page %d: %w", id, err)
+		}
 	}
 	f.mu.RLock()
 	defer f.mu.RUnlock()
@@ -197,24 +325,128 @@ func (f *FileDisk) Read(id PageID, buf []byte) error {
 	}
 	f.reads.Add(1)
 	f.bytesRead.Add(PageSize)
-	off, ok := f.pending[id]
-	if !ok {
-		off, ok = f.walIndex[id]
+	off, inWAL := f.pending[id]
+	if !inWAL {
+		off, inWAL = f.walIndex[id]
 	}
-	if ok {
-		_, err := f.wal.ReadAt(buf[:PageSize], off)
-		if err != nil {
-			return fmt.Errorf("storage: wal read of page %d: %w", id, err)
-		}
-		return nil
+	if inWAL {
+		return f.readChecked(func() error { return f.readWALFrameLocked(id, off, buf) })
 	}
-	n, err := f.file.ReadAt(buf[:PageSize], superblockSize+int64(id)*PageSize)
+	return f.readChecked(func() error { return f.readFileSlotLocked(id, buf) })
+}
+
+// readChecked runs read, retrying a single time on a checksum failure
+// before giving up, and maintains the checksum counters.
+func (f *FileDisk) readChecked(read func() error) error {
+	err := read()
+	if err == nil || !errors.Is(err, ErrCorruptPage) {
+		return err
+	}
+	f.checksumFails.Add(1)
+	f.checksumRetries.Add(1)
+	err = read()
+	if err != nil && errors.Is(err, ErrCorruptPage) {
+		f.checksumFails.Add(1)
+	}
+	return err
+}
+
+// readWALFrameLocked reads and CRC-verifies the whole WAL frame whose
+// payload starts at payloadOff, copying the page image into buf.
+func (f *FileDisk) readWALFrameLocked(id PageID, payloadOff int64, buf []byte) error {
+	fbp := walFramePool.Get().(*[]byte)
+	rec := (*fbp)[:walFrameSize]
+	defer walFramePool.Put(fbp)
+	n, err := f.wal.ReadAt(rec, payloadOff-walFrameHeaderSize)
+	if err != nil && err != io.EOF {
+		return fmt.Errorf("storage: wal read of page %d: %w", id, err)
+	}
+	if n < walFrameSize {
+		return fmt.Errorf("storage: short wal frame for page %d: %w", id, ErrCorruptPage)
+	}
+	if f.inj != nil {
+		f.inj.bitFlip(rec[walFrameHeaderSize : walFrameHeaderSize+PageSize])
+	}
+	if rec[0] != walRecFrame || PageID(binary.BigEndian.Uint32(rec[1:5])) != id || !walCRCOK(rec) {
+		return fmt.Errorf("storage: wal frame for page %d: %w", id, ErrCorruptPage)
+	}
+	copy(buf[:PageSize], rec[walFrameHeaderSize:walFrameHeaderSize+PageSize])
+	return nil
+}
+
+// readFileSlotLocked reads page id's slot from the database file into buf
+// and verifies the CRC trailer. A slot wholly beyond the file end, or an
+// all-zero slot inside it, is a page that was allocated but never
+// checkpointed and reads as zeroes.
+func (f *FileDisk) readFileSlotLocked(id PageID, buf []byte) error {
+	off := slotOff(id)
+	n, err := f.file.ReadAt(buf[:PageSize], off)
 	if err != nil && err != io.EOF {
 		return fmt.Errorf("storage: read of page %d: %w", id, err)
 	}
-	for i := n; i < PageSize; i++ {
-		buf[i] = 0 // allocated but never checkpointed: zeroes
+	if n == 0 {
+		for i := range buf[:PageSize] {
+			buf[i] = 0
+		}
+		return nil
 	}
+	for i := n; i < PageSize; i++ {
+		buf[i] = 0
+	}
+	var tr [pageTrailerSize]byte
+	tn, err := f.file.ReadAt(tr[:], off+PageSize)
+	if err != nil && err != io.EOF {
+		return fmt.Errorf("storage: read of page %d trailer: %w", id, err)
+	}
+	for i := tn; i < pageTrailerSize; i++ {
+		tr[i] = 0
+	}
+	if f.inj != nil {
+		f.inj.bitFlip(buf[:PageSize])
+	}
+	stored := binary.BigEndian.Uint32(tr[:])
+	if crc32.ChecksumIEEE(buf[:PageSize]) == stored {
+		return nil
+	}
+	if stored == 0 && allZero(buf[:PageSize]) {
+		return nil // hole inside the file: allocated, never checkpointed
+	}
+	return fmt.Errorf("storage: page %d checksum mismatch: %w", id, ErrCorruptPage)
+}
+
+// allZero reports whether every byte of b is zero.
+func allZero(b []byte) bool {
+	for _, c := range b {
+		if c != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// appendLocked appends one encoded record to the WAL, applying injected
+// write faults: an injected error fails the append cleanly (walSize does
+// not advance, so a retry overwrites the partial state), while a torn
+// write persists only a prefix yet advances walSize and reports success —
+// the process believes the append worked, and the corruption surfaces
+// later as a CRC failure on the read path or a discarded commit during
+// recovery.
+func (f *FileDisk) appendLocked(rec []byte, what string) error {
+	out := rec
+	if f.inj != nil {
+		if err := f.inj.writeError(); err != nil {
+			return fmt.Errorf("storage: wal append (%s): %w", what, err)
+		}
+		if cut, ok := f.inj.tornCut(len(rec)); ok {
+			out = rec[:cut]
+		}
+	}
+	if _, err := f.wal.WriteAt(out, f.walSize); err != nil {
+		return fmt.Errorf("storage: wal append (%s): %w", what, err)
+	}
+	f.walSize += int64(len(rec))
+	f.walAppends.Add(1)
+	f.bytesWritten.Add(int64(len(rec)))
 	return nil
 }
 
@@ -223,18 +455,19 @@ func (f *FileDisk) Read(id PageID, buf []byte) error {
 func (f *FileDisk) Write(id PageID, buf []byte) error {
 	f.mu.Lock()
 	defer f.mu.Unlock()
+	if err := f.poisonedError(); err != nil {
+		return err
+	}
 	if int(id) < 0 || int(id) >= f.numPages {
 		return fmt.Errorf("storage: write of unallocated page %d", id)
 	}
+	start := f.walSize
 	rec := appendWALFrame(make([]byte, 0, walFrameSize), id, buf[:PageSize])
-	if _, err := f.wal.WriteAt(rec, f.walSize); err != nil {
-		return fmt.Errorf("storage: wal append for page %d: %w", id, err)
+	if err := f.appendLocked(rec, fmt.Sprintf("page %d", id)); err != nil {
+		return err
 	}
-	f.pending[id] = f.walSize + walFrameHeaderSize
-	f.walSize += int64(len(rec))
+	f.pending[id] = start + walFrameHeaderSize
 	f.writes.Add(1)
-	f.bytesWritten.Add(int64(len(rec)))
-	f.walAppends.Add(1)
 	return nil
 }
 
@@ -262,16 +495,16 @@ func (f *FileDisk) Commit(meta Meta) error {
 func (f *FileDisk) CommitAsync(meta Meta) (int64, error) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
+	if err := f.poisonedError(); err != nil {
+		return 0, err
+	}
 	if len(f.pending) == 0 && meta == f.meta {
 		return f.commitSeq, nil
 	}
 	rec := appendWALCommit(make([]byte, 0, walCommitSize), meta)
-	if _, err := f.wal.WriteAt(rec, f.walSize); err != nil {
-		return 0, fmt.Errorf("storage: wal commit append: %w", err)
+	if err := f.appendLocked(rec, "commit"); err != nil {
+		return 0, err
 	}
-	f.walSize += int64(len(rec))
-	f.walAppends.Add(1)
-	f.bytesWritten.Add(int64(len(rec)))
 	for id, off := range f.pending {
 		f.walIndex[id] = off
 	}
@@ -288,20 +521,40 @@ func (f *FileDisk) CommitAsync(meta Meta) (int64, error) {
 // their sequence already covered and return without an fsync of their own.
 // A checkpoint also satisfies waiters (it makes every committed state
 // durable through the database file).
+//
+// A failed fsync poisons the disk: the leader and every in-flight waiter
+// get an ErrPoisoned-wrapping error, and all subsequent writes, commits
+// and syncs are rejected — the kernel may have dropped the dirty pages the
+// failed fsync covered, so retrying an fsync could "succeed" without ever
+// persisting them (fsyncgate).
 func (f *FileDisk) SyncTo(seq int64) error {
 	if f.durableSeq.Load() >= seq {
 		return nil
+	}
+	if err := f.poisonedError(); err != nil {
+		return err
 	}
 	f.syncMu.Lock()
 	defer f.syncMu.Unlock()
 	if f.durableSeq.Load() >= seq {
 		return nil // a leader's batch (or a checkpoint) covered us
 	}
+	if err := f.poisonedError(); err != nil {
+		return err // the previous batch leader poisoned the disk
+	}
 	f.mu.RLock()
 	target := f.commitSeq
 	f.mu.RUnlock()
-	if err := f.wal.Sync(); err != nil {
-		return fmt.Errorf("storage: wal fsync: %w", err)
+	var err error
+	if f.inj != nil {
+		err = f.inj.fsyncError()
+	}
+	if err == nil {
+		err = f.wal.Sync()
+	}
+	if err != nil {
+		f.poison(fmt.Errorf("wal fsync: %w", err))
+		return f.poisonedError()
 	}
 	f.walFsyncs.Add(1)
 	f.groupBatches.Add(1)
@@ -326,42 +579,92 @@ func storeMax(v *atomic.Int64, target int64) {
 // frames); a crash at any point during the checkpoint is safe because the
 // WAL is only truncated after the database file is durable, and replaying
 // it is idempotent.
+//
+// Every migrated frame is CRC-verified before it is copied (a corrupt
+// frame must fail the checkpoint, not be re-sealed under a fresh page
+// checksum), and each page slot is written with a new CRC trailer. A
+// failed fsync — of the database file or of the WAL truncation — poisons
+// the disk.
 func (f *FileDisk) Checkpoint() error {
 	f.mu.Lock()
 	defer f.mu.Unlock()
+	if err := f.poisonedError(); err != nil {
+		return err
+	}
 	if len(f.pending) > 0 {
 		return fmt.Errorf("storage: checkpoint with %d uncommitted frames (commit first)", len(f.pending))
 	}
-	buf := make([]byte, PageSize)
+	scratch := make([]byte, pageSlotSize)
 	for id, off := range f.walIndex {
-		if _, err := f.wal.ReadAt(buf, off); err != nil {
+		err := f.readChecked(func() error {
+			return f.readWALFrameLocked(id, off, scratch[:PageSize])
+		})
+		if err != nil {
 			return fmt.Errorf("storage: checkpoint read of page %d: %w", id, err)
 		}
-		if _, err := f.file.WriteAt(buf, superblockSize+int64(id)*PageSize); err != nil {
+		binary.BigEndian.PutUint32(scratch[PageSize:], crc32.ChecksumIEEE(scratch[:PageSize]))
+		out := scratch
+		if f.inj != nil {
+			if err := f.inj.writeError(); err != nil {
+				return fmt.Errorf("storage: checkpoint write of page %d: %w", id, err)
+			}
+			if cut, ok := f.inj.tornCut(pageSlotSize); ok {
+				out = scratch[:cut]
+			}
+		}
+		if _, err := f.file.WriteAt(out, slotOff(id)); err != nil {
 			return fmt.Errorf("storage: checkpoint write of page %d: %w", id, err)
 		}
-		f.bytesWritten.Add(PageSize)
+		f.bytesWritten.Add(pageSlotSize)
 	}
+	f.ckptStage(CkptPagesMigrated)
 	if err := writeSuperblock(f.file, f.meta); err != nil {
 		return err
 	}
-	if err := f.file.Sync(); err != nil {
-		return fmt.Errorf("storage: database fsync: %w", err)
+	f.ckptStage(CkptSuperblockWritten)
+	var err error
+	if f.inj != nil {
+		err = f.inj.fsyncError()
 	}
+	if err == nil {
+		err = f.file.Sync()
+	}
+	if err != nil {
+		f.poison(fmt.Errorf("database fsync: %w", err))
+		return f.poisonedError()
+	}
+	f.ckptStage(CkptFileSynced)
 	if err := f.wal.Truncate(0); err != nil {
-		return fmt.Errorf("storage: wal truncate: %w", err)
+		f.poison(fmt.Errorf("wal truncate: %w", err))
+		return f.poisonedError()
 	}
 	if err := f.wal.Sync(); err != nil {
-		return fmt.Errorf("storage: wal fsync after truncate: %w", err)
+		f.poison(fmt.Errorf("wal fsync after truncate: %w", err))
+		return f.poisonedError()
 	}
 	f.walFsyncs.Add(1)
 	f.walSize = 0
 	f.walIndex = map[PageID]int64{}
 	f.checkpoints.Add(1)
+	f.ckptStage(CkptWALTruncated)
 	// Every committed state now lives durably in the database file, so any
 	// SyncTo waiter still queued for a pre-checkpoint commit is satisfied.
 	storeMax(&f.durableSeq, f.commitSeq)
 	return nil
+}
+
+// SetCheckpointHook installs a callback fired at each CheckpointStage
+// boundary (test-only; the hook runs with the disk latch held).
+func (f *FileDisk) SetCheckpointHook(fn func(CheckpointStage)) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.ckptHook = fn
+}
+
+func (f *FileDisk) ckptStage(st CheckpointStage) {
+	if f.ckptHook != nil {
+		f.ckptHook(st)
+	}
 }
 
 // Close closes the file handles without committing or checkpointing —
@@ -394,7 +697,7 @@ func (f *FileDisk) Counters() (reads, writes int64) {
 
 // DeviceStats returns the full I/O counters.
 func (f *FileDisk) DeviceStats() DeviceStats {
-	return DeviceStats{
+	st := DeviceStats{
 		Reads:        f.reads.Load(),
 		Writes:       f.writes.Load(),
 		BytesRead:    f.bytesRead.Load(),
@@ -404,7 +707,16 @@ func (f *FileDisk) DeviceStats() DeviceStats {
 		WALBytes:           f.WALSize(),
 		GroupCommitBatches: f.groupBatches.Load(),
 		Checkpoints:        f.checkpoints.Load(),
+		ChecksumFailures:   f.checksumFails.Load(),
+		ChecksumRetries:    f.checksumRetries.Load(),
+		RecoveredCommits:   f.recoveredCommits,
+		WALBytesDiscarded:  f.walDiscarded,
+		Poisoned:           f.Poisoned() != nil,
 	}
+	if f.inj != nil {
+		st.InjectedFaults = f.inj.TotalInjected()
+	}
+	return st
 }
 
 // writeSuperblock renders meta into the 4KB superblock at offset 0.
@@ -437,7 +749,7 @@ func readSuperblock(file *os.File) (Meta, error) {
 		return Meta{}, fmt.Errorf("storage: superblock checksum mismatch")
 	}
 	if v := binary.BigEndian.Uint32(buf[8:]); v != fileFormatVer {
-		return Meta{}, fmt.Errorf("storage: unsupported format version %d", v)
+		return Meta{}, fmt.Errorf("storage: unsupported format version %d (this build reads version %d)", v, fileFormatVer)
 	}
 	if ps := binary.BigEndian.Uint32(buf[12:]); ps != PageSize {
 		return Meta{}, fmt.Errorf("storage: page size mismatch (file %d, build %d)", ps, PageSize)

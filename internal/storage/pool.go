@@ -286,17 +286,20 @@ func (p *Pool) NewPage(id PageID) (Page, error) {
 }
 
 // Unpin releases the page; dirty marks it modified so eviction writes it
-// back.
-func (p *Pool) Unpin(pg Page, dirty bool) {
+// back. Unpinning a page that is not pinned is a reference-count underflow
+// and returns ErrNotPinned — an error rather than a panic, because the
+// pool cannot tell a caller bug from pin state corrupted by a propagating
+// disk fault, and disk state must never kill the process.
+func (p *Pool) Unpin(pg Page, dirty bool) error {
 	f := pg.frame
 	if f == nil {
-		panic(fmt.Sprintf("storage: unpin of unpinned page %d", pg.ID))
+		return fmt.Errorf("%w: page %d has no frame", ErrNotPinned, pg.ID)
 	}
 	s := p.shardFor(pg.ID)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if f.pins <= 0 {
-		panic(fmt.Sprintf("storage: unpin of unpinned page %d", pg.ID))
+		return fmt.Errorf("%w: page %d", ErrNotPinned, pg.ID)
 	}
 	if dirty {
 		f.dirty = true
@@ -306,6 +309,7 @@ func (p *Pool) Unpin(pg Page, dirty bool) {
 		s.pushBack(f)
 		s.unpinned.Broadcast() // see makeRoom: only the queue head takes room, so all waiters must wake
 	}
+	return nil
 }
 
 // FlushAll writes every dirty frame back to disk (does not evict).
@@ -407,13 +411,18 @@ func (s *shard) tryRoom() (bool, error) {
 	if victim == &s.lru {
 		return false, nil
 	}
-	s.unlink(victim)
 	if victim.dirty {
+		// Write back before unlinking: if the device rejects the write (an
+		// injected fault, a poisoned disk), the victim must stay on the LRU
+		// ring — unlinking first would strand an unpinned frame off-ring,
+		// permanently shrinking the shard's evictable set.
 		if err := s.dev.Write(victim.id, victim.data); err != nil {
 			return false, err
 		}
 		s.stats.PageWrites++
+		victim.dirty = false
 	}
+	s.unlink(victim)
 	delete(s.frames, victim.id)
 	return true, nil
 }

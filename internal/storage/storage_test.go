@@ -2,6 +2,7 @@ package storage
 
 import (
 	"bytes"
+	"errors"
 	"testing"
 )
 
@@ -131,17 +132,19 @@ func TestPoolPinnedNotEvicted(t *testing.T) {
 	}
 }
 
-func TestPoolDoubleUnpinPanics(t *testing.T) {
+func TestPoolDoubleUnpinError(t *testing.T) {
 	d := NewDisk()
 	p := NewPool(d, 2*PageSize)
 	a, _ := p.Allocate()
-	p.Unpin(a, false)
-	defer func() {
-		if recover() == nil {
-			t.Fatalf("double unpin did not panic")
-		}
-	}()
-	p.Unpin(a, false)
+	if err := p.Unpin(a, false); err != nil {
+		t.Fatalf("first unpin: %v", err)
+	}
+	if err := p.Unpin(a, false); !errors.Is(err, ErrNotPinned) {
+		t.Fatalf("double unpin: got %v, want ErrNotPinned", err)
+	}
+	if err := p.Unpin(Page{ID: 7}, false); !errors.Is(err, ErrNotPinned) {
+		t.Fatalf("unpin of frameless page: got %v, want ErrNotPinned", err)
+	}
 }
 
 func TestPoolMultiplePins(t *testing.T) {

@@ -82,15 +82,24 @@ type walScanResult struct {
 	// committedEnd is the offset just past the last valid commit record —
 	// the length the WAL should be truncated to.
 	committedEnd int64
+	// commits counts the valid commit records replayed — surfaced as
+	// DeviceStats.RecoveredCommits so tests and operators can see how much
+	// committed state a recovery (or an interior-corruption truncation)
+	// preserved.
+	commits int64
 }
 
 // scanWAL reads the log sequentially, validating CRCs, and returns the
-// committed state. Frames appended after the last commit record (or any
-// record that is short, corrupt or of unknown type, and everything after
-// it) are discarded as a torn tail. A short read at EOF is the torn tail;
-// any other read error is a device fault and must be reported, never
-// treated as a tail to truncate (that would silently roll back committed
-// state).
+// committed state. Replay stops at the first short, corrupt or unknown
+// record: everything from that record on is discarded, whether it is a
+// torn tail (a crash mid-append) or a corrupt *interior* frame (a bad
+// sector in the middle of the log) — in the latter case the commits after
+// the corruption are lost, but the state returned is a consistent commit
+// boundary, never a mix. The caller truncates to committedEnd and can
+// compare the commits count against expectations to see how much survived.
+// A short read at EOF is the torn tail; any other read error is a device
+// fault and must be reported, never treated as a tail to truncate (that
+// would silently roll back committed state).
 func scanWAL(wal *os.File) (walScanResult, error) {
 	res := walScanResult{index: map[PageID]int64{}}
 	pending := map[PageID]int64{}
@@ -141,6 +150,7 @@ func scanWAL(wal *os.File) (walScanResult, error) {
 				FreeHead:    PageID(binary.BigEndian.Uint32(buf[9:13])),
 			}
 			res.hasCommit = true
+			res.commits++
 			off += walCommitSize
 			res.committedEnd = off
 		default:

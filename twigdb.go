@@ -197,6 +197,13 @@ type Options struct {
 	// — the default — keeps the historical in-memory database. See
 	// docs/STORAGE.md for the file format and durability guarantees.
 	Path string
+
+	// FaultInjection, when non-nil, wraps the page device in a
+	// deterministic fault injector for robustness tests and the
+	// twigbench -faults mode: injected read/write/fsync errors, bit
+	// flips, torn writes, ENOSPC and latency spikes, seeded for
+	// replayability. See docs/FAULTS.md and the FaultInjection type.
+	FaultInjection *FaultInjection
 }
 
 // DB is an XML database instance: a forest of loaded documents plus any
@@ -233,6 +240,13 @@ func Open(opts *Options) (*DB, error) {
 		}
 		cfg.DiskReadLatency = opts.SimulatedDiskReadLatency
 		cfg.Path = opts.Path
+		if opts.FaultInjection != nil {
+			inj, err := newFaultInjector(opts.FaultInjection)
+			if err != nil {
+				return nil, err
+			}
+			cfg.Faults = inj
+		}
 	}
 	eng, err := engine.Open(cfg)
 	if err != nil {
@@ -449,7 +463,10 @@ func (db *DB) QueryStats() QueryStats {
 }
 
 // StorageStats reports the full device I/O counters: page reads/writes,
-// bytes moved, WAL appends/fsyncs, current WAL length and checkpoints.
+// bytes moved, WAL appends/fsyncs, current WAL length and checkpoints,
+// plus the integrity counters of the fault-hardened storage layer
+// (checksum failures/retries, injected faults, recovery results and the
+// poisoned flag — see docs/FAULTS.md).
 type StorageStats struct {
 	Reads              int64
 	Writes             int64
@@ -460,6 +477,13 @@ type StorageStats struct {
 	WALBytes           int64
 	GroupCommitBatches int64
 	Checkpoints        int64
+
+	ChecksumFailures  int64 // page/WAL-frame checksum verifications that failed
+	ChecksumRetries   int64 // transparent re-reads that recovered a failure
+	InjectedFaults    int64 // faults fired by the configured injector
+	RecoveredCommits  int64 // commits replayed from the WAL at the last open
+	WALBytesDiscarded int64 // torn/corrupt WAL tail bytes discarded at the last open
+	Poisoned          bool  // a failed fsync poisoned the device
 }
 
 // StorageStats returns the device I/O counters.
@@ -475,6 +499,12 @@ func (db *DB) StorageStats() StorageStats {
 		WALBytes:           d.WALBytes,
 		GroupCommitBatches: d.GroupCommitBatches,
 		Checkpoints:        d.Checkpoints,
+		ChecksumFailures:   d.ChecksumFailures,
+		ChecksumRetries:    d.ChecksumRetries,
+		InjectedFaults:     d.InjectedFaults,
+		RecoveredCommits:   d.RecoveredCommits,
+		WALBytesDiscarded:  d.WALBytesDiscarded,
+		Poisoned:           d.Poisoned,
 	}
 }
 
