@@ -7,7 +7,7 @@ BENCHES = BenchmarkInsert|BenchmarkBuildAll|BenchmarkConcurrentQuery
 # Short-budget fuzz smoke for CI (full runs: go test -fuzz=... by hand).
 FUZZTIME ?= 10s
 
-.PHONY: all build vet test race fuzz recover stress faults ci bench bench1 bench2 bench3 bench4 bench5 bench-faults
+.PHONY: all build vet test race race-plan fuzz recover stress faults ci bench bench1 bench2 bench3 bench4 bench5 bench6 bench-faults
 
 all: test
 
@@ -25,6 +25,13 @@ test: build vet
 # differential harness, and the reader/writer stress tests).
 race:
 	$(GO) test -race ./...
+
+# Shared-plan hot path under the race detector with forced scheduling
+# parallelism: the batched executor's concurrent cached-plan tests must
+# stay clean when goroutines genuinely interleave (GOMAXPROCS=4 even on
+# smaller CI hosts).
+race-plan:
+	GOMAXPROCS=4 $(GO) test -race ./internal/plan/ ./internal/engine/
 
 # Fuzz smoke: each target for a short budget, plus the checked-in
 # corpora which already run as part of `go test`.
@@ -55,10 +62,10 @@ faults:
 	$(GO) test -race -run 'TestFaultInjection' .
 
 # Everything CI runs, in order.
-ci: test race fuzz recover stress faults
+ci: test race race-plan fuzz recover stress faults
 
 # Machine-readable trajectory entries at the repo root.
-bench: bench1 bench2 bench3 bench4 bench5
+bench: bench1 bench2 bench3 bench4 bench5 bench6
 
 # Micro-benchmarks with allocation reporting -> BENCH_1.json.
 bench1:
@@ -84,6 +91,13 @@ bench4:
 # update with 1 vs 4 writers (WAL group commit) -> BENCH_5.json.
 bench5:
 	$(GO) run ./cmd/twigbench -mixed -out BENCH_5.json
+
+# Multicore scaling: the XMark stream with GOMAXPROCS = sessions swept
+# over 1/2/4/8 cores, memory- and disk-resident regimes; the JSON records
+# cpus_online — points beyond it are time-sliced, not parallel ->
+# BENCH_6.json.
+bench6:
+	$(GO) run ./cmd/twigbench -multicore -out BENCH_6.json
 
 # Fault-injection smoke: the XMark workload under armed storage faults,
 # differential-checked; fails on any wrong answer or untyped error ->

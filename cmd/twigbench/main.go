@@ -8,9 +8,13 @@
 //	twigbench -file [-iopoolkb KB] [-out BENCH_3.json]
 //	twigbench -planner [-out BENCH_4.json]
 //	twigbench -mixed [-workers N] [-queries N] [-out BENCH_5.json]
+//	twigbench -multicore [-queries N] [-iolat D] [-iopoolkb KB] [-out BENCH_6.json]
 //	twigbench -faults [-seed N] [-steps N] [-out FAULTS.json]
 //
 // The -scale flag multiplies the synthetic dataset sizes (default 1).
+// The -maxprocs flag sets GOMAXPROCS for the whole run (0 keeps the
+// runtime default); every JSON-emitting experiment records the effective
+// value so results are attributable to a core count.
 // -parallel runs the concurrent-session throughput experiment: the XMark
 // workload served by 1 session vs -workers sessions over one buffer pool,
 // in a memory-resident and a simulated disk-resident regime, writing the
@@ -22,6 +26,11 @@
 // DBLP workload query is timed under the planner's chosen plan and under
 // all nine pinned strategies; regret is chosen-plan latency over the best
 // pinned strategy's latency.
+// -multicore runs the core-count scaling experiment: the XMark stream
+// served with GOMAXPROCS = sessions swept over 1/2/4/8 cores, in the
+// memory-resident and simulated disk-resident regimes; the result records
+// the host's online CPU count since points beyond it are time-sliced, not
+// parallel.
 // -mixed runs the mixed read/write workload: 4 reader sessions against a
 // continuous subtree-update writer (readers pin immutable snapshots, so
 // their p50 must stay within 2x of the read-only baseline), plus the
@@ -39,6 +48,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"repro/internal/bench"
@@ -47,7 +57,9 @@ import (
 func main() {
 	scale := flag.Int("scale", bench.Scale(), "dataset scale multiplier")
 	exp := flag.String("exp", "all", "experiment to run")
+	maxprocs := flag.Int("maxprocs", 0, "set GOMAXPROCS for the run (0 keeps the runtime default)")
 	parallel := flag.Bool("parallel", false, "run the concurrent-session throughput experiment")
+	multicore := flag.Bool("multicore", false, "run the core-count scaling experiment (GOMAXPROCS sweep)")
 	file := flag.Bool("file", false, "run the file-backed storage experiment (build, reopen, cold-cache query)")
 	planner := flag.Bool("planner", false, "run the cost-based-planner regret experiment")
 	mixed := flag.Bool("mixed", false, "run the mixed read/write workload experiment (snapshot reads + group commit)")
@@ -60,6 +72,33 @@ func main() {
 	iopoolkb := flag.Int("iopoolkb", 512, "buffer pool KB of the disk-resident regime")
 	out := flag.String("out", "", "output path for the -parallel/-file JSON result (default BENCH_2.json / BENCH_3.json)")
 	flag.Parse()
+
+	if *maxprocs > 0 {
+		runtime.GOMAXPROCS(*maxprocs)
+	}
+
+	if *multicore {
+		if *out == "" {
+			*out = "BENCH_6.json"
+		}
+		cfg := bench.DefaultMulticoreConfig()
+		cfg.Scale = *scale
+		cfg.Queries = *queries
+		cfg.IOReadLatency = *iolat
+		cfg.IOPoolBytes = int64(*iopoolkb) << 10
+		res, err := bench.MulticoreExperiment(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "twigbench:", err)
+			os.Exit(1)
+		}
+		fmt.Print(res.String())
+		if err := res.WriteJSON(*out); err != nil {
+			fmt.Fprintln(os.Stderr, "twigbench:", err)
+			os.Exit(1)
+		}
+		fmt.Println("wrote", *out)
+		return
+	}
 
 	if *faults {
 		if *out == "" {

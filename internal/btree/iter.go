@@ -50,14 +50,32 @@ type iterLevel struct {
 // Seek returns an iterator positioned at the first entry >= key. The
 // iterator holds the tree's read latch until Close.
 func (t *Tree) Seek(key []byte) (*Iterator, error) {
+	it := &Iterator{}
+	if err := t.SeekInto(key, it); err != nil {
+		return nil, err
+	}
+	return it, nil
+}
+
+// SeekInto positions it at the first entry >= key, reusing its descent-path
+// and key buffers — the allocation-free variant of Seek for callers that
+// keep an Iterator across probes. it must not be mid-iteration (Close any
+// previous use first; a Closed iterator is reusable). On error the
+// iterator is left Closed and unlatched.
+func (t *Tree) SeekInto(key []byte, it *Iterator) error {
 	t.mu.RLock()
-	it := &Iterator{tree: t, latched: true}
+	it.tree = t
+	it.path = it.path[:0]
+	it.pg = storage.Page{}
+	it.idx = 0
+	it.err = nil
+	it.latched = true
 	id := t.root
 	for h := t.height; h > 1; h-- {
 		pg, err := t.fetch(id)
 		if err != nil {
 			it.Close()
-			return nil, err
+			return err
 		}
 		childIdx, child := descendChild(pg.Data, key)
 		t.pool.Unpin(pg, false)
@@ -67,13 +85,13 @@ func (t *Tree) Seek(key []byte) (*Iterator, error) {
 	pg, err := t.fetch(id)
 	if err != nil {
 		it.Close()
-		return nil, err
+		return err
 	}
 	it.pg = pg
 	// First entry >= key within this leaf.
 	it.idx = searchCell(pg.Data, key)
 	it.skipExhausted()
-	return it, nil
+	return nil
 }
 
 // Scan returns an iterator over the whole tree.
@@ -189,17 +207,25 @@ func (it *Iterator) Close() {
 // the primitive behind every index lookup in the family (the probe prefix is
 // the encoded fixed columns plus a reverse-schema-path prefix).
 type PrefixIterator struct {
-	*Iterator
+	Iterator
 	prefix []byte
 }
 
 // SeekPrefix returns an iterator over all entries with the given key prefix.
 func (t *Tree) SeekPrefix(prefix []byte) (*PrefixIterator, error) {
-	it, err := t.Seek(prefix)
-	if err != nil {
+	it := &PrefixIterator{}
+	if err := t.SeekPrefixInto(prefix, it); err != nil {
 		return nil, err
 	}
-	return &PrefixIterator{Iterator: it, prefix: prefix}, nil
+	return it, nil
+}
+
+// SeekPrefixInto positions it over all entries with the given key prefix,
+// reusing its buffers (see SeekInto). The prefix slice is retained and
+// must stay valid for the iteration.
+func (t *Tree) SeekPrefixInto(prefix []byte, it *PrefixIterator) error {
+	it.prefix = prefix
+	return t.SeekInto(prefix, &it.Iterator)
 }
 
 // Valid reports whether the iterator is at an entry that still has the

@@ -475,6 +475,60 @@ func TestDifferentialFixedCorpus(t *testing.T) {
 	}
 }
 
+// TestDifferentialAcrossGOMAXPROCS reruns the differential comparison —
+// batched executor (serial and parallel) for every strategy against the
+// naive oracle — pinned at GOMAXPROCS 1 and 8, so the batched fan-out is
+// exercised both fully serialised and genuinely preempted. The corpus
+// targets executor edge cases: empty results (no group, no block), a
+// single-branch plan (no joins at all, and a parallel fan-out of one),
+// duplicate output ids from multiple assignments (dedup across blocks),
+// and recursive // matches.
+func TestDifferentialAcrossGOMAXPROCS(t *testing.T) {
+	doc := func() *xmldb.Document {
+		return &xmldb.Document{Root: xmldb.Elem("a",
+			xmldb.Elem("b",
+				xmldb.Text("c", "v1"),
+				xmldb.Elem("a",
+					xmldb.Text("c", "v0"),
+					xmldb.Elem("b", xmldb.Text("c", "v1")),
+				),
+			),
+			xmldb.Elem("b", xmldb.Text("c", "v1")),
+			xmldb.Text("c", "v2"),
+		)}
+	}
+	queries := []string{
+		// Empty result: the label occurs but nothing matches the value.
+		`//b[c = 'v9']`,
+		// Empty result: deep trunk that matches nothing structurally.
+		`/a/a/a/a/b`,
+		// Single branch, no joins.
+		`//c`,
+		// Duplicate-prone: //a//b binds the same b under several a's.
+		`//a//b`,
+		`//a//b[c = 'v1']`,
+		// Multi-branch with shared prefix.
+		`//a[c = 'v0']/b[c = 'v1']`,
+	}
+	for _, procs := range []int{1, 8} {
+		procs := procs
+		t.Run(fmt.Sprintf("GOMAXPROCS=%d", procs), func(t *testing.T) {
+			withGOMAXPROCS(t, procs, func() {
+				for _, q := range queries {
+					pat, err := xpath.Parse(q)
+					if err != nil {
+						t.Fatalf("%s: %v", q, err)
+					}
+					if mm := runDifferential(doc(), pat); len(mm) != 0 {
+						t.Errorf("GOMAXPROCS=%d %s: %d strategy mismatches: %+v",
+							procs, q, len(mm), mm)
+					}
+				}
+			})
+		})
+	}
+}
+
 // TestParallelExecutorMatchesSerial directly compares the two executors'
 // ExecStats-visible work on a fixed query, and asserts reflect-equal ids.
 func TestParallelExecutorMatchesSerial(t *testing.T) {

@@ -738,16 +738,19 @@ func defaultStrategyFor(env *plan.Env) (plan.Strategy, error) {
 // executes pat under the cheapest plan, all against one pinned snapshot —
 // a concurrent update can never invalidate the chosen index between
 // planning and execution, because both happen on the same immutable
-// version. Plan choices are cached per normalised pattern on the snapshot
-// (a new version starts fresh: new statistics can change every choice);
+// version. Plan trees are cached per normalised pattern on the snapshot
+// (a new version starts fresh: new statistics can change every choice), so
+// a cache hit re-executes the shared immutable tree without re-planning;
 // cache hits are counted in the query counters. workers == 1 runs the
-// serial executor; anything else goes through the parallel one (which
-// resolves <= 0 to GOMAXPROCS). Returns the strategy that ran.
+// serial executor; anything else goes through the parallel one, whose
+// worker count resolution (<= 0 means GOMAXPROCS, capped at the branch
+// count) is centralised in plan.ResolveWorkers. Returns the strategy that
+// ran.
 func (db *DB) QueryPatternBest(pat *xpath.Pattern, workers int) ([]int64, *plan.ExecStats, plan.Strategy, error) {
 	s := db.pin()
 	defer db.unpin(s)
 	env := s.queryEnv()
-	strat, tree, cacheHit, err := s.choosePlan(env, pat, workers != 1)
+	tree, cacheHit, err := s.choosePlan(env, pat, workers != 1)
 	if err != nil {
 		return nil, nil, 0, err
 	}
@@ -756,23 +759,17 @@ func (db *DB) QueryPatternBest(pat *xpath.Pattern, workers int) ([]int64, *plan.
 	}
 	var ids []int64
 	var es *plan.ExecStats
-	switch {
-	case workers != 1 && tree != nil:
-		// Cache miss, parallel: the chosen tree was planned INL-free, so
-		// it is exactly what the parallel executor runs.
+	if workers != 1 {
+		// The tree under a parallel key was planned INL-free, so it is
+		// exactly what the parallel executor fans out.
 		ids, es, err = plan.ExecuteTreeParallel(env, tree, workers)
-	case workers != 1:
-		ids, es, err = plan.ExecuteParallel(env, strat, pat, workers)
-	case tree != nil:
-		// Cache miss, serial: run the tree the planner just built.
+	} else {
 		ids, es, err = plan.ExecuteTree(env, tree)
-	default:
-		ids, es, err = plan.Execute(env, strat, pat)
 	}
 	if es != nil {
 		db.counters.CountQuery(es.Parallel, es.BranchesJoined)
 	}
-	return ids, es, strat, err
+	return ids, es, tree.Strategy, err
 }
 
 // ExplainBest renders the cost-based planner's deliberation for pat (every

@@ -1,0 +1,129 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+
+	"repro/internal/xmldb"
+	"repro/internal/xpath"
+)
+
+// TestCachedPlanConcurrentQueries is the engine-level shared-plan
+// regression test: many goroutines running the same pattern through
+// QueryPatternBest share one cached plan tree per snapshot, and must all
+// see identical results and work counters. Before per-run state moved off
+// the plan nodes into pooled runtimes, this raced (caught by -race) and
+// could return another query's cardinalities. Exercises both the serial
+// and the parallel executor keyspaces.
+func TestCachedPlanConcurrentQueries(t *testing.T) {
+	rng, doc := diffRig(77, 300)
+	_ = rng
+	db := New(Config{BufferPoolBytes: 8 << 20})
+	db.AddDocument(doc)
+	if err := db.BuildAll(); err != nil {
+		t.Fatal(err)
+	}
+	queries := []string{
+		`//a/b`,
+		`//b[c = 'v0']`,
+		`/a//c`,
+	}
+	for _, workers := range []int{1, 4} {
+		workers := workers
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			for _, q := range queries {
+				pat, err := xpath.Parse(q)
+				if err != nil {
+					t.Fatal(err)
+				}
+				// Prime the cache, establishing the reference run.
+				wantIDs, wantES, _, err := db.QueryPatternBest(pat, workers)
+				if err != nil {
+					t.Fatal(err)
+				}
+				const goroutines, iters = 8, 15
+				var wg sync.WaitGroup
+				errs := make(chan error, goroutines)
+				for g := 0; g < goroutines; g++ {
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						for i := 0; i < iters; i++ {
+							ids, es, _, err := db.QueryPatternBest(pat, workers)
+							if err != nil {
+								errs <- err
+								return
+							}
+							if !equalIDs(ids, wantIDs) {
+								errs <- fmt.Errorf("%s: ids diverged: %v, want %v", q, ids, wantIDs)
+								return
+							}
+							if es.IndexLookups != wantES.IndexLookups ||
+								es.RowsScanned != wantES.RowsScanned ||
+								es.INLProbes != wantES.INLProbes {
+								errs <- fmt.Errorf("%s: counters diverged: %+v, want %+v", q, es, wantES)
+								return
+							}
+						}
+					}()
+				}
+				wg.Wait()
+				close(errs)
+				for err := range errs {
+					t.Error(err)
+				}
+			}
+		})
+	}
+}
+
+// TestQueryPatternBestAllocBound keeps the engine's cache-hit query path
+// within a small constant allocation budget. The plan-level executor is
+// allocation-free when warmed (asserted in the plan package); what remains
+// here is the per-query ExecStats, its executed plan view, and the result
+// copy — a handful of objects, independent of data size. The bound is
+// deliberately loose; it exists to catch a regression back to per-row
+// allocation, which shows up as hundreds of objects per query.
+func TestQueryPatternBestAllocBound(t *testing.T) {
+	_, doc := diffRig(78, 300)
+	db := New(Config{BufferPoolBytes: 8 << 20})
+	db.AddDocument(doc)
+	if err := db.BuildAll(); err != nil {
+		t.Fatal(err)
+	}
+	pat := xpath.MustParse(`//b[c = 'v0']`)
+	// Warm: plan cached, statistics derived, runtime pooled.
+	for i := 0; i < 3; i++ {
+		if _, _, _, err := db.QueryPatternBest(pat, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if _, _, _, err := db.QueryPatternBest(pat, 1); err != nil {
+			t.Fatal(err)
+		}
+	})
+	const budget = 64
+	if allocs > budget {
+		t.Errorf("cache-hit QueryPatternBest allocated %.1f objects/run, want <= %d", allocs, budget)
+	}
+}
+
+// diffRig returns a seeded RNG and a generated document for the cache
+// tests, reusing the differential harness's generator.
+func diffRig(seed int64, maxNodes int) (*rand.Rand, *xmldb.Document) {
+	rng := rand.New(rand.NewSource(seed))
+	return rng, genDoc(rng, maxNodes)
+}
+
+// GOMAXPROCS restoration helper shared by the multicore differential
+// subtests below.
+func withGOMAXPROCS(t *testing.T, n int, fn func()) {
+	t.Helper()
+	prev := runtime.GOMAXPROCS(n)
+	defer runtime.GOMAXPROCS(prev)
+	fn()
+}

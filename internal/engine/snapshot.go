@@ -47,9 +47,15 @@ type Snapshot struct {
 
 	// planMu guards the per-pattern plan cache. Each snapshot starts with
 	// an empty cache: a new version means new statistics, which can change
-	// every choice.
-	planMu    sync.Mutex
-	planCache map[string]plan.Strategy
+	// every choice. The cache holds whole finalized plan *trees*, not just
+	// strategy choices: a tree is immutable after Build and carries a pool
+	// of reusable execution runtimes, so a cache hit re-executes without
+	// re-planning, re-compiling probe patterns, or allocating intermediate
+	// blocks. Safe to share across queries of one snapshot because the
+	// dictionary is append-only (compiled designators stay valid) and all
+	// per-run state lives in the runtime, never the tree.
+	planMu    sync.RWMutex
+	planCache map[string]*plan.Tree
 
 	// statsMu serialises the statistics (re)build so concurrent
 	// first-queries collect exactly once; statsReady lets the steady state
@@ -141,17 +147,15 @@ func (s *Snapshot) queryEnv() *plan.Env {
 	return &s.env
 }
 
-// choosePlan resolves the cheapest strategy for pat against this snapshot,
+// choosePlan resolves the cheapest plan tree for pat against this snapshot,
 // consulting the per-pattern plan cache first. The cache key is the
 // pattern's canonical rendering, so syntactically different but equivalent
 // queries share an entry. With parallel set, planning runs against an
 // INL-disabled environment — the parallel executor materialises every
 // branch, so costing bound-probe plans would price trees that never run —
-// and such choices are cached under a separate keyspace. On a miss the
-// planner's chosen tree is returned too (nil on a hit), so the caller can
-// execute it directly instead of rebuilding it; cacheHit reports whether
-// planning was skipped.
-func (s *Snapshot) choosePlan(env *plan.Env, pat *xpath.Pattern, parallel bool) (strat plan.Strategy, tree *plan.Tree, cacheHit bool, err error) {
+// and such trees are cached under a separate keyspace. cacheHit reports
+// whether planning was skipped.
+func (s *Snapshot) choosePlan(env *plan.Env, pat *xpath.Pattern, parallel bool) (tree *plan.Tree, cacheHit bool, err error) {
 	key := pat.String()
 	if parallel {
 		key = "par|" + key
@@ -159,23 +163,29 @@ func (s *Snapshot) choosePlan(env *plan.Env, pat *xpath.Pattern, parallel bool) 
 		penv.INLFactor = -1
 		env = &penv
 	}
-	s.planMu.Lock()
+	s.planMu.RLock()
 	cached, ok := s.planCache[key]
-	s.planMu.Unlock()
+	s.planMu.RUnlock()
 	if ok {
-		return cached, nil, true, nil
+		return cached, true, nil
 	}
 	t, _, err := plan.Choose(env, pat)
 	if err != nil {
-		return 0, nil, false, err
+		return nil, false, err
 	}
 	s.planMu.Lock()
 	if s.planCache == nil {
-		s.planCache = map[string]plan.Strategy{}
+		s.planCache = map[string]*plan.Tree{}
 	}
-	s.planCache[key] = t.Strategy
+	if prior, ok := s.planCache[key]; ok {
+		// A concurrent miss planned the same pattern; keep the first tree
+		// so every query shares one runtime pool.
+		t = prior
+	} else {
+		s.planCache[key] = t
+	}
 	s.planMu.Unlock()
-	return t.Strategy, t, false, nil
+	return t, false, nil
 }
 
 // clone returns a mutable successor of the snapshot sharing every

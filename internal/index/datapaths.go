@@ -68,30 +68,44 @@ func BuildDataPaths(pool *storage.Pool, store *xmldb.Store, dict *pathdict.Dict,
 // IdList (ids excluding a real head). fn's arguments are reused; copy to
 // retain. Returns the number of rows visited.
 func (dp *DataPaths) Probe(headID int64, hasValue bool, value string, suffix pathdict.Path, fn func(fwd pathdict.Path, ids []int64) error) (int, error) {
+	var sc Scratch
+	return dp.ProbeWith(&sc, headID, hasValue, value, suffix, fn)
+}
+
+// ProbeWith is Probe drawing every buffer from sc (see Scratch), so
+// repeated probes — in particular the per-head-id streams of an
+// index-nested-loop join — run without allocating.
+func (dp *DataPaths) ProbeWith(sc *Scratch, headID int64, hasValue bool, value string, suffix pathdict.Path, fn func(fwd pathdict.Path, ids []int64) error) (int, error) {
 	if dp.opts.PathIDKeys {
 		return 0, fmt.Errorf("index: DATAPATHS built with PathIDKeys cannot answer suffix probes (lossy compression, Section 4.2)")
 	}
-	prefix := pathdict.DataPathsKey(nil, headID, hasValue, value, suffix.Reverse())
-	it, err := dp.tree.SeekPrefix(prefix)
-	if err != nil {
+	sc.rev = reverseInto(sc.rev[:0], suffix)
+	sc.prefix = pathdict.DataPathsKey(sc.prefix[:0], headID, hasValue, value, sc.rev)
+	it := &sc.it
+	if err := dp.tree.SeekPrefixInto(sc.prefix, it); err != nil {
 		return 0, err
 	}
 	defer it.Close()
 	rows := 0
-	var fwd pathdict.Path
-	var ids []int64
 	for ; it.Valid(); it.Next() {
-		_, _, _, rev, err := pathdict.DecodeDataPathsKey(it.Key())
+		key := it.Key()
+		if len(key) < 8 {
+			return rows, fmt.Errorf("pathdict: short id field (%d bytes)", len(key))
+		}
+		rest, err := pathdict.SkipValueField(key[8:])
 		if err != nil {
 			return rows, err
 		}
-		fwd = reverseInto(fwd[:0], rev)
-		ids, err = decodeIDs(ids[:0], it.ValueRef(), dp.opts.RawIDs)
+		sc.fwd, err = pathdict.AppendPathReversed(sc.fwd[:0], rest)
+		if err != nil {
+			return rows, err
+		}
+		sc.ids, err = decodeIDs(sc.ids[:0], it.ValueRef(), dp.opts.RawIDs)
 		if err != nil {
 			return rows, err
 		}
 		rows++
-		if err := fn(fwd, ids); err != nil {
+		if err := fn(sc.fwd, sc.ids); err != nil {
 			return rows, err
 		}
 	}

@@ -85,30 +85,40 @@ func BuildRootPaths(pool *storage.Pool, store *xmldb.Store, dict *pathdict.Dict,
 // each row. fn's arguments are reused across calls; copy to retain.
 // Returns the number of rows visited.
 func (rp *RootPaths) Probe(hasValue bool, value string, suffix pathdict.Path, fn func(fwd pathdict.Path, ids []int64) error) (int, error) {
+	var sc Scratch
+	return rp.ProbeWith(&sc, hasValue, value, suffix, fn)
+}
+
+// ProbeWith is Probe drawing every buffer — probe prefix, decoded path,
+// id list, tree iterator — from sc, so repeated probes through one
+// Scratch run without allocating.
+func (rp *RootPaths) ProbeWith(sc *Scratch, hasValue bool, value string, suffix pathdict.Path, fn func(fwd pathdict.Path, ids []int64) error) (int, error) {
 	if rp.opts.PathIDKeys {
 		return 0, fmt.Errorf("index: ROOTPATHS built with PathIDKeys cannot answer suffix probes (lossy compression, Section 4.2)")
 	}
-	prefix := pathdict.RootPathsKey(nil, hasValue, value, suffix.Reverse())
-	it, err := rp.tree.SeekPrefix(prefix)
-	if err != nil {
+	sc.rev = reverseInto(sc.rev[:0], suffix)
+	sc.prefix = pathdict.RootPathsKey(sc.prefix[:0], hasValue, value, sc.rev)
+	it := &sc.it
+	if err := rp.tree.SeekPrefixInto(sc.prefix, it); err != nil {
 		return 0, err
 	}
 	defer it.Close()
 	rows := 0
-	var fwd pathdict.Path
-	var ids []int64
 	for ; it.Valid(); it.Next() {
-		_, _, rev, err := pathdict.DecodeRootPathsKey(it.Key())
+		rest, err := pathdict.SkipValueField(it.Key())
 		if err != nil {
 			return rows, err
 		}
-		fwd = reverseInto(fwd[:0], rev)
-		ids, err = decodeIDs(ids[:0], it.ValueRef(), rp.opts.RawIDs)
+		sc.fwd, err = pathdict.AppendPathReversed(sc.fwd[:0], rest)
+		if err != nil {
+			return rows, err
+		}
+		sc.ids, err = decodeIDs(sc.ids[:0], it.ValueRef(), rp.opts.RawIDs)
 		if err != nil {
 			return rows, err
 		}
 		rows++
-		if err := fn(fwd, ids); err != nil {
+		if err := fn(sc.fwd, sc.ids); err != nil {
 			return rows, err
 		}
 	}

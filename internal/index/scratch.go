@@ -1,0 +1,20 @@
+package index
+
+import (
+	"repro/internal/btree"
+	"repro/internal/pathdict"
+)
+
+// Scratch holds the reusable buffers of a ROOTPATHS / DATAPATHS probe
+// stream: the encoded probe prefix, the reversed suffix, the decoded
+// forward path and id list handed to the row callback, and the B+-tree
+// iterator itself. A caller that keeps one Scratch across probes (the plan
+// executor keeps one per evaluator) runs steady-state probes without
+// allocating; the zero value is ready to use. Not goroutine-safe.
+type Scratch struct {
+	prefix []byte
+	rev    pathdict.Path
+	fwd    pathdict.Path
+	ids    []int64
+	it     btree.PrefixIterator
+}

@@ -1,0 +1,304 @@
+package plan
+
+// Batched execution over decoded id blocks. Operators exchange flat
+// row-major int64 blocks (brel) instead of per-row []int64 tuples: an index
+// probe decodes its id lists once (idlist.DecodeDeltaInto under the index
+// layer) and appends rows straight into a block, joins consume and produce
+// blocks, and every block lives in the executing Runtime — the per-query
+// arena attached to the cached plan — so a steady-state cache-hit query
+// performs no allocations at all. BlockRows is the growth and processing
+// quantum: block capacity is extended in BlockRows-row steps, which keeps
+// reallocation rare and bounds the transient working set of a growing
+// operator output.
+
+// BlockRows is the number of rows per allocation block of an intermediate
+// result. 1024 rows of a typical 2–4 column relation is 16–32KB — a few L1
+// caches worth, large enough to amortise growth, small enough not to bloat
+// pooled runtimes.
+const BlockRows = 1024
+
+// brel is a batched intermediate relation: n rows of fixed width stored
+// row-major in one flat block. The column-to-twig-node mapping is static
+// per operator and lives on the plan Node (computed once at build time), so
+// the executing relation is pure data.
+type brel struct {
+	width int
+	data  []int64 // len == rows*width
+}
+
+func (r *brel) reset(width int) {
+	r.width = width
+	r.data = r.data[:0]
+}
+
+func (r *brel) rows() int {
+	if r.width == 0 {
+		return 0
+	}
+	return len(r.data) / r.width
+}
+
+// row returns row i as a slice into the block (valid until the next grow).
+func (r *brel) row(i int) []int64 {
+	return r.data[i*r.width : (i+1)*r.width]
+}
+
+// newRow extends the relation by one row and returns its (zeroed-length
+// irrelevant: caller fills every column) slot. Capacity grows in
+// BlockRows-row quanta, doubling, so steady-state reuse never allocates.
+func (r *brel) newRow() []int64 {
+	n := len(r.data)
+	if n+r.width > cap(r.data) {
+		r.grow(n + r.width)
+	}
+	r.data = r.data[:n+r.width]
+	return r.data[n:]
+}
+
+func (r *brel) grow(need int) {
+	nc := 2 * cap(r.data)
+	if min := BlockRows * r.width; nc < min {
+		nc = min
+	}
+	for nc < need {
+		nc *= 2
+	}
+	nd := make([]int64, len(r.data), nc)
+	copy(nd, r.data)
+	r.data = nd
+}
+
+// appendRow appends a full row (copying it into the block).
+func (r *brel) appendRow(row []int64) {
+	copy(r.newRow(), row)
+}
+
+// truncate drops rows from index n on.
+func (r *brel) truncate(n int) {
+	r.data = r.data[:n*r.width]
+}
+
+// sortDistinct sorts the rows lexicographically and removes duplicates in
+// place — the block-based replacement for the old map-keyed DistinctTuples.
+// Three-way partitioning keeps duplicate-heavy inputs (the common case:
+// join outputs projected down to a few branch-point columns) linear.
+func (r *brel) sortDistinct() {
+	n := r.rows()
+	if n <= 1 {
+		return
+	}
+	r.quicksort(0, n-1)
+	// Compact adjacent duplicates.
+	w := r.width
+	out := w // rows kept, in elements
+	for i := 1; i < n; i++ {
+		row := r.data[i*w : i*w+w]
+		prev := r.data[out-w : out]
+		if rowsEqual(row, prev) {
+			continue
+		}
+		copy(r.data[out:out+w], row)
+		out += w
+	}
+	r.data = r.data[:out]
+}
+
+func rowsEqual(a, b []int64) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// rowLess compares rows lexicographically.
+func rowLess(a, b []int64) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+func (r *brel) swapRows(i, j int) {
+	w := r.width
+	a := r.data[i*w : i*w+w]
+	b := r.data[j*w : j*w+w]
+	for k := 0; k < w; k++ {
+		a[k], b[k] = b[k], a[k]
+	}
+}
+
+// quicksort is an in-place three-way (Dutch-flag) quicksort over rows
+// [lo, hi], recursing on the smaller side to bound stack depth.
+func (r *brel) quicksort(lo, hi int) {
+	for hi-lo >= 12 {
+		// Median-of-three pivot, moved to lo.
+		mid := lo + (hi-lo)/2
+		if rowLess(r.row(mid), r.row(lo)) {
+			r.swapRows(mid, lo)
+		}
+		if rowLess(r.row(hi), r.row(lo)) {
+			r.swapRows(hi, lo)
+		}
+		if rowLess(r.row(hi), r.row(mid)) {
+			r.swapRows(hi, mid)
+		}
+		r.swapRows(lo, mid)
+		// Three-way partition around the pivot at lo.
+		lt, i, gt := lo, lo+1, hi
+		for i <= gt {
+			switch {
+			case rowLess(r.row(i), r.row(lt)):
+				r.swapRows(i, lt)
+				lt++
+				i++
+			case rowLess(r.row(lt), r.row(i)):
+				r.swapRows(i, gt)
+				gt--
+			default:
+				i++
+			}
+		}
+		// Recurse on the smaller partition, loop on the larger.
+		if lt-lo < hi-gt {
+			r.quicksort(lo, lt-1)
+			lo = gt + 1
+		} else {
+			r.quicksort(gt+1, hi)
+			hi = lt - 1
+		}
+	}
+	// Insertion sort for short runs.
+	for i := lo + 1; i <= hi; i++ {
+		for j := i; j > lo && rowLess(r.row(j), r.row(j-1)); j-- {
+			r.swapRows(j, j-1)
+		}
+	}
+}
+
+// projectInPlace compacts each row down to the columns in keepIdx (indices
+// into the pre-projection layout, strictly increasing not required). Safe
+// in place because the write cursor never passes the read cursor.
+func (r *brel) projectInPlace(keepIdx []int) {
+	w := r.width
+	nw := len(keepIdx)
+	n := r.rows()
+	out := 0
+	for i := 0; i < n; i++ {
+		row := r.data[i*w : i*w+w]
+		for _, c := range keepIdx {
+			r.data[out] = row[c]
+			out++
+		}
+	}
+	r.data = r.data[:n*nw]
+	r.width = nw
+}
+
+// boundRel is the block-based output of a bound (index-nested-loop) probe:
+// sub-rows grouped by the join id they were probed with. Groups are
+// delimited by offs (group g spans rows offs[g]..offs[g+1]); jids[g] is the
+// id the group belongs to. A jid with no matching group simply has no
+// entry — the INL join skips it, exactly as the old map-of-slices did.
+type boundRel struct {
+	sub  brel    // all sub-rows, group-contiguous
+	jids []int64 // one per group
+	offs []int32 // len == len(jids)+1; offs[g] is group g's first row
+}
+
+func (b *boundRel) reset(width int) {
+	b.sub.reset(width)
+	b.jids = b.jids[:0]
+	b.offs = b.offs[:0]
+}
+
+// beginGroup opens a new group for jid; subsequent newRow calls extend it.
+func (b *boundRel) beginGroup(jid int64) {
+	if len(b.offs) == 0 {
+		b.offs = append(b.offs, 0)
+	}
+	b.jids = append(b.jids, jid)
+	b.offs = append(b.offs, int32(b.sub.rows()))
+}
+
+func (b *boundRel) newRow() []int64 {
+	row := b.sub.newRow()
+	b.offs[len(b.offs)-1] = int32(b.sub.rows())
+	return row
+}
+
+// group returns the sub-row range of group g.
+func (b *boundRel) group(g int) (start, end int) {
+	return int(b.offs[g]), int(b.offs[g+1])
+}
+
+// hashTab is an arena-backed multi-map from int64 keys to build-side row
+// indices: open addressing for the key slots, with same-key rows chained
+// through next. One table lives on the Runtime and is reused by every
+// hash join, semi-join key set and INL group lookup (their uses never
+// overlap — each operator builds, probes and abandons it within its own
+// body, after its children have completed).
+type hashTab struct {
+	mask  int
+	keys  []int64
+	heads []int32 // row index + 1; 0 = empty slot
+	next  []int32 // per build row: next row with the same key + 1
+}
+
+// init sizes the table for n build rows (load factor <= 0.5) and clears it.
+func (h *hashTab) init(n int) {
+	size := 4
+	for size < 2*n {
+		size *= 2
+	}
+	if cap(h.keys) < size {
+		h.keys = make([]int64, size)
+		h.heads = make([]int32, size)
+	}
+	h.keys = h.keys[:size]
+	h.heads = h.heads[:size]
+	for i := range h.heads {
+		h.heads[i] = 0
+	}
+	if cap(h.next) < n {
+		h.next = make([]int32, n)
+	}
+	h.next = h.next[:n]
+	h.mask = size - 1
+}
+
+func (h *hashTab) slot(key int64) int {
+	// Fibonacci hashing spreads sequential ids well.
+	x := uint64(key) * 0x9E3779B97F4A7C15
+	i := int(x>>33) & h.mask
+	for h.heads[i] != 0 && h.keys[i] != key {
+		i = (i + 1) & h.mask
+	}
+	return i
+}
+
+// insert adds build row `row` under key, chaining duplicates.
+func (h *hashTab) insert(key int64, row int32) {
+	i := h.slot(key)
+	h.next[row] = h.heads[i]
+	h.keys[i] = key
+	h.heads[i] = row + 1
+}
+
+// first returns the head of key's row chain (+1), or 0 when absent. Walk
+// the chain with next[row-1].
+func (h *hashTab) first(key int64) int32 {
+	i := h.slot(key)
+	if h.heads[i] == 0 {
+		return 0
+	}
+	return h.heads[i]
+}
+
+// contains reports key membership (semi-join key-set use).
+func (h *hashTab) contains(key int64) bool {
+	return h.first(key) != 0
+}

@@ -229,13 +229,17 @@ func Build(env *Env, strat Strategy, pat *xpath.Pattern) (*Tree, error) {
 		ActRows:  -1,
 		Children: []*Node{project},
 	}
-	return &Tree{
+	t := &Tree{
 		Strategy: strat,
 		Pattern:  pat,
 		Root:     dedup,
 		EstCost:  dedup.EstCost,
 		Branches: len(branches),
-	}, nil
+	}
+	if err := t.finalize(env); err != nil {
+		return nil, err
+	}
+	return t, nil
 }
 
 // buildStructural constructs the structural-join tree: one region scan per
@@ -280,13 +284,17 @@ func buildStructural(env *Env, pat *xpath.Pattern) (*Tree, error) {
 	}
 	// Two linear semi-join passes over the candidate lists.
 	sj.EstCost = cost + 2*float64(totalRows)*costSJTuple
-	return &Tree{
+	t := &Tree{
 		Strategy: StructuralJoinPlan,
 		Pattern:  pat,
 		Root:     sj,
 		EstCost:  sj.EstCost,
 		Branches: len(pat.Branches()),
-	}, nil
+	}
+	if err := t.finalize(env); err != nil {
+		return nil, err
+	}
+	return t, nil
 }
 
 // nodeCountEst estimates the number of distinct data nodes a twig node's

@@ -24,8 +24,10 @@ const (
 	costLookupDP = 44.0
 	// costBoundProbe is one bound (index-nested-loop) probe: repeated
 	// descents keyed by consecutive head ids land on the same few hot
-	// pages, so they cost a fraction of a cold lookup.
-	costBoundProbe = 6.0
+	// pages — and the batched executor reuses one iterator and one set of
+	// decode buffers across the whole probe stream — so a bound probe
+	// costs a fraction of a cold lookup.
+	costBoundProbe = 5.0
 	// costRow is streaming one index row (key decode + id-list delta
 	// decode + output tuple).
 	costRow = 1.0
@@ -47,10 +49,13 @@ const (
 	// indices — a descent that returns a single row.
 	costClimb = 8.0
 	// costJoinTuple is flowing one tuple through a hash join, projection
-	// or duplicate elimination: a hash-table insert/probe plus the
-	// DISTINCT's key materialisation, several times the cost of streaming
-	// an index row.
-	costJoinTuple = 1.0
+	// or duplicate elimination. Recalibrated for the batched executor:
+	// rows flow through joins as flat block copies against an open-
+	// addressed id table, and DISTINCT is an in-place block sort rather
+	// than a map-keyed materialisation, so a join tuple now costs less
+	// than streaming an index row (which still pays key decode plus
+	// id-list delta decode).
+	costJoinTuple = 0.6
 	// costRegionRow is streaming one region out of the element-list
 	// B+-tree: a flat (start, end, level, id) record with no id-list
 	// decode or tuple allocation.

@@ -3,7 +3,6 @@ package plan
 import (
 	"repro/internal/pathdict"
 	"repro/internal/relop"
-	"repro/internal/xpath"
 )
 
 // dgEval implements the DG+Edge strategy: the DataGuide answers the
@@ -14,63 +13,60 @@ import (
 // level (the paper's "5-way join for each branch").
 type dgEval struct {
 	env *Env
-	es  *ExecStats
 }
 
-func (e *dgEval) Free(br xpath.Branch) ([]relop.Tuple, error) {
-	pat, ok := compileBranch(e.env.Dict, br)
-	if !ok {
-		return nil, nil
+func (e *dgEval) free(n *Node, out *brel, es *ExecStats) error {
+	if !n.spec.ok {
+		return nil
 	}
-	var out []relop.Tuple
+	pat := n.spec.pat
+	br := *n.branch
 	// DataGuide-as-summary: enumerate the concrete rooted paths matching
 	// the pattern (one, unless the pattern has //).
 	for _, concrete := range e.env.DG.MatchingPaths(pat) {
 		// Structure: the extent of the concrete path.
 		var leaves []int64
-		e.es.IndexLookups++
+		es.IndexLookups++
 		rows, err := e.env.DG.Extent(concrete, func(id int64) error {
 			leaves = append(leaves, id)
 			return nil
 		})
-		e.es.RowsScanned += int64(rows)
+		es.RowsScanned += int64(rows)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		// Content: the value index, joined against the extent.
 		if br.HasValue {
 			matching := map[int64]struct{}{}
-			e.es.IndexLookups++
+			es.IndexLookups++
 			rows, err := e.env.Edge.ValueProbe(br.Steps[len(br.Steps)-1].Label, br.Value, func(id int64) error {
 				matching[id] = struct{}{}
 				return nil
 			})
-			e.es.RowsScanned += int64(rows)
+			es.RowsScanned += int64(rows)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			tuples := make([]relop.Tuple, len(leaves))
 			for i, id := range leaves {
 				tuples[i] = relop.Tuple{id}
 			}
-			tuples = relop.SemiJoin(tuples, 0, matching, &e.es.Join)
+			tuples = relop.SemiJoin(tuples, 0, matching, &es.Join)
 			leaves = relop.Project(tuples, 0)
 		}
-		ts, err := climbTuples(e.env, e.es, pat, concrete, leaves)
-		if err != nil {
-			return nil, err
+		if err := climbInto(e.env, es, pat, concrete, leaves, out); err != nil {
+			return err
 		}
-		out = append(out, ts...)
 	}
-	return out, nil
+	return nil
 }
 
-// Bound delegates to the edge forward-link walk, which is how a DataGuide
+// bound delegates to the edge forward-link walk, which is how a DataGuide
 // plan would run an index-nested-loop join (the guide itself has no bound
 // access path).
-func (e *dgEval) Bound(br xpath.Branch, jIdx int, jids []int64) (map[int64][]relop.Tuple, error) {
-	ee := edgeEval{env: e.env, es: e.es}
-	return ee.Bound(br, jIdx, jids)
+func (e *dgEval) bound(n *Node, jids []int64, out *boundRel, es *ExecStats) error {
+	ee := edgeEval{env: e.env}
+	return ee.bound(n, jids, out, es)
 }
 
 // ifEval implements the IF+Edge strategy: the simulated Index Fabric
@@ -80,48 +76,46 @@ func (e *dgEval) Bound(br xpath.Branch, jIdx int, jids []int64) (map[int64][]rel
 // schema summary.
 type ifEval struct {
 	env *Env
-	es  *ExecStats
 }
 
-func (e *ifEval) Free(br xpath.Branch) ([]relop.Tuple, error) {
-	pat, ok := compileBranch(e.env.Dict, br)
-	if !ok {
-		return nil, nil
+func (e *ifEval) free(n *Node, out *brel, es *ExecStats) error {
+	if !n.spec.ok {
+		return nil
 	}
-	var out []relop.Tuple
+	pat := n.spec.pat
+	br := *n.branch
 	for _, concrete := range e.env.Stats.MatchingRootedPaths(pat) {
 		var leaves []int64
-		e.es.IndexLookups++
+		es.IndexLookups++
 		rows, err := e.env.IF.Probe(concrete, br.HasValue, br.Value, func(id int64) error {
 			leaves = append(leaves, id)
 			return nil
 		})
-		e.es.RowsScanned += int64(rows)
+		es.RowsScanned += int64(rows)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		ts, err := climbTuples(e.env, e.es, pat, concrete, leaves)
-		if err != nil {
-			return nil, err
+		if err := climbInto(e.env, es, pat, concrete, leaves, out); err != nil {
+			return err
 		}
-		out = append(out, ts...)
 	}
-	return out, nil
+	return nil
 }
 
-func (e *ifEval) Bound(br xpath.Branch, jIdx int, jids []int64) (map[int64][]relop.Tuple, error) {
-	ee := edgeEval{env: e.env, es: e.es}
-	return ee.Bound(br, jIdx, jids)
+func (e *ifEval) bound(n *Node, jids []int64, out *boundRel, es *ExecStats) error {
+	ee := edgeEval{env: e.env}
+	return ee.bound(n, jids, out, es)
 }
 
-// climbTuples recovers the ids at every pattern position by climbing the
-// backward link index from each leaf id along the known concrete path; a
-// Parent lookup per level is exactly the join cascade the paper charges to
-// the DataGuide and Index Fabric strategies.
-func climbTuples(env *Env, es *ExecStats, pat []pathdict.PStep, concrete pathdict.Path, leaves []int64) ([]relop.Tuple, error) {
+// climbInto recovers the ids at every pattern position by climbing the
+// backward link index from each leaf id along the known concrete path,
+// appending one output row per assignment; a Parent lookup per level is
+// exactly the join cascade the paper charges to the DataGuide and Index
+// Fabric strategies.
+func climbInto(env *Env, es *ExecStats, pat []pathdict.PStep, concrete pathdict.Path, leaves []int64, out *brel) error {
 	asn := pathdict.EnumerateMatches(pat, concrete)
 	if len(asn) == 0 || len(leaves) == 0 {
-		return nil, nil
+		return nil
 	}
 	minPos := len(concrete)
 	for _, pos := range asn {
@@ -129,7 +123,6 @@ func climbTuples(env *Env, es *ExecStats, pat []pathdict.PStep, concrete pathdic
 			minPos = pos[0]
 		}
 	}
-	var out []relop.Tuple
 	chain := make([]int64, len(concrete))
 	for _, leaf := range leaves {
 		// Fill chain[minPos..len-1]; chain[i] is the node at path
@@ -141,7 +134,7 @@ func climbTuples(env *Env, es *ExecStats, pat []pathdict.PStep, concrete pathdic
 			es.IndexLookups++
 			pid, _, ok, err := env.Edge.Parent(cur)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			if !ok || pid == 0 {
 				okChain = false
@@ -154,12 +147,11 @@ func climbTuples(env *Env, es *ExecStats, pat []pathdict.PStep, concrete pathdic
 			continue
 		}
 		for _, pos := range asn {
-			t := make(relop.Tuple, len(pos))
+			row := out.newRow()
 			for i, p := range pos {
-				t[i] = chain[p]
+				row[i] = chain[p]
 			}
-			out = append(out, t)
 		}
 	}
-	return out, nil
+	return nil
 }

@@ -10,16 +10,35 @@ import (
 // descendant (//) steps expand the whole subtree below each candidate. This
 // is the baseline whose per-step join cost the paper's Figures 11 and 12
 // expose.
+//
+// The walk itself stays tuple-at-a-time — its cost is dominated by the
+// per-step index lookups, not by tuple handling — and converts to the
+// caller's block at the boundary. It ignores the compiled probe spec: the
+// walk works from the branch's label steps directly, and counts a lookup
+// per step even for labels that never occur (as the real link indices
+// would).
 type edgeEval struct {
 	env *Env
 	es  *ExecStats
 }
 
-func (e *edgeEval) Free(br xpath.Branch) ([]relop.Tuple, error) {
+func (e *edgeEval) free(n *Node, out *brel, es *ExecStats) error {
+	e.es = es
+	br := *n.branch
+	var tuples []relop.Tuple
+	var err error
 	if br.HasValue {
-		return e.bottomUp(br)
+		tuples, err = e.bottomUp(br)
+	} else {
+		tuples, err = e.topDown(br)
 	}
-	return e.topDown(br)
+	if err != nil {
+		return err
+	}
+	for _, t := range tuples {
+		out.appendRow(t)
+	}
+	return nil
 }
 
 // bottomUp starts from the value index and climbs to the root through the
@@ -175,16 +194,19 @@ func (e *edgeEval) stepFrom(id int64, step xpath.Step) ([]int64, error) {
 	return out, nil
 }
 
-// Bound walks down from each head id through the forward index — the
-// index-nested-loop strategy available to the edge-based plans.
-func (e *edgeEval) Bound(br xpath.Branch, jIdx int, jids []int64) (map[int64][]relop.Tuple, error) {
-	sub := br.Steps[jIdx+1:]
-	out := make(map[int64][]relop.Tuple, len(jids))
+// bound walks down from each head id through the forward index — the
+// index-nested-loop strategy available to the edge-based plans. A group is
+// opened only for head ids with surviving matches, as the old map-of-slices
+// result only held matching keys.
+func (e *edgeEval) bound(n *Node, jids []int64, out *boundRel, es *ExecStats) error {
+	e.es = es
+	br := *n.branch
+	sub := br.Steps[n.jIdx+1:]
 	for _, jid := range jids {
 		e.es.INLProbes++
 		first, err := e.stepFrom(jid, sub[0])
 		if err != nil {
-			return nil, err
+			return err
 		}
 		tuples := make([]relop.Tuple, len(first))
 		for i, id := range first {
@@ -192,17 +214,20 @@ func (e *edgeEval) Bound(br xpath.Branch, jIdx int, jids []int64) (map[int64][]r
 		}
 		tuples, err = e.walkDown(sub[1:], tuples)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		tuples, err = e.filterValue(br, tuples)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if len(tuples) > 0 {
-			out[jid] = tuples
+			out.beginGroup(jid)
+			for _, t := range tuples {
+				copy(out.newRow(), t)
+			}
 		}
 	}
-	return out, nil
+	return nil
 }
 
 // filterValue keeps tuples whose last column carries the branch's leaf

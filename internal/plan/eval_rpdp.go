@@ -1,116 +1,174 @@
 package plan
 
 import (
+	"repro/internal/index"
 	"repro/internal/pathdict"
-	"repro/internal/relop"
-	"repro/internal/xpath"
 )
 
 // rpEval evaluates branches with single ROOTPATHS lookups (FreeIndex).
 // ROOTPATHS cannot probe by head id, so no bound probes: joins are always
-// materialize-and-hash/merge — the asymmetry behind Figure 12(d).
+// materialize-and-hash — the asymmetry behind Figure 12(d).
+//
+// The rp/dp evaluators are the fully batched hot path: rows are decoded
+// once under the index layer (idlist.DecodeDeltaInto through a reused
+// Scratch) and appended straight into the operator's block. The row
+// callback is created once at construction and the per-probe state (the
+// destination block, the compiled spec) is staged on the evaluator, so a
+// steady-state probe performs no allocations at all.
 type rpEval struct {
 	env *Env
-	es  *ExecStats
+	sc  index.Scratch
+
+	// Per-probe stream state read by cb; set before each index probe.
+	out  *brel
+	spec *probeSpec
+	cb   func(fwd pathdict.Path, ids []int64) error
 }
 
-func (e *rpEval) Bound(xpath.Branch, int, []int64) (map[int64][]relop.Tuple, error) {
-	panic("plan: ROOTPATHS does not support bound probes")
+func newRPEval(env *Env) *rpEval {
+	e := &rpEval{env: env}
+	e.cb = e.onRow
+	return e
 }
 
-func (e *rpEval) Free(br xpath.Branch) ([]relop.Tuple, error) {
-	pat, ok := compileBranch(e.env.Dict, br)
-	if !ok {
-		return nil, nil
-	}
-	suffix := suffixSyms(pat)
-	simple := len(suffix) == len(pat)
-	var out []relop.Tuple
-	e.es.IndexLookups++
-	rows, err := e.env.RP.Probe(br.HasValue, br.Value, suffix, func(fwd pathdict.Path, ids []int64) error {
-		for _, pos := range assignments(pat, fwd, simple) {
-			t := make(relop.Tuple, len(pos))
-			for i, p := range pos {
-				t[i] = ids[p] // virtual-root rows: position i binds ids[i]
-			}
-			out = append(out, t)
+// onRow appends the bindings of one index row (a concrete forward path
+// with the ids at every position) to the staged block. When the pattern
+// has no interior // the binding is unique and computed in place; otherwise
+// the general schema-match enumeration runs.
+func (e *rpEval) onRow(fwd pathdict.Path, ids []int64) error {
+	pat := e.spec.pat
+	if e.spec.simple {
+		k := len(pat)
+		if len(fwd) < k || (!pat[0].Desc && len(fwd) != k) {
+			return nil
+		}
+		row := e.out.newRow()
+		base := len(fwd) - k
+		for i := range row {
+			row[i] = ids[base+i] // virtual-root rows: position i binds ids[i]
 		}
 		return nil
-	})
-	e.es.RowsScanned += int64(rows)
-	return out, err
+	}
+	for _, pos := range pathdict.EnumerateMatches(pat, fwd) {
+		row := e.out.newRow()
+		for i, p := range pos {
+			row[i] = ids[p]
+		}
+	}
+	return nil
+}
+
+func (e *rpEval) free(n *Node, out *brel, es *ExecStats) error {
+	if !n.spec.ok {
+		return nil
+	}
+	e.out, e.spec = out, &n.spec
+	es.IndexLookups++
+	rows, err := e.env.RP.ProbeWith(&e.sc, n.branch.HasValue, n.branch.Value, n.spec.suffix, e.cb)
+	es.RowsScanned += int64(rows)
+	return err
+}
+
+func (e *rpEval) bound(*Node, []int64, *boundRel, *ExecStats) error {
+	panic("plan: ROOTPATHS does not support bound probes")
 }
 
 // dpEval evaluates branches with DATAPATHS lookups: FreeIndex via the
 // virtual root (head 0) and BoundIndex via real head ids, the latter being
-// the index-nested-loop probe of Section 3.3.
+// the index-nested-loop probe of Section 3.3. Batched and allocation-free
+// like rpEval.
 type dpEval struct {
 	env *Env
-	es  *ExecStats
+	sc  index.Scratch
+
+	// Per-probe stream state; free probes stage out, bound probes bout.
+	out  *brel
+	bout *boundRel
+	spec *probeSpec
+	cb   func(fwd pathdict.Path, ids []int64) error
+	bcb  func(fwd pathdict.Path, ids []int64) error
 }
 
-func (e *dpEval) Free(br xpath.Branch) ([]relop.Tuple, error) {
-	pat, ok := compileBranch(e.env.Dict, br)
-	if !ok {
-		return nil, nil
-	}
-	suffix := suffixSyms(pat)
-	simple := len(suffix) == len(pat)
-	var out []relop.Tuple
-	e.es.IndexLookups++
-	rows, err := e.env.DP.Probe(0, br.HasValue, br.Value, suffix, func(fwd pathdict.Path, ids []int64) error {
-		for _, pos := range assignments(pat, fwd, simple) {
-			t := make(relop.Tuple, len(pos))
-			for i, p := range pos {
-				t[i] = ids[p]
-			}
-			out = append(out, t)
+func newDPEval(env *Env) *dpEval {
+	e := &dpEval{env: env}
+	e.cb = e.onRow
+	e.bcb = e.onBoundRow
+	return e
+}
+
+func (e *dpEval) onRow(fwd pathdict.Path, ids []int64) error {
+	pat := e.spec.pat
+	if e.spec.simple {
+		k := len(pat)
+		if len(fwd) < k || (!pat[0].Desc && len(fwd) != k) {
+			return nil
+		}
+		row := e.out.newRow()
+		base := len(fwd) - k
+		for i := range row {
+			row[i] = ids[base+i]
 		}
 		return nil
-	})
-	e.es.RowsScanned += int64(rows)
-	return out, err
-}
-
-func (e *dpEval) Bound(br xpath.Branch, jIdx int, jids []int64) (map[int64][]relop.Tuple, error) {
-	// The bound pattern is anchored at the head: head label first (child
-	// axis: the head binds path position 0 of every row), then the
-	// remaining steps.
-	head := br.Nodes[jIdx]
-	sub := br.Steps[jIdx+1:]
-	descs := make([]bool, 0, len(sub)+1)
-	labels := make([]string, 0, len(sub)+1)
-	descs = append(descs, false)
-	labels = append(labels, head.Label)
-	for _, s := range sub {
-		descs = append(descs, s.Axis == xpath.Descendant)
-		labels = append(labels, s.Label)
 	}
-	pat, ok := pathdict.CompileSteps(e.env.Dict, descs, labels)
-	if !ok {
-		return map[int64][]relop.Tuple{}, nil
-	}
-	suffix := suffixSyms(pat)
-	simple := len(suffix) == len(pat)
-	out := make(map[int64][]relop.Tuple, len(jids))
-	for _, jid := range jids {
-		e.es.INLProbes++
-		e.es.IndexLookups++
-		rows, err := e.env.DP.Probe(jid, br.HasValue, br.Value, suffix, func(fwd pathdict.Path, ids []int64) error {
-			for _, pos := range assignments(pat, fwd, simple) {
-				// Row positions: 0 is the head itself, i>0 is ids[i-1].
-				t := make(relop.Tuple, 0, len(pos)-1)
-				for _, p := range pos[1:] {
-					t = append(t, ids[p-1])
-				}
-				out[jid] = append(out[jid], t)
-			}
-			return nil
-		})
-		e.es.RowsScanned += int64(rows)
-		if err != nil {
-			return nil, err
+	for _, pos := range pathdict.EnumerateMatches(pat, fwd) {
+		row := e.out.newRow()
+		for i, p := range pos {
+			row[i] = ids[p]
 		}
 	}
-	return out, nil
+	return nil
+}
+
+// onBoundRow appends the bindings of one bound-probe row. The bound
+// pattern is anchored at the head (child axis at position 0), so row
+// positions shift by one: position 0 is the head itself and position p > 0
+// binds ids[p-1].
+func (e *dpEval) onBoundRow(fwd pathdict.Path, ids []int64) error {
+	pat := e.spec.pat
+	if e.spec.simple {
+		if len(fwd) != len(pat) {
+			return nil
+		}
+		row := e.bout.newRow()
+		for i := range row {
+			row[i] = ids[i]
+		}
+		return nil
+	}
+	for _, pos := range pathdict.EnumerateMatches(pat, fwd) {
+		row := e.bout.newRow()
+		for i, p := range pos[1:] {
+			row[i] = ids[p-1]
+		}
+	}
+	return nil
+}
+
+func (e *dpEval) free(n *Node, out *brel, es *ExecStats) error {
+	if !n.spec.ok {
+		return nil
+	}
+	e.out, e.spec = out, &n.spec
+	es.IndexLookups++
+	rows, err := e.env.DP.ProbeWith(&e.sc, 0, n.branch.HasValue, n.branch.Value, n.spec.suffix, e.cb)
+	es.RowsScanned += int64(rows)
+	return err
+}
+
+func (e *dpEval) bound(n *Node, jids []int64, out *boundRel, es *ExecStats) error {
+	if !n.bspec.ok {
+		return nil
+	}
+	e.bout, e.spec = out, &n.bspec
+	for _, jid := range jids {
+		es.INLProbes++
+		es.IndexLookups++
+		out.beginGroup(jid)
+		rows, err := e.env.DP.ProbeWith(&e.sc, jid, n.branch.HasValue, n.branch.Value, n.bspec.suffix, e.bcb)
+		es.RowsScanned += int64(rows)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }

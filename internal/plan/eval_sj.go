@@ -2,7 +2,7 @@ package plan
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"repro/internal/containment"
 	"repro/internal/xpath"
@@ -13,11 +13,11 @@ import (
 // the [Zhang et al. / Al-Khalifa et al.] approach the paper cites but could
 // not run inside DB2. Each OpRegionScan child fetches one twig node's
 // candidate list (element-list B+-tree, or the value index for valued
-// nodes) and records its own lookup/row counters; the join operator then
-// fully reduces the twig with one bottom-up and one top-down semi-join pass
-// (complete for tree patterns) and returns the output node's surviving
-// candidates.
-func runStructural(env *Env, pat *xpath.Pattern, sj *Node) ([]int64, error) {
+// nodes) and records its own lookup/row counters into its runtime state;
+// the join operator then fully reduces the twig with one bottom-up and one
+// top-down semi-join pass (complete for tree patterns) and returns the
+// output node's surviving candidates in rt.ids.
+func runStructural(rt *Runtime, env *Env, pat *xpath.Pattern, sj *Node) ([]int64, error) {
 	if env.Containment == nil || env.Edge == nil {
 		return nil, fmt.Errorf("plan: structural join requires the containment and edge indices")
 	}
@@ -33,7 +33,8 @@ func runStructural(env *Env, pat *xpath.Pattern, sj *Node) ([]int64, error) {
 		if scan == nil {
 			return fmt.Errorf("plan: structural plan missing region scan for %q", n.Label)
 		}
-		es := &scan.stats
+		st := &rt.states[scan.ord]
+		es := &st.stats
 		var list []containment.Region
 		if n.HasValue {
 			es.IndexLookups++
@@ -60,7 +61,7 @@ func runStructural(env *Env, pat *xpath.Pattern, sj *Node) ([]int64, error) {
 			}
 		}
 		cands[n] = list
-		scan.ActRows = int64(len(list))
+		st.act = int64(len(list))
 		for _, c := range n.Children {
 			if err := build(c); err != nil {
 				return err
@@ -72,7 +73,8 @@ func runStructural(env *Env, pat *xpath.Pattern, sj *Node) ([]int64, error) {
 		return nil, err
 	}
 
-	es := &sj.stats
+	st := &rt.states[sj.ord]
+	es := &st.stats
 	// Bottom-up semi-join reduction: a node survives only if every child
 	// subtree has a match below it.
 	var up func(n *xpath.Node)
@@ -110,12 +112,12 @@ func runStructural(env *Env, pat *xpath.Pattern, sj *Node) ([]int64, error) {
 	}
 	down(pat.Root)
 
-	out := make([]int64, 0, len(cands[pat.Output]))
+	rt.ids = rt.ids[:0]
 	for _, r := range cands[pat.Output] {
-		out = append(out, r.NodeID)
+		rt.ids = append(rt.ids, r.NodeID)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	// Candidates are distinct nodes, so out is already duplicate-free.
-	sj.ActRows = int64(len(out))
-	return out, nil
+	slices.Sort(rt.ids)
+	// Candidates are distinct nodes, so rt.ids is already duplicate-free.
+	st.act = int64(len(rt.ids))
+	return rt.ids, nil
 }

@@ -1,10 +1,5 @@
 package plan
 
-import (
-	"repro/internal/relop"
-	"repro/internal/xpath"
-)
-
 // xrelEval implements the XRel+Edge strategy: the branch pattern is
 // resolved against the normalised path table into concrete path ids — a //
 // expands into *several* equality conditions, one lookup each, which is the
@@ -13,38 +8,35 @@ import (
 // backward-link climbs as in the DataGuide plan.
 type xrelEval struct {
 	env *Env
-	es  *ExecStats
 }
 
-func (e *xrelEval) Free(br xpath.Branch) ([]relop.Tuple, error) {
-	pat, ok := compileBranch(e.env.Dict, br)
-	if !ok {
-		return nil, nil
+func (e *xrelEval) free(n *Node, out *brel, es *ExecStats) error {
+	if !n.spec.ok {
+		return nil
 	}
-	var out []relop.Tuple
+	pat := n.spec.pat
+	br := *n.branch
 	for _, pid := range e.env.XRel.MatchingPathIDs(pat) {
 		concrete := e.env.XRel.Paths().Path(pid)
 		var leaves []int64
-		e.es.IndexLookups++
-		e.es.touchRelation(pid)
+		es.IndexLookups++
+		es.touchRelation(pid)
 		rows, err := e.env.XRel.Probe(pid, br.HasValue, br.Value, func(id int64) error {
 			leaves = append(leaves, id)
 			return nil
 		})
-		e.es.RowsScanned += int64(rows)
+		es.RowsScanned += int64(rows)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		ts, err := climbTuples(e.env, e.es, pat, concrete, leaves)
-		if err != nil {
-			return nil, err
+		if err := climbInto(e.env, es, pat, concrete, leaves, out); err != nil {
+			return err
 		}
-		out = append(out, ts...)
 	}
-	return out, nil
+	return nil
 }
 
-func (e *xrelEval) Bound(br xpath.Branch, jIdx int, jids []int64) (map[int64][]relop.Tuple, error) {
-	ee := edgeEval{env: e.env, es: e.es}
-	return ee.Bound(br, jIdx, jids)
+func (e *xrelEval) bound(n *Node, jids []int64, out *boundRel, es *ExecStats) error {
+	ee := edgeEval{env: e.env}
+	return ee.bound(n, jids, out, es)
 }

@@ -1,11 +1,6 @@
 package plan
 
-import (
-	"fmt"
-
-	"repro/internal/relop"
-	"repro/internal/xpath"
-)
+import "repro/internal/xpath"
 
 // Execute runs the pattern under the given strategy and returns the sorted
 // distinct ids of the output node's matches. It is Build followed by
@@ -19,219 +14,31 @@ func Execute(env *Env, strat Strategy, pat *xpath.Pattern) ([]int64, *ExecStats,
 	return ExecuteTree(env, t)
 }
 
-// ExecuteTree runs a built plan tree, filling every operator's actual
-// cardinality and counters, and returns the result ids plus the
-// aggregated, operator-fed ExecStats (whose Plan field is the executed
-// tree). A tree is single-use per execution; re-executing resets its
-// runtime state first.
+// ExecuteTree runs a built plan tree and returns the result ids plus the
+// aggregated, operator-fed ExecStats, whose Plan field is an executed view
+// of the tree (estimates from the template, actuals from this run). The
+// tree itself is never mutated: every per-run value lives in a Runtime
+// drawn from the tree's pool, so one tree — a plan-cache entry, say — can
+// execute from any number of goroutines concurrently.
 func ExecuteTree(env *Env, t *Tree) ([]int64, *ExecStats, error) {
-	if t.Executed {
-		t.resetRuntime()
-	}
-	ids, err := runRoot(env, t)
-	t.Executed = true
-	es := t.aggregate()
-	return ids, es, err
+	rt := t.runtime()
+	ids, err := rt.run(env)
+	es := &ExecStats{}
+	rt.aggregate(es)
+	es.Plan = rt.view()
+	out := append([]int64(nil), ids...)
+	t.recycle(rt)
+	return out, es, err
 }
 
-func runRoot(env *Env, t *Tree) ([]int64, error) {
-	if t.Root.Kind == OpStructuralJoin {
-		return runStructural(env, t.Pattern, t.Root)
-	}
-	ex := &treeExec{env: env, strat: t.Strategy}
-	// The root is always Dedup over Project.
-	r, err := ex.run(t.Root.Children[0])
-	if err != nil {
-		return nil, err
-	}
-	root := t.Root
-	if len(r.tuples) == 0 {
-		root.ActRows = 0
-		return nil, nil
-	}
-	ids := relop.DistinctInts(relop.Project(r.tuples, 0))
-	root.ActRows = int64(len(ids))
-	return ids, nil
-}
-
-// treeExec runs the branch-strategy operators; every operator writes its
-// own counters (node.stats) and actual output cardinality.
-type treeExec struct {
-	env   *Env
-	strat Strategy
-}
-
-// run evaluates one relation-producing operator. When an operator's input
-// relation is empty it short-circuits: the remaining side of the join is
-// never evaluated (its ActRows stays -1, rendered as "not run" by
-// EXPLAIN), exactly as the serial executor has always skipped branches
-// once the intermediate result is empty.
-func (ex *treeExec) run(n *Node) (*rel, error) {
-	switch n.Kind {
-	case OpIndexProbe:
-		return ex.runProbe(n)
-	case OpHashJoin:
-		return ex.runHashJoin(n)
-	case OpINLJoin:
-		return ex.runINLJoin(n)
-	case OpPathFilter:
-		return ex.runPathFilter(n)
-	case OpProject:
-		return ex.runProject(n)
-	}
-	return nil, fmt.Errorf("plan: unexpected operator %s in branch plan", n.Kind)
-}
-
-// finish applies the operator's retained-column projection (the relational
-// plan's DISTINCT on branch-point ids) and records the actual cardinality.
-func (n *Node) finish(r *rel) *rel {
-	if n.keep != nil {
-		r.project(n.keep)
-	}
-	n.ActRows = int64(len(r.tuples))
-	return r
-}
-
-func (ex *treeExec) runProbe(n *Node) (*rel, error) {
-	tuples := n.cached
-	n.cached = nil // don't pin the materialised branch via ExecStats.Plan
-	if !n.hasCached {
-		ev, err := newEvaluator(ex.env, ex.strat, &n.stats)
-		if err != nil {
-			return nil, err
-		}
-		if tuples, err = ev.Free(*n.branch); err != nil {
-			return nil, err
-		}
-	}
-	r := &rel{
-		cols:   append([]*xpath.Node(nil), n.branch.Nodes...),
-		tuples: relop.DistinctTuples(tuples),
-	}
-	return n.finish(r), nil
-}
-
-func (ex *treeExec) runHashJoin(n *Node) (*rel, error) {
-	left, err := ex.run(n.Children[0])
-	if err != nil {
-		return nil, err
-	}
-	if len(left.tuples) == 0 {
-		return left, nil
-	}
-	right, err := ex.run(n.Children[1])
-	if err != nil {
-		return nil, err
-	}
-	br := *n.branch
-	jIdx := br.IndexOf(n.jNode)
-	jCol := left.col(n.jNode)
-	if jIdx < 0 || jCol < 0 {
-		return nil, fmt.Errorf("plan: branch %s shares no node with the intermediate result", br)
-	}
-	newNodes := br.Nodes[jIdx+1:]
-	// Project the branch tuples down to join column + new columns.
-	proj := make([]relop.Tuple, len(right.tuples))
-	for i, t := range right.tuples {
-		nt := make(relop.Tuple, 0, 1+len(newNodes))
-		nt = append(nt, t[jIdx])
-		nt = append(nt, t[jIdx+1:]...)
-		proj[i] = nt
-	}
-	joined := relop.HashJoin(left.tuples, proj, jCol, 0, &n.stats.Join)
-	// Drop the duplicated join column (first column of the right side).
-	width := len(left.cols)
-	for i, t := range joined {
-		joined[i] = append(t[:width], t[width+1:]...)
-	}
-	r := &rel{
-		cols:   append(append([]*xpath.Node(nil), left.cols...), newNodes...),
-		tuples: relop.DistinctTuples(joined),
-	}
-	return n.finish(r), nil
-}
-
-func (ex *treeExec) runINLJoin(n *Node) (*rel, error) {
-	left, err := ex.run(n.Children[0])
-	if err != nil {
-		return nil, err
-	}
-	if len(left.tuples) == 0 {
-		return left, nil
-	}
-	br := *n.branch
-	jIdx := br.IndexOf(n.jNode)
-	jCol := left.col(n.jNode)
-	if jIdx < 0 || jCol < 0 {
-		return nil, fmt.Errorf("plan: branch %s shares no node with the intermediate result", br)
-	}
-	ev, err := newEvaluator(ex.env, ex.strat, &n.stats)
-	if err != nil {
-		return nil, err
-	}
-	jids := relop.DistinctInts(relop.Project(left.tuples, jCol))
-	subs, err := ev.Bound(br, jIdx, jids)
-	if err != nil {
-		return nil, err
-	}
-	var out []relop.Tuple
-	for _, t := range left.tuples {
-		for _, sub := range subs[t[jCol]] {
-			nt := make(relop.Tuple, 0, len(t)+len(sub))
-			nt = append(nt, t...)
-			nt = append(nt, sub...)
-			out = append(out, nt)
-		}
-	}
-	n.stats.Join.TuplesIn += int64(len(left.tuples))
-	n.stats.Join.TuplesOut += int64(len(out))
-	r := &rel{
-		cols:   append(append([]*xpath.Node(nil), left.cols...), br.Nodes[jIdx+1:]...),
-		tuples: relop.DistinctTuples(out),
-	}
-	return n.finish(r), nil
-}
-
-func (ex *treeExec) runPathFilter(n *Node) (*rel, error) {
-	left, err := ex.run(n.Children[0])
-	if err != nil {
-		return nil, err
-	}
-	if len(left.tuples) == 0 {
-		return left, nil
-	}
-	right, err := ex.run(n.Children[1])
-	if err != nil {
-		return nil, err
-	}
-	// The branch adds no new columns: semi-join on its leaf column.
-	keyCol := len(n.branch.Nodes) - 1
-	lCol := left.col(n.jNode)
-	if lCol < 0 {
-		return nil, fmt.Errorf("plan: branch %s shares no node with the intermediate result", *n.branch)
-	}
-	keys := relop.KeySet(right.tuples, keyCol)
-	left.tuples = relop.SemiJoin(left.tuples, lCol, keys, &n.stats.Join)
-	return n.finish(left), nil
-}
-
-func (ex *treeExec) runProject(n *Node) (*rel, error) {
-	r, err := ex.run(n.Children[0])
-	if err != nil {
-		return nil, err
-	}
-	if len(r.tuples) == 0 {
-		n.ActRows = 0
-		return &rel{cols: []*xpath.Node{n.output}}, nil
-	}
-	outCol := r.col(n.output)
-	if outCol < 0 {
-		return nil, fmt.Errorf("plan: output node %q not covered", n.output.Label)
-	}
-	tuples := make([]relop.Tuple, len(r.tuples))
-	for i, t := range r.tuples {
-		tuples[i] = relop.Tuple{t[outCol]}
-	}
-	n.ActRows = int64(len(tuples))
-	return &rel{cols: []*xpath.Node{n.output}, tuples: tuples}, nil
+// ExecuteTreeWith runs a built plan tree on a caller-managed Runtime (see
+// NewRuntime) — the steady-state path for repeated executions of a cached
+// plan. The returned ids and ExecStats are owned by the runtime and valid
+// only until its next run; the stats carry no Plan view. A warmed runtime
+// executes without allocating.
+func ExecuteTreeWith(env *Env, t *Tree, rt *Runtime) ([]int64, *ExecStats, error) {
+	ids, err := rt.run(env)
+	rt.agg.reset()
+	rt.aggregate(&rt.agg)
+	return ids, &rt.agg, err
 }

@@ -2,8 +2,9 @@ package plan
 
 import (
 	"fmt"
+	"sync"
 
-	"repro/internal/relop"
+	"repro/internal/pathdict"
 	"repro/internal/xpath"
 )
 
@@ -66,9 +67,10 @@ func (k OpKind) String() string {
 }
 
 // Node is one physical operator in a plan tree. The builder fills the
-// estimates; execution fills ActRows and the per-operator counters — the
-// query-level ExecStats is the sum over the tree's nodes, so the counters
-// are fed by the operators themselves rather than by ad-hoc increments.
+// estimates and finalize precomputes the execution layout; after that a
+// tree is immutable — every per-run value (actual cardinalities, counters,
+// output blocks) lives in the Runtime executing it, which is what lets the
+// engine's plan cache hand one tree to any number of concurrent queries.
 type Node struct {
 	Kind    OpKind
 	Detail  string  // access-method / join-site rendering for EXPLAIN
@@ -79,24 +81,42 @@ type Node struct {
 
 	// ActRows is the operator's actual output cardinality, or -1 when the
 	// operator did not run (not yet executed, or skipped because an
-	// earlier operator produced an empty relation).
+	// earlier operator produced an empty relation). Always -1 on plan
+	// templates; filled on the executed view trees ExecStats.Plan carries.
 	ActRows int64
 
-	// Builder state consumed by the executor.
+	// Builder state consumed by finalize and the executor.
 	branch *xpath.Branch        // probed branch (IndexProbe, INLJoin, PathFilter)
 	jNode  *xpath.Node          // join / filter twig node (HashJoin, INLJoin, PathFilter)
 	keep   map[*xpath.Node]bool // columns retained after this operator
 	output *xpath.Node          // Project: the output column
 	twig   *xpath.Node          // RegionScan: twig node whose candidates are fetched
 
-	// stats is this operator's share of the query counters; probes count
-	// their lookups and rows, joins their tuple flow.
-	stats ExecStats
+	// Execution layout, precomputed once by finalize so the executor and
+	// the evaluators never compile a pattern or search a column at run
+	// time.
+	ord     int       // index into the runtime's per-operator state array
+	jIdx    int       // join node's index in branch.Nodes (joins)
+	jCol    int       // join node's column in the left input (joins)
+	keyCol  int       // branch leaf column in the probe output (PathFilter)
+	lCol    int       // jNode's column in the left input (PathFilter)
+	outCol  int       // output node's column (Project)
+	keepIdx []int     // retained-column projection (nil = keep every column)
+	spec    probeSpec // compiled free-probe pattern (IndexProbe)
+	bspec   probeSpec // compiled bound-probe pattern (INLJoin)
+}
 
-	// cached holds pre-materialised probe output installed by the
-	// parallel executor (nil otherwise).
-	cached    []relop.Tuple
-	hasCached bool
+// probeSpec is a branch probe's designator pattern, compiled once at
+// finalize time. Strategies that resolve branches through the dictionary
+// read it instead of recompiling per execution; the edge walk ignores it
+// (it works from the branch's label steps directly).
+type probeSpec struct {
+	ok         bool             // false: a label never occurs in the data
+	pat        []pathdict.PStep // compiled designator pattern
+	suffix     pathdict.Path    // deepest //-free suffix (the B+-tree probe suffix)
+	simple     bool             // no interior //: unique assignment per row
+	anchored   []pathdict.PStep // pat with the leading // removed (per-path families)
+	needRooted bool             // pattern is root-anchored (no leading //)
 }
 
 // Walk visits the subtree in depth-first pre-order, passing each node's
@@ -113,7 +133,9 @@ func (n *Node) Walk(fn func(node *Node, depth int)) {
 }
 
 // Tree is a complete physical plan: the operator tree, the strategy whose
-// access methods its probes use, and the plan-level estimates.
+// access methods its probes use, and the plan-level estimates. After Build
+// a tree is immutable and safe to execute from any number of goroutines
+// concurrently — runtimes pool on it.
 type Tree struct {
 	Strategy Strategy
 	Pattern  *xpath.Pattern
@@ -123,52 +145,23 @@ type Tree struct {
 	EstCost float64
 	// Branches is the number of covering branches the plan evaluates.
 	Branches int
-	// Executed reports whether the tree has been run (ActRows valid).
+	// Executed reports whether this tree carries actuals. False on plan
+	// templates; true on the executed view trees ExecStats.Plan carries.
 	Executed bool
 	// Parallel reports whether the probe leaves were fanned out over
-	// worker goroutines when the tree ran.
+	// worker goroutines when the tree ran (view trees only).
 	Parallel bool
+
+	// Finalize products: the flat operator list (index = Node.ord), the
+	// identity-deduplicated probe leaves the parallel executor fans out,
+	// and the pool of reusable Runtimes.
+	nodes  []*Node
+	probes []*Node
+	pool   sync.Pool
 }
 
 // Walk visits every operator of the tree in depth-first pre-order.
 func (t *Tree) Walk(fn func(node *Node, depth int)) { t.Root.Walk(fn) }
-
-// aggregate sums the per-operator counters into a query-level ExecStats and
-// attaches the executed tree to it.
-func (t *Tree) aggregate() *ExecStats {
-	es := &ExecStats{}
-	t.Walk(func(n *Node, _ int) {
-		o := &n.stats
-		es.IndexLookups += o.IndexLookups
-		es.RowsScanned += o.RowsScanned
-		es.INLProbes += o.INLProbes
-		es.Join.Add(o.Join)
-		for id := range o.relations {
-			es.touchRelation(id)
-		}
-		if n.Kind == OpINLJoin && n.ActRows >= 0 {
-			es.UsedINL = true
-		}
-	})
-	es.BranchesJoined = t.Branches
-	es.Parallel = t.Parallel
-	es.Plan = t
-	return es
-}
-
-// resetRuntime clears execution state so a tree can be re-run (plans are
-// otherwise single-use; the engine's plan cache stores strategy choices,
-// not trees, precisely because actuals are per-execution).
-func (t *Tree) resetRuntime() {
-	t.Walk(func(n *Node, _ int) {
-		n.ActRows = -1
-		n.stats = ExecStats{}
-		n.cached = nil
-		n.hasCached = false
-	})
-	t.Executed = false
-	t.Parallel = false
-}
 
 // probeDetail renders the access-method description of a branch probe.
 func probeDetail(strat Strategy, br xpath.Branch) string {
@@ -193,7 +186,7 @@ func accessMethodName(s Strategy) string {
 	case JoinIndexPlan:
 		return "JoinIndex"
 	case XRelPlan:
-		return "XRel"
+		return "XRel+Edge"
 	case StructuralJoinPlan:
 		return "element-lists"
 	}

@@ -1,10 +1,8 @@
 package plan
 
 import (
-	"runtime"
 	"sync"
 
-	"repro/internal/relop"
 	"repro/internal/xpath"
 )
 
@@ -17,14 +15,12 @@ import (
 // ids are identical to Execute's — the fan-out changes wall-clock shape,
 // not semantics — which is what the differential harness asserts.
 //
-// workers <= 0 uses GOMAXPROCS; workers == 1 (or a single-branch pattern,
-// or the structural-join strategy, whose twig-wide join is sequential)
-// falls back to the serial executor.
+// The worker count goes through ResolveWorkers (<= 0 means GOMAXPROCS,
+// capped by the probe count); a resolved count of 1 — or the
+// structural-join strategy, whose twig-wide join is sequential — falls back
+// to the serial executor.
 func ExecuteParallel(env *Env, strat Strategy, pat *xpath.Pattern, workers int) ([]int64, *ExecStats, error) {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers <= 1 || strat == StructuralJoinPlan {
+	if ResolveWorkers(workers, 0) <= 1 || strat == StructuralJoinPlan {
 		return Execute(env, strat, pat)
 	}
 	// Single-branch trees fall back to serial execution inside
@@ -41,77 +37,65 @@ func ExecuteParallel(env *Env, strat Strategy, pat *xpath.Pattern, workers int) 
 
 // ExecuteTreeParallel is the generic parallel executor: it works on any
 // plan tree by materialising every OpIndexProbe leaf concurrently (at most
-// `workers` in flight, <= 0 meaning GOMAXPROCS), then running the tree's
-// join/filter/projection spine serially over the pre-materialised leaves.
-// Trees without at least two probe leaves (or workers == 1) run entirely
-// serially.
+// ResolveWorkers(workers, probes) in flight), then running the tree's
+// join/filter/projection spine over the pre-materialised leaves. Trees
+// without at least two probe leaves (or a resolved worker count of 1) run
+// entirely serially. Like ExecuteTree it never mutates the tree — each
+// worker writes only its own probe's slot in the run's private Runtime —
+// so cached trees can run parallel from many goroutines at once.
 func ExecuteTreeParallel(env *Env, t *Tree, workers int) ([]int64, *ExecStats, error) {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+	rt := t.runtime()
+	ids, err := rt.runParallel(env, workers)
+	es := &ExecStats{}
+	rt.aggregate(es)
+	es.Plan = rt.view()
+	out := append([]int64(nil), ids...)
+	t.recycle(rt)
+	return out, es, err
+}
+
+// runParallel materialises the tree's probe leaves on worker goroutines,
+// then runs the spine. Each worker gets a private evaluator (evaluators
+// are not goroutine-safe) and writes only its probe's runState — the
+// states of distinct operators never alias — so the run has no shared
+// mutable state beyond the WaitGroup.
+func (rt *Runtime) runParallel(env *Env, workers int) ([]int64, error) {
+	rt.reset(env)
+	probes := rt.tree.probes
+	workers = ResolveWorkers(workers, len(probes))
+	if workers <= 1 || len(probes) <= 1 {
+		return rt.spine(env)
 	}
-	if t.Executed {
-		t.resetRuntime()
-	}
-	// Collect the probe leaves, deduplicated by identity: a tree that
-	// shares one probe node between two parents must materialise — and
-	// count — it exactly once, not race two goroutines over it.
-	var probes []*Node
-	seen := map[*Node]bool{}
-	t.Walk(func(n *Node, _ int) {
-		if n.Kind == OpIndexProbe && !seen[n] {
-			seen[n] = true
-			probes = append(probes, n)
-		}
-	})
-	if workers > 1 && len(probes) > 1 {
-		t.Parallel = true
-		sem := make(chan struct{}, workers)
-		// Branch goroutines write only their private result slot — never
-		// the shared plan nodes. The per-operator counters and cached
-		// tuples are installed into the nodes after the barrier, on this
-		// goroutine, so tree state has a single writer (asserted by the
-		// serial-vs-parallel ExecStats equality test under -race).
-		type probeResult struct {
-			tuples []relop.Tuple
-			stats  ExecStats
-			err    error
-		}
-		results := make([]probeResult, len(probes))
-		var wg sync.WaitGroup
-		for i, p := range probes {
-			wg.Add(1)
-			go func(i int, p *Node) {
-				defer wg.Done()
-				sem <- struct{}{}
-				defer func() { <-sem }()
-				r := &results[i]
-				ev, err := newEvaluator(env, t.Strategy, &r.stats)
-				if err == nil {
-					r.tuples, err = ev.Free(*p.branch)
-				}
-				r.err = err
-			}(i, p)
-		}
-		wg.Wait()
-		// Install every completed probe's counters before reporting any
-		// error, so the aggregated ExecStats accounts for all the work
-		// that actually ran.
-		for i, p := range probes {
-			if results[i].err != nil {
-				continue
+	rt.parallel = true
+	sem := make(chan struct{}, workers)
+	errs := make([]error, len(probes))
+	var wg sync.WaitGroup
+	for i, p := range probes {
+		wg.Add(1)
+		go func(i int, p *Node) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			st := &rt.states[p.ord]
+			st.out.reset(len(p.branch.Nodes))
+			ev, err := newEvaluator(env, rt.tree.Strategy)
+			if err == nil {
+				err = ev.free(p, &st.out, &st.stats)
 			}
-			p.stats = results[i].stats
-			p.cached = results[i].tuples
-			p.hasCached = true
-		}
-		for i := range probes {
-			if err := results[i].err; err != nil {
-				t.Executed = true
-				return nil, t.aggregate(), err
+			if err == nil {
+				st.cached = true
 			}
+			errs[i] = err
+		}(i, p)
+	}
+	wg.Wait()
+	// Every completed probe's counters are already in its runState, so the
+	// aggregated ExecStats accounts for all the work that ran even when
+	// some probe failed.
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
 		}
 	}
-	ids, err := runRoot(env, t)
-	t.Executed = true
-	return ids, t.aggregate(), err
+	return rt.spine(env)
 }

@@ -166,57 +166,23 @@ func (es *ExecStats) touchRelation(id pathdict.PathID) {
 // estimated intermediate result size.
 const inlFactor = 4
 
-// rel is an intermediate result: tuples with one column per twig node.
-type rel struct {
-	cols   []*xpath.Node
-	tuples []relop.Tuple
-}
-
-func (r *rel) col(n *xpath.Node) int {
-	for i, c := range r.cols {
-		if c == n {
-			return i
-		}
-	}
-	return -1
-}
-
-// project keeps only the columns in keep and deduplicates the tuples.
-func (r *rel) project(keep map[*xpath.Node]bool) {
-	var idx []int
-	var cols []*xpath.Node
-	for i, c := range r.cols {
-		if keep[c] {
-			idx = append(idx, i)
-			cols = append(cols, c)
-		}
-	}
-	if len(cols) == len(r.cols) {
-		r.tuples = relop.DistinctTuples(r.tuples)
-		return
-	}
-	out := make([]relop.Tuple, len(r.tuples))
-	for i, t := range r.tuples {
-		nt := make(relop.Tuple, len(idx))
-		for j, c := range idx {
-			nt[j] = t[c]
-		}
-		out[i] = nt
-	}
-	r.cols = cols
-	r.tuples = relop.DistinctTuples(out)
-}
-
 // evaluator is the strategy-specific access-method machinery behind the
-// probe operators.
+// probe operators. Evaluators append rows into caller-owned blocks and
+// count their work into the caller's per-operator stats; one evaluator is
+// cached on each Runtime and reused across executions, so its internal
+// scratch (decode buffers, iterators) amortises to zero allocations. An
+// evaluator is not goroutine-safe — the parallel executor builds one per
+// worker.
 type evaluator interface {
-	// Free evaluates a branch from scratch, returning tuples with one
-	// column per br.Nodes entry. Feeds OpIndexProbe.
-	Free(br xpath.Branch) ([]relop.Tuple, error)
-	// Bound evaluates the branch below br.Nodes[jIdx] for each head id in
-	// jids, returning tuples with one column per br.Nodes[jIdx+1:] entry.
-	// Feeds OpINLJoin; only strategies with canBound() support it.
-	Bound(br xpath.Branch, jIdx int, jids []int64) (map[int64][]relop.Tuple, error)
+	// free evaluates n's branch from scratch, appending rows with one
+	// column per branch.Nodes entry into out (already reset to that
+	// width). Feeds OpIndexProbe.
+	free(n *Node, out *brel, es *ExecStats) error
+	// bound evaluates the branch below branch.Nodes[n.jIdx] for each head
+	// id in jids (sorted, distinct), appending one group per matching id
+	// into out (already reset to the sub-branch width). Feeds OpINLJoin;
+	// only strategies with canBound() support it.
+	bound(n *Node, jids []int64, out *boundRel, es *ExecStats) error
 }
 
 // branchOrder orders branches by estimated (exact) match count, cheapest
@@ -327,30 +293,30 @@ func suffixSyms(pat []pathdict.PStep) pathdict.Path {
 	return out
 }
 
-// newEvaluator constructs the access-method adapter for a strategy, wiring
-// its counters to es (each probe operator passes its own stats, so the
-// counters are attributed to the operator that did the work).
-func newEvaluator(env *Env, strat Strategy, es *ExecStats) (evaluator, error) {
+// newEvaluator constructs the access-method adapter for a strategy. The
+// per-operator counters are passed per call (each probe operator hands its
+// own stats in, so the work is attributed to the operator that did it).
+func newEvaluator(env *Env, strat Strategy) (evaluator, error) {
 	if err := checkIndices(env, strat); err != nil {
 		return nil, err
 	}
 	switch strat {
 	case RootPathsPlan:
-		return &rpEval{env: env, es: es}, nil
+		return newRPEval(env), nil
 	case DataPathsPlan:
-		return &dpEval{env: env, es: es}, nil
+		return newDPEval(env), nil
 	case EdgePlan:
-		return &edgeEval{env: env, es: es}, nil
+		return &edgeEval{env: env}, nil
 	case DataGuideEdgePlan:
-		return &dgEval{env: env, es: es}, nil
+		return &dgEval{env: env}, nil
 	case FabricEdgePlan:
-		return &ifEval{env: env, es: es}, nil
+		return &ifEval{env: env}, nil
 	case ASRPlan:
-		return &asrEval{env: env, es: es}, nil
+		return &asrEval{env: env}, nil
 	case JoinIndexPlan:
-		return &jiEval{env: env, es: es}, nil
+		return &jiEval{env: env}, nil
 	case XRelPlan:
-		return &xrelEval{env: env, es: es}, nil
+		return &xrelEval{env: env}, nil
 	}
 	return nil, fmt.Errorf("plan: strategy %v has no branch evaluator", strat)
 }

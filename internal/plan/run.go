@@ -1,0 +1,382 @@
+package plan
+
+import (
+	"fmt"
+	"slices"
+)
+
+// Runtime is the private per-execution state of one plan tree: per-operator
+// actual cardinalities, counters and output blocks, plus the shared scratch
+// (join-id buffer, hash table, result ids) every operator draws from. Plan
+// trees themselves are immutable after Build — the engine's plan cache
+// hands the same *Tree to concurrent queries — so everything a run mutates
+// lives here. Runtimes pool on the tree (sync.Pool), which is what makes a
+// steady-state cache-hit query allocation-free: the blocks it fills were
+// allocated by some earlier execution of the same cached plan.
+type Runtime struct {
+	tree   *Tree
+	states []runState
+
+	// env and eval cache the evaluator for the environment the runtime last
+	// ran against; a different env pointer (e.g. the bounded-staleness env
+	// copies the engine hands out while statistics derive) rebuilds it.
+	env  *Env
+	eval evaluator
+
+	ids  []int64 // final result ids (owned by the runtime)
+	jids []int64 // scratch: distinct join ids for INL probes
+	ht   hashTab // shared hash table (join build / key set / group lookup)
+
+	agg      ExecStats // aggregate of the last run (ExecuteTreeWith reuse)
+	parallel bool
+}
+
+// runState is one operator's execution state.
+type runState struct {
+	act    int64
+	stats  ExecStats
+	out    brel
+	bout   boundRel
+	cached bool // out holds pre-materialised probe output (parallel executor)
+}
+
+// NewRuntime returns a standalone runtime for t, for callers that manage
+// reuse themselves (ExecuteTreeWith); ExecuteTree draws from the tree's
+// internal pool instead.
+func NewRuntime(t *Tree) *Runtime {
+	return &Runtime{tree: t, states: make([]runState, len(t.nodes))}
+}
+
+func (t *Tree) runtime() *Runtime {
+	if rt, ok := t.pool.Get().(*Runtime); ok {
+		return rt
+	}
+	return NewRuntime(t)
+}
+
+func (t *Tree) recycle(rt *Runtime) { t.pool.Put(rt) }
+
+// reset prepares the runtime for a run against env.
+func (rt *Runtime) reset(env *Env) {
+	for i := range rt.states {
+		st := &rt.states[i]
+		st.act = -1
+		st.stats.reset()
+		st.cached = false
+	}
+	rt.ids = rt.ids[:0]
+	rt.parallel = false
+	if rt.env != env {
+		rt.env = env
+		rt.eval = nil
+	}
+}
+
+// evaluator returns the cached strategy evaluator, building it on first use
+// (or after an env change).
+func (rt *Runtime) evaluator() (evaluator, error) {
+	if rt.eval == nil {
+		ev, err := newEvaluator(rt.env, rt.tree.Strategy)
+		if err != nil {
+			return nil, err
+		}
+		rt.eval = ev
+	}
+	return rt.eval, nil
+}
+
+// run executes the tree, leaving per-operator state in rt and the sorted
+// distinct output ids in rt.ids.
+func (rt *Runtime) run(env *Env) ([]int64, error) {
+	rt.reset(env)
+	return rt.spine(env)
+}
+
+// spine runs the operator tree without resetting — the parallel executor
+// resets, installs its pre-materialised probe blocks, then calls spine.
+func (rt *Runtime) spine(env *Env) ([]int64, error) {
+	t := rt.tree
+	if t.Root.Kind == OpStructuralJoin {
+		return runStructural(rt, env, t.Pattern, t.Root)
+	}
+	// The root is always Dedup over Project.
+	r, err := rt.exec(t.Root.Children[0])
+	if err != nil {
+		return nil, err
+	}
+	root := &rt.states[t.Root.ord]
+	if r.rows() == 0 {
+		root.act = 0
+		return nil, nil
+	}
+	// r is the project output: width 1. Dedup into the runtime's id buffer.
+	rt.ids = append(rt.ids[:0], r.data...)
+	slices.Sort(rt.ids)
+	rt.ids = compactInts(rt.ids)
+	root.act = int64(len(rt.ids))
+	return rt.ids, nil
+}
+
+func compactInts(ids []int64) []int64 {
+	out := ids[:0]
+	for i, id := range ids {
+		if i > 0 && id == out[len(out)-1] {
+			continue
+		}
+		out = append(out, id)
+	}
+	return out
+}
+
+// exec evaluates one relation-producing operator into its runState's block.
+// When an operator's input relation is empty it short-circuits: the
+// remaining side of the join is never evaluated (its act stays -1, rendered
+// as "not run" by EXPLAIN), exactly as the executor has always skipped
+// branches once the intermediate result is empty.
+func (rt *Runtime) exec(n *Node) (*brel, error) {
+	switch n.Kind {
+	case OpIndexProbe:
+		return rt.runProbe(n)
+	case OpHashJoin:
+		return rt.runHashJoin(n)
+	case OpINLJoin:
+		return rt.runINLJoin(n)
+	case OpPathFilter:
+		return rt.runPathFilter(n)
+	case OpProject:
+		return rt.runProject(n)
+	}
+	return nil, fmt.Errorf("plan: unexpected operator %s in branch plan", n.Kind)
+}
+
+// finish applies the operator's retained-column projection (the relational
+// plan's DISTINCT on branch-point ids) and records the actual cardinality.
+func (rt *Runtime) finish(n *Node, st *runState) *brel {
+	if n.keepIdx != nil {
+		st.out.projectInPlace(n.keepIdx)
+	}
+	st.out.sortDistinct()
+	st.act = int64(st.out.rows())
+	return &st.out
+}
+
+func (rt *Runtime) runProbe(n *Node) (*brel, error) {
+	st := &rt.states[n.ord]
+	if !st.cached {
+		st.out.reset(len(n.branch.Nodes))
+		ev, err := rt.evaluator()
+		if err != nil {
+			return nil, err
+		}
+		if err := ev.free(n, &st.out, &st.stats); err != nil {
+			return nil, err
+		}
+	}
+	st.cached = false
+	return rt.finish(n, st), nil
+}
+
+func (rt *Runtime) runHashJoin(n *Node) (*brel, error) {
+	left, err := rt.exec(n.Children[0])
+	if err != nil {
+		return nil, err
+	}
+	if left.rows() == 0 {
+		return left, nil
+	}
+	right, err := rt.exec(n.Children[1])
+	if err != nil {
+		return nil, err
+	}
+	st := &rt.states[n.ord]
+	st.stats.Join.TuplesIn += int64(left.rows() + right.rows())
+	// Build on the (full-width) right branch relation, probe with the left:
+	// joined rows are left columns ++ the branch's new columns below the
+	// join node.
+	rrows := right.rows()
+	rt.ht.init(rrows)
+	for i := 0; i < rrows; i++ {
+		rt.ht.insert(right.row(i)[n.jIdx], int32(i))
+	}
+	st.out.reset(left.width + right.width - n.jIdx - 1)
+	lrows := left.rows()
+	for i := 0; i < lrows; i++ {
+		lrow := left.row(i)
+		for h := rt.ht.first(lrow[n.jCol]); h != 0; h = rt.ht.next[h-1] {
+			row := st.out.newRow()
+			copy(row, lrow)
+			copy(row[left.width:], right.row(int(h-1))[n.jIdx+1:])
+		}
+	}
+	st.stats.Join.TuplesOut += int64(st.out.rows())
+	return rt.finish(n, st), nil
+}
+
+func (rt *Runtime) runINLJoin(n *Node) (*brel, error) {
+	left, err := rt.exec(n.Children[0])
+	if err != nil {
+		return nil, err
+	}
+	if left.rows() == 0 {
+		return left, nil
+	}
+	st := &rt.states[n.ord]
+	// Distinct join ids, sorted (probe order is deterministic).
+	rt.jids = rt.jids[:0]
+	for i, lrows := 0, left.rows(); i < lrows; i++ {
+		rt.jids = append(rt.jids, left.row(i)[n.jCol])
+	}
+	slices.Sort(rt.jids)
+	rt.jids = compactInts(rt.jids)
+
+	st.bout.reset(len(n.branch.Nodes) - n.jIdx - 1)
+	ev, err := rt.evaluator()
+	if err != nil {
+		return nil, err
+	}
+	if err := ev.bound(n, rt.jids, &st.bout, &st.stats); err != nil {
+		return nil, err
+	}
+	// Group lookup: jid -> group index.
+	rt.ht.init(len(st.bout.jids))
+	for g, jid := range st.bout.jids {
+		rt.ht.insert(jid, int32(g))
+	}
+	st.out.reset(left.width + st.bout.sub.width)
+	lrows := left.rows()
+	for i := 0; i < lrows; i++ {
+		lrow := left.row(i)
+		h := rt.ht.first(lrow[n.jCol])
+		for ; h != 0; h = rt.ht.next[h-1] {
+			start, end := st.bout.group(int(h - 1))
+			for s := start; s < end; s++ {
+				row := st.out.newRow()
+				copy(row, lrow)
+				copy(row[left.width:], st.bout.sub.row(s))
+			}
+		}
+	}
+	st.stats.Join.TuplesIn += int64(left.rows())
+	st.stats.Join.TuplesOut += int64(st.out.rows())
+	return rt.finish(n, st), nil
+}
+
+func (rt *Runtime) runPathFilter(n *Node) (*brel, error) {
+	left, err := rt.exec(n.Children[0])
+	if err != nil {
+		return nil, err
+	}
+	if left.rows() == 0 {
+		return left, nil
+	}
+	right, err := rt.exec(n.Children[1])
+	if err != nil {
+		return nil, err
+	}
+	st := &rt.states[n.ord]
+	// The branch adds no new columns: semi-join on its leaf column.
+	rrows := right.rows()
+	rt.ht.init(rrows)
+	for i := 0; i < rrows; i++ {
+		key := right.row(i)[n.keyCol]
+		if !rt.ht.contains(key) {
+			rt.ht.insert(key, int32(i))
+		}
+	}
+	st.stats.Join.TuplesIn += int64(left.rows())
+	st.out.reset(left.width)
+	lrows := left.rows()
+	for i := 0; i < lrows; i++ {
+		lrow := left.row(i)
+		if rt.ht.contains(lrow[n.lCol]) {
+			st.out.appendRow(lrow)
+		}
+	}
+	st.stats.Join.TuplesOut += int64(st.out.rows())
+	return rt.finish(n, st), nil
+}
+
+func (rt *Runtime) runProject(n *Node) (*brel, error) {
+	r, err := rt.exec(n.Children[0])
+	if err != nil {
+		return nil, err
+	}
+	st := &rt.states[n.ord]
+	st.out.reset(1)
+	if r.rows() == 0 {
+		st.act = 0
+		return &st.out, nil
+	}
+	for i, rows := 0, r.rows(); i < rows; i++ {
+		st.out.newRow()[0] = r.row(i)[n.outCol]
+	}
+	st.act = int64(st.out.rows())
+	return &st.out, nil
+}
+
+// aggregate sums the per-operator counters of the last run into es.
+// Iterates the flat finalize-time node list rather than walking the tree,
+// so the steady-state path stays closure- and allocation-free.
+func (rt *Runtime) aggregate(es *ExecStats) {
+	t := rt.tree
+	for _, n := range t.nodes {
+		st := &rt.states[n.ord]
+		o := &st.stats
+		es.IndexLookups += o.IndexLookups
+		es.RowsScanned += o.RowsScanned
+		es.INLProbes += o.INLProbes
+		es.Join.Add(o.Join)
+		for id := range o.relations {
+			es.touchRelation(id)
+		}
+		if n.Kind == OpINLJoin && st.act >= 0 {
+			es.UsedINL = true
+		}
+	}
+	es.BranchesJoined = t.Branches
+	es.Parallel = rt.parallel
+}
+
+// view materialises an executed copy of the tree — estimates from the
+// template, actuals from this run — for ExecStats.Plan / EXPLAIN. The copy
+// is what escapes to callers; the template stays immutable and the runtime
+// stays reusable.
+func (rt *Runtime) view() *Tree {
+	var clone func(n *Node) *Node
+	clone = func(n *Node) *Node {
+		vn := &Node{
+			Kind:    n.Kind,
+			Detail:  n.Detail,
+			EstRows: n.EstRows,
+			EstCost: n.EstCost,
+			ActRows: rt.states[n.ord].act,
+		}
+		if len(n.Children) > 0 {
+			vn.Children = make([]*Node, len(n.Children))
+			for i, c := range n.Children {
+				vn.Children[i] = clone(c)
+			}
+		}
+		return vn
+	}
+	t := rt.tree
+	return &Tree{
+		Strategy: t.Strategy,
+		Pattern:  t.Pattern,
+		Root:     clone(t.Root),
+		EstCost:  t.EstCost,
+		Branches: t.Branches,
+		Executed: true,
+		Parallel: rt.parallel,
+	}
+}
+
+// reset clears an ExecStats for reuse, keeping the relations map's storage.
+func (es *ExecStats) reset() {
+	rel := es.relations
+	*es = ExecStats{}
+	if rel != nil {
+		clear(rel)
+		es.relations = rel
+	}
+}

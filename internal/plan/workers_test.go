@@ -1,0 +1,48 @@
+package plan_test
+
+import (
+	"runtime"
+	"testing"
+
+	"repro/internal/plan"
+)
+
+// TestResolveWorkers pins the single worker-count resolution rule all
+// executors share: <= 0 means GOMAXPROCS, a known branch count caps the
+// fan-out (extra workers would idle), and the result is never below 1.
+// The rule used to be duplicated across the parallel executor and the
+// engine; this table is the contract for its one remaining home.
+func TestResolveWorkers(t *testing.T) {
+	gmp := runtime.GOMAXPROCS(0)
+	min := func(a, b int) int {
+		if a < b {
+			return a
+		}
+		return b
+	}
+	cases := []struct {
+		name      string
+		requested int
+		branches  int
+		want      int
+	}{
+		{"explicit", 3, 0, 3},
+		{"explicit-large", 64, 0, 64},
+		{"zero-resolves-to-gomaxprocs", 0, 0, gmp},
+		{"negative-resolves-to-gomaxprocs", -5, 0, gmp},
+		{"capped-at-branch-count", 8, 3, 3},
+		{"under-branch-cap", 2, 3, 2},
+		{"exactly-branch-count", 3, 3, 3},
+		{"single-branch-caps-to-one", 8, 1, 1},
+		{"default-then-branch-cap", 0, 2, min(gmp, 2)},
+		{"never-below-one", -1, 1, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := plan.ResolveWorkers(tc.requested, tc.branches); got != tc.want {
+				t.Errorf("ResolveWorkers(%d, %d) = %d, want %d",
+					tc.requested, tc.branches, got, tc.want)
+			}
+		})
+	}
+}
