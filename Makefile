@@ -7,7 +7,7 @@ BENCHES = BenchmarkInsert|BenchmarkBuildAll|BenchmarkConcurrentQuery
 # Short-budget fuzz smoke for CI (full runs: go test -fuzz=... by hand).
 FUZZTIME ?= 10s
 
-.PHONY: all build vet test race race-plan fuzz recover stress faults ci bench bench1 bench2 bench3 bench4 bench5 bench6 bench-faults
+.PHONY: all build vet test race race-plan fuzz recover stress faults obs ci bench bench1 bench2 bench3 bench4 bench5 bench6 bench-faults
 
 all: test
 
@@ -61,8 +61,18 @@ faults:
 	$(GO) test -race -run 'TestFaultTorture|TestStickyWriteError|TestFsyncFailure|TestCrashDuringCheckpoint' ./internal/engine/
 	$(GO) test -race -run 'TestFaultInjection' .
 
+# Observability under the race detector: histogram/seqlock/slow-log units,
+# consistent counter snapshots, per-operator tracing (parity, timing
+# invariants, parallel), the metrics endpoint end-to-end, and the guard
+# that the warmed cached-plan path still runs with zero allocations with
+# tracing compiled in (see docs/OBSERVABILITY.md).
+obs:
+	$(GO) test -race ./internal/obs/ ./internal/stats/
+	$(GO) test -race -run 'TestTrace|TestZeroAllocs|TestExecuteTreeWithZeroAllocs' ./internal/plan/
+	$(GO) test -race -run 'TestExplainAnalyze|TestMetricsAndSlowQueries|TestServeMetricsEndpoint' .
+
 # Everything CI runs, in order.
-ci: test race race-plan fuzz recover stress faults
+ci: test race race-plan fuzz recover stress faults obs
 
 # Machine-readable trajectory entries at the repo root.
 bench: bench1 bench2 bench3 bench4 bench5 bench6

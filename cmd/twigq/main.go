@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	twigdb "repro"
 	"repro/internal/datagen"
@@ -42,15 +43,16 @@ func main() {
 	query := flag.String("q", "", "twig query (required)")
 	show := flag.Bool("show", false, "print matched subtrees as XML")
 	explain := flag.Bool("explain", false, "print the planned and executed operator trees (est vs act rows; with -strategy auto, also the planner's candidate costs)")
+	analyze := flag.Bool("analyze", false, "EXPLAIN ANALYZE: execute with per-operator tracing and print the span tree (est vs act rows, inclusive/self wall time, attributed device reads)")
 	flag.Parse()
 
-	if err := run(*indexList, *strategy, *query, *show, *explain, flag.Args()); err != nil {
+	if err := run(*indexList, *strategy, *query, *show, *explain, *analyze, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "twigq:", err)
 		os.Exit(1)
 	}
 }
 
-func run(indexList, strategy, query string, show, explain bool, files []string) error {
+func run(indexList, strategy, query string, show, explain, analyze bool, files []string) error {
 	if query == "" {
 		return fmt.Errorf("missing -q query")
 	}
@@ -101,12 +103,22 @@ func run(indexList, strategy, query string, show, explain bool, files []string) 
 		}
 		fmt.Print(p)
 	}
-	res, err := db.QueryWith(strat, query)
+	var res *twigdb.Result
+	var err error
+	if analyze {
+		res, err = db.ExplainAnalyze(strat, query)
+	} else {
+		res, err = db.QueryWith(strat, query)
+	}
 	if err != nil {
 		return err
 	}
 	if explain && res.Plan != nil {
 		fmt.Printf("executed plan (strategy %s, est vs act rows):\n%s", res.Strategy, res.Plan.Render())
+	}
+	if analyze && res.Trace != nil {
+		fmt.Printf("explain analyze (strategy %s, total %s):\n%s",
+			res.Strategy, res.Trace.Elapsed.Round(time.Microsecond), res.Trace.Render())
 	}
 	fmt.Println(res)
 	for _, n := range res.Nodes() {

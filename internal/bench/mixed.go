@@ -14,6 +14,7 @@ import (
 	"repro/internal/datagen"
 	"repro/internal/engine"
 	"repro/internal/index"
+	"repro/internal/obs"
 	"repro/internal/plan"
 	"repro/internal/xmldb"
 	"repro/internal/xpath"
@@ -56,12 +57,22 @@ type MixedResult struct {
 	GOMAXPROCS int    `json:"gomaxprocs"`
 
 	// Read-only baseline vs the same stream with one continuous writer.
+	// The p50/p90/p99 columns are read from the engine's query-latency
+	// histogram (phase deltas of the lock-free recorder every query feeds),
+	// so they are the same numbers a production scrape would report; p95
+	// keeps the historical exact-sort source for continuity.
 	BaselineQPS   float64 `json:"baseline_qps"`
 	BaselineP50MS float64 `json:"baseline_p50_ms"`
+	BaselineP90MS float64 `json:"baseline_p90_ms"`
 	BaselineP95MS float64 `json:"baseline_p95_ms"`
+	BaselineP99MS float64 `json:"baseline_p99_ms"`
 	MixedQPS      float64 `json:"mixed_qps"`
 	MixedP50MS    float64 `json:"mixed_p50_ms"`
+	MixedP90MS    float64 `json:"mixed_p90_ms"`
 	MixedP95MS    float64 `json:"mixed_p95_ms"`
+	// MixedP99MS is the reader p99 under writer load — the tail the paper's
+	// concurrency story is really about.
+	MixedP99MS float64 `json:"mixed_p99_ms"`
 	// P50Ratio is mixed p50 over baseline p50 — the acceptance bound is 2.
 	P50Ratio      float64 `json:"p50_ratio"`
 	WriterOpsDone int     `json:"writer_ops_done"`
@@ -79,6 +90,11 @@ type MixedResult struct {
 	FsyncsPerCommitN     float64 `json:"fsyncs_per_commit_n_writers"`
 	GroupCommitBatches   int64   `json:"group_commit_batches"`
 	GroupWriterOpsPerSec float64 `json:"group_writer_ops_per_sec"`
+	// Histogram-sourced commit-path distributions of the n-writer run.
+	FsyncP50US float64 `json:"fsync_p50_us"` // physical WAL fsync latency
+	FsyncP99US float64 `json:"fsync_p99_us"`
+	BatchP50   int64   `json:"batch_p50"` // commits made durable per fsync
+	BatchP99   int64   `json:"batch_p99"`
 
 	Note string `json:"note,omitempty"`
 }
@@ -159,13 +175,17 @@ func MixedExperiment(cfg MixedConfig) (*MixedResult, error) {
 		parents = parents[:8]
 	}
 
+	histBefore := db.Obs().QueryLatency.Snapshot()
 	baseWall, baseLat, err := runStream(db, stream, cfg.Readers)
 	if err != nil {
 		return nil, err
 	}
+	baseHist := db.Obs().QueryLatency.Snapshot().Sub(histBefore)
 	out.BaselineQPS = float64(len(stream)) / baseWall.Seconds()
-	out.BaselineP50MS = percentileMS(baseLat, 0.50)
+	out.BaselineP50MS = quantileMS(baseHist, 0.50)
+	out.BaselineP90MS = quantileMS(baseHist, 0.90)
 	out.BaselineP95MS = percentileMS(baseLat, 0.95)
+	out.BaselineP99MS = quantileMS(baseHist, 0.99)
 
 	pinsBefore := db.QueryCounters().SnapshotsPinned
 	stop := make(chan struct{})
@@ -178,6 +198,7 @@ func MixedExperiment(cfg MixedConfig) (*MixedResult, error) {
 		defer wg.Done()
 		wops = mixedWriter(db, parents, stop, &werr)
 	}()
+	histMid := db.Obs().QueryLatency.Snapshot()
 	mixWall, mixLat, err := runStream(db, stream, cfg.Readers)
 	close(stop)
 	wg.Wait()
@@ -188,9 +209,12 @@ func MixedExperiment(cfg MixedConfig) (*MixedResult, error) {
 	if e := werr.Load(); e != nil {
 		return nil, e.(error)
 	}
+	mixHist := db.Obs().QueryLatency.Snapshot().Sub(histMid)
 	out.MixedQPS = float64(len(stream)) / mixWall.Seconds()
-	out.MixedP50MS = percentileMS(mixLat, 0.50)
+	out.MixedP50MS = quantileMS(mixHist, 0.50)
+	out.MixedP90MS = quantileMS(mixHist, 0.90)
 	out.MixedP95MS = percentileMS(mixLat, 0.95)
+	out.MixedP99MS = quantileMS(mixHist, 0.99)
 	if out.BaselineP50MS > 0 {
 		out.P50Ratio = out.MixedP50MS / out.BaselineP50MS
 	}
@@ -208,13 +232,13 @@ func MixedExperiment(cfg MixedConfig) (*MixedResult, error) {
 		defer os.RemoveAll(tmp)
 		dir = tmp
 	}
-	runCommitPhase := func(writers int) (fsyncs, commits, batches int64, opsPerSec float64, err error) {
+	runCommitPhase := func(writers int) (ph commitPhase, err error) {
 		fdb, err := engine.Open(engine.Config{
 			BufferPoolBytes: 8 << 20,
 			Path:            filepath.Join(dir, fmt.Sprintf("mixed-%d.twigdb", writers)),
 		})
 		if err != nil {
-			return 0, 0, 0, 0, err
+			return ph, err
 		}
 		defer fdb.Close()
 		var zones string
@@ -222,16 +246,18 @@ func MixedExperiment(cfg MixedConfig) (*MixedResult, error) {
 			zones += "<z/>"
 		}
 		if err := fdb.LoadXML(newStringReader("<root>" + zones + "</root>")); err != nil {
-			return 0, 0, 0, 0, err
+			return ph, err
 		}
 		if err := fdb.Build(indexKindsRPDP()...); err != nil {
-			return 0, 0, 0, 0, err
+			return ph, err
 		}
 		zids, _, err := fdb.QueryPattern(xpath.MustParse(`/root/z`), plan.DataPathsPlan)
 		if err != nil || len(zids) != writers {
-			return 0, 0, 0, 0, fmt.Errorf("bench: zone setup (%v)", err)
+			return ph, fmt.Errorf("bench: zone setup (%v)", err)
 		}
 		before := fdb.DeviceStats()
+		fsyncBefore := fdb.Obs().WALFsyncLatency.Snapshot()
+		batchBefore := fdb.Obs().GroupCommitBatch.Snapshot()
 		start := time.Now()
 		var wg sync.WaitGroup
 		var werr atomic.Value
@@ -254,32 +280,57 @@ func MixedExperiment(cfg MixedConfig) (*MixedResult, error) {
 		}
 		wg.Wait()
 		if e := werr.Load(); e != nil {
-			return 0, 0, 0, 0, e.(error)
+			return ph, e.(error)
 		}
 		wall := time.Since(start)
 		after := fdb.DeviceStats()
-		commits = int64(writers * cfg.WriterOps)
-		return after.WALFsyncs - before.WALFsyncs, commits,
-			after.GroupCommitBatches - before.GroupCommitBatches,
-			float64(commits) / wall.Seconds(), nil
+		fsyncHist := fdb.Obs().WALFsyncLatency.Snapshot().Sub(fsyncBefore)
+		batchHist := fdb.Obs().GroupCommitBatch.Snapshot().Sub(batchBefore)
+		ph.commits = int64(writers * cfg.WriterOps)
+		ph.fsyncs = after.WALFsyncs - before.WALFsyncs
+		ph.batches = after.GroupCommitBatches - before.GroupCommitBatches
+		ph.opsPerSec = float64(ph.commits) / wall.Seconds()
+		ph.fsyncP50US = float64(fsyncHist.Quantile(0.50)) / 1e3
+		ph.fsyncP99US = float64(fsyncHist.Quantile(0.99)) / 1e3
+		ph.batchP50 = batchHist.Quantile(0.50)
+		ph.batchP99 = batchHist.Quantile(0.99)
+		return ph, nil
 	}
-	fs1, c1, _, _, err := runCommitPhase(1)
+	ph1, err := runCommitPhase(1)
 	if err != nil {
 		return nil, err
 	}
-	fsN, cN, batches, opsPS, err := runCommitPhase(cfg.Writers)
+	phN, err := runCommitPhase(cfg.Writers)
 	if err != nil {
 		return nil, err
 	}
 	out.GroupWriters = cfg.Writers
-	out.GroupCommits = cN
-	out.FsyncsSerial = fs1
-	out.FsyncsGroup = fsN
-	out.FsyncsPerCommit1 = float64(fs1) / float64(c1)
-	out.FsyncsPerCommitN = float64(fsN) / float64(cN)
-	out.GroupCommitBatches = batches
-	out.GroupWriterOpsPerSec = opsPS
+	out.GroupCommits = phN.commits
+	out.FsyncsSerial = ph1.fsyncs
+	out.FsyncsGroup = phN.fsyncs
+	out.FsyncsPerCommit1 = float64(ph1.fsyncs) / float64(ph1.commits)
+	out.FsyncsPerCommitN = float64(phN.fsyncs) / float64(phN.commits)
+	out.GroupCommitBatches = phN.batches
+	out.GroupWriterOpsPerSec = phN.opsPerSec
+	out.FsyncP50US = phN.fsyncP50US
+	out.FsyncP99US = phN.fsyncP99US
+	out.BatchP50 = phN.batchP50
+	out.BatchP99 = phN.batchP99
 	return out, nil
+}
+
+// commitPhase is one group-commit measurement run.
+type commitPhase struct {
+	fsyncs, commits, batches int64
+	opsPerSec                float64
+	fsyncP50US, fsyncP99US   float64
+	batchP50, batchP99       int64
+}
+
+// quantileMS reads a quantile out of a nanosecond histogram snapshot in
+// milliseconds.
+func quantileMS(s obs.HistogramSnapshot, q float64) float64 {
+	return float64(s.Quantile(q)) / 1e6
 }
 
 // WriteJSON writes the result to path (pretty-printed, trailing newline).
@@ -296,16 +347,18 @@ func (r *MixedResult) String() string {
 	t := &Table{
 		Title: fmt.Sprintf("Mixed read/write workload (XMark, %d readers, GOMAXPROCS=%d)",
 			r.Readers, r.GOMAXPROCS),
-		Header: []string{"phase", "QPS", "p50 ms", "p95 ms", "writer ops/s"},
+		Header: []string{"phase", "QPS", "p50 ms", "p95 ms", "p99 ms", "writer ops/s"},
 		Rows: [][]string{
-			{"read-only", fmt.Sprintf("%.0f", r.BaselineQPS), fmt.Sprintf("%.3f", r.BaselineP50MS), fmt.Sprintf("%.3f", r.BaselineP95MS), "-"},
-			{"read+write", fmt.Sprintf("%.0f", r.MixedQPS), fmt.Sprintf("%.3f", r.MixedP50MS), fmt.Sprintf("%.3f", r.MixedP95MS), fmt.Sprintf("%.0f", r.WriterOpsPS)},
+			{"read-only", fmt.Sprintf("%.0f", r.BaselineQPS), fmt.Sprintf("%.3f", r.BaselineP50MS), fmt.Sprintf("%.3f", r.BaselineP95MS), fmt.Sprintf("%.3f", r.BaselineP99MS), "-"},
+			{"read+write", fmt.Sprintf("%.0f", r.MixedQPS), fmt.Sprintf("%.3f", r.MixedP50MS), fmt.Sprintf("%.3f", r.MixedP95MS), fmt.Sprintf("%.3f", r.MixedP99MS), fmt.Sprintf("%.0f", r.WriterOpsPS)},
 		},
 	}
 	t.Notes = append(t.Notes,
-		fmt.Sprintf("reader p50 ratio (mixed/baseline): %.2fx (bound: 2.0x); snapshots pinned during mixed phase: %d", r.P50Ratio, r.SnapshotsPins),
+		fmt.Sprintf("reader p50 ratio (mixed/baseline): %.2fx (bound: 2.0x); reader p99 under writer load: %.3f ms; snapshots pinned during mixed phase: %d", r.P50Ratio, r.MixedP99MS, r.SnapshotsPins),
 		fmt.Sprintf("group commit: %.3f fsyncs/commit with 1 writer vs %.3f with %d writers (%d commits, %d batches; bound: < 1)",
 			r.FsyncsPerCommit1, r.FsyncsPerCommitN, r.GroupWriters, r.GroupCommits, r.GroupCommitBatches),
+		fmt.Sprintf("commit path (from histograms, %d writers): fsync p50/p99 = %.0f/%.0f µs, batch p50/p99 = %d/%d commits",
+			r.GroupWriters, r.FsyncP50US, r.FsyncP99US, r.BatchP50, r.BatchP99),
 		r.Note,
 	)
 	return t.String()

@@ -1,0 +1,42 @@
+package bench
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestMixedExperimentHistogramFields runs a scaled-down mixed experiment
+// and checks the histogram-sourced latency columns: the p50/p90/p99
+// quantiles (read from the engine's query-latency histogram via phase
+// deltas) must populate and order sanely, and the group-commit phase must
+// report fsync and batch-size distributions.
+func TestMixedExperimentHistogramFields(t *testing.T) {
+	r, err := MixedExperiment(MixedConfig{
+		Scale: 1, Readers: 2, Queries: 120,
+		Writers: 2, WriterOps: 6,
+		Dir: filepath.Join(t.TempDir()),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.BaselineP50MS <= 0 || r.MixedP50MS <= 0 {
+		t.Fatalf("histogram p50 missing: baseline=%v mixed=%v", r.BaselineP50MS, r.MixedP50MS)
+	}
+	if r.BaselineP99MS < r.BaselineP90MS || r.BaselineP90MS < r.BaselineP50MS {
+		t.Fatalf("baseline quantiles out of order: p50=%v p90=%v p99=%v",
+			r.BaselineP50MS, r.BaselineP90MS, r.BaselineP99MS)
+	}
+	if r.MixedP99MS < r.MixedP90MS || r.MixedP90MS < r.MixedP50MS {
+		t.Fatalf("mixed quantiles out of order: p50=%v p90=%v p99=%v",
+			r.MixedP50MS, r.MixedP90MS, r.MixedP99MS)
+	}
+	if r.FsyncP99US <= 0 || r.FsyncP99US < r.FsyncP50US {
+		t.Fatalf("fsync quantiles implausible: p50=%v p99=%v µs", r.FsyncP50US, r.FsyncP99US)
+	}
+	if r.BatchP50 < 1 || r.BatchP99 < r.BatchP50 {
+		t.Fatalf("batch quantiles implausible: p50=%d p99=%d", r.BatchP50, r.BatchP99)
+	}
+	if r.FsyncsPerCommitN <= 0 {
+		t.Fatalf("group-commit phase did not run: %+v", r)
+	}
+}

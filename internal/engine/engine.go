@@ -10,10 +10,12 @@ import (
 	"io"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/containment"
 	"repro/internal/index"
 	"repro/internal/naive"
+	"repro/internal/obs"
 	"repro/internal/pathdict"
 	"repro/internal/plan"
 	"repro/internal/stats"
@@ -47,6 +49,13 @@ type Config struct {
 	// moment the device is opened — disarm it first if recovery and setup
 	// should run un-faulted, then Arm it (or use SetFaultsArmed).
 	Faults *storage.FaultInjector
+	// SlowQueryThreshold, when > 0, enables per-operator tracing on every
+	// query (the zero-alloc hot path is preserved; see docs/OBSERVABILITY.md)
+	// and captures queries at least this slow — pattern, strategy, snapshot
+	// version and traced plan — in a bounded ring read via SlowQueries.
+	SlowQueryThreshold time.Duration
+	// SlowQueryLogSize caps the slow-query ring (0 = 64 entries).
+	SlowQueryLogSize int
 }
 
 // DefaultConfig mirrors the paper's 40MB buffer pool.
@@ -101,6 +110,15 @@ type DB struct {
 	catalogPages []storage.PageID
 
 	counters stats.QueryCounters
+
+	// reg holds the engine's latency histograms (query end-to-end, WAL
+	// fsync, group-commit batch size, pool-miss reads, checkpoints); the
+	// storage layer records into them directly via observers installed at
+	// Open, before the pool and device are shared.
+	reg *obs.Registry
+	// slowLog is the bounded slow-query ring; empty unless
+	// Config.SlowQueryThreshold is set.
+	slowLog *obs.SlowLog
 }
 
 // degradedState boxes the root cause of read-only mode.
@@ -242,9 +260,29 @@ func Open(cfg Config) (*DB, error) {
 	} else {
 		db.pool = storage.NewPool(db.dev, cfg.BufferPoolBytes)
 	}
+	db.reg = obs.NewRegistry()
+	logSize := cfg.SlowQueryLogSize
+	if logSize <= 0 {
+		logSize = 64
+	}
+	db.slowLog = obs.NewSlowLog(logSize)
+	// Observers must be installed before the pool and device are shared
+	// with readers; from here on they record lock-free.
+	db.pool.SetMissObserver(db.reg.PoolMissLatency)
+	if db.fdisk != nil {
+		db.fdisk.SetLatencyObservers(db.reg.WALFsyncLatency, db.reg.GroupCommitBatch, db.reg.CheckpointDuration)
+	}
 	snap := &Snapshot{store: xmldb.NewStore(), dict: db.dict, ptab: db.ptab}
 	snap.env.Store = snap.store
 	snap.env.Dict = db.dict
+	// TraceAll and IOStat are carried into every successor snapshot by
+	// Snapshot.clone's env copy.
+	snap.env.TraceAll = cfg.SlowQueryThreshold > 0
+	dev := db.dev
+	snap.env.IOStat = func() (reads, bytes int64) {
+		r, _ := dev.Counters()
+		return r, r * storage.PageSize
+	}
 	if db.fdisk != nil {
 		if root := db.fdisk.Meta().CatalogRoot; root != storage.InvalidPage {
 			blob, pages, err := readCatalogChain(db.dev, root)
@@ -641,13 +679,55 @@ func (db *DB) Query(q string, strat plan.Strategy) ([]int64, *plan.ExecStats, er
 	return db.QueryPattern(pat, strat)
 }
 
+// observeQuery records one finished query into the latency histogram and,
+// when it crossed the configured slow-query threshold, into the slow-query
+// ring. The rendered plan comes from the executed view tree, so a slow
+// query's entry carries its per-operator trace (tracing is always on when
+// a threshold is configured).
+func (db *DB) observeQuery(s *Snapshot, pat *xpath.Pattern, strat plan.Strategy, es *plan.ExecStats, elapsed time.Duration) {
+	db.reg.QueryLatency.Observe(elapsed.Nanoseconds())
+	if thr := db.cfg.SlowQueryThreshold; thr > 0 && elapsed >= thr {
+		q := obs.SlowQuery{
+			Query:       pat.Source,
+			Strategy:    strat.String(),
+			Elapsed:     elapsed,
+			SnapshotSeq: s.seq,
+			When:        time.Now(),
+		}
+		if q.Query == "" {
+			q.Query = pat.String()
+		}
+		if es != nil && es.Plan != nil {
+			q.Plan = es.Plan.Render()
+		}
+		db.slowLog.Record(q)
+	}
+}
+
 // QueryPattern executes an already-parsed pattern against the current
 // snapshot, which it pins for the query's lifetime — no lock is taken and
 // no concurrent mutation can block or tear it.
 func (db *DB) QueryPattern(pat *xpath.Pattern, strat plan.Strategy) ([]int64, *plan.ExecStats, error) {
 	s := db.pin()
 	defer db.unpin(s)
+	start := time.Now()
 	ids, es, err := plan.Execute(s.queryEnv(), strat, pat)
+	db.observeQuery(s, pat, strat, es, time.Since(start))
+	if es != nil {
+		db.counters.CountQuery(false, es.BranchesJoined)
+	}
+	return ids, es, err
+}
+
+// QueryPatternTraced is QueryPattern with per-operator tracing forced on
+// for this one run — the EXPLAIN ANALYZE entry point. The returned stats'
+// Plan view carries per-operator wall time (and device-read attribution).
+func (db *DB) QueryPatternTraced(pat *xpath.Pattern, strat plan.Strategy) ([]int64, *plan.ExecStats, error) {
+	s := db.pin()
+	defer db.unpin(s)
+	start := time.Now()
+	ids, es, err := plan.ExecuteTraced(s.queryEnv(), strat, pat)
+	db.observeQuery(s, pat, strat, es, time.Since(start))
 	if es != nil {
 		db.counters.CountQuery(false, es.BranchesJoined)
 	}
@@ -661,7 +741,9 @@ func (db *DB) QueryPattern(pat *xpath.Pattern, strat plan.Strategy) ([]int64, *p
 func (db *DB) QueryPatternParallel(pat *xpath.Pattern, strat plan.Strategy, workers int) ([]int64, *plan.ExecStats, error) {
 	s := db.pin()
 	defer db.unpin(s)
+	start := time.Now()
 	ids, es, err := plan.ExecuteParallel(s.queryEnv(), strat, pat, workers)
+	db.observeQuery(s, pat, strat, es, time.Since(start))
 	if es != nil {
 		db.counters.CountQuery(es.Parallel, es.BranchesJoined)
 	}
@@ -759,6 +841,7 @@ func (db *DB) QueryPatternBest(pat *xpath.Pattern, workers int) ([]int64, *plan.
 	}
 	var ids []int64
 	var es *plan.ExecStats
+	start := time.Now()
 	if workers != 1 {
 		// The tree under a parallel key was planned INL-free, so it is
 		// exactly what the parallel executor fans out.
@@ -766,11 +849,46 @@ func (db *DB) QueryPatternBest(pat *xpath.Pattern, workers int) ([]int64, *plan.
 	} else {
 		ids, es, err = plan.ExecuteTree(env, tree)
 	}
+	db.observeQuery(s, pat, tree.Strategy, es, time.Since(start))
 	if es != nil {
 		db.counters.CountQuery(es.Parallel, es.BranchesJoined)
 	}
 	return ids, es, tree.Strategy, err
 }
+
+// QueryPatternBestTraced is QueryPatternBest (serial) with per-operator
+// tracing forced on for this one run — EXPLAIN ANALYZE under the
+// cost-based planner. Returns the strategy that ran.
+func (db *DB) QueryPatternBestTraced(pat *xpath.Pattern) ([]int64, *plan.ExecStats, plan.Strategy, error) {
+	s := db.pin()
+	defer db.unpin(s)
+	env := s.queryEnv()
+	tree, cacheHit, err := s.choosePlan(env, pat, false)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	if cacheHit {
+		db.counters.CountPlanCacheHit()
+	}
+	start := time.Now()
+	ids, es, err := plan.ExecuteTreeTraced(env, tree)
+	db.observeQuery(s, pat, tree.Strategy, es, time.Since(start))
+	if es != nil {
+		db.counters.CountQuery(es.Parallel, es.BranchesJoined)
+	}
+	return ids, es, tree.Strategy, err
+}
+
+// Obs returns the engine's histogram registry (always non-nil); callers
+// snapshot the histograms for quantiles or Prometheus exposition.
+func (db *DB) Obs() *obs.Registry { return db.reg }
+
+// SlowQueries returns the retained slow-query entries, oldest first
+// (empty unless Config.SlowQueryThreshold is set).
+func (db *DB) SlowQueries() []obs.SlowQuery { return db.slowLog.Entries() }
+
+// SlowQueryLog exposes the slow-query ring itself (for its lifetime Total).
+func (db *DB) SlowQueryLog() *obs.SlowLog { return db.slowLog }
 
 // ExplainBest renders the cost-based planner's deliberation for pat (every
 // candidate strategy with its estimated plan cost) followed by the chosen

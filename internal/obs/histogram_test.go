@@ -1,0 +1,159 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+// Every bucket's bounds must round-trip through bucketOf: the lower
+// and upper edge of bucket i both map back to i, and edges of adjacent
+// buckets do not overlap.
+func TestBucketBoundsRoundTrip(t *testing.T) {
+	prevHi := int64(-1)
+	for i := 0; i < numBuckets; i++ {
+		lo, hi := BucketBounds(i)
+		if lo != prevHi+1 {
+			t.Fatalf("bucket %d: lo=%d, want %d (gap or overlap)", i, lo, prevHi+1)
+		}
+		if hi < lo {
+			t.Fatalf("bucket %d: hi=%d < lo=%d", i, hi, lo)
+		}
+		if got := bucketOf(lo); got != i {
+			t.Fatalf("bucketOf(lo=%d) = %d, want %d", lo, got, i)
+		}
+		if got := bucketOf(hi); got != i {
+			t.Fatalf("bucketOf(hi=%d) = %d, want %d", hi, got, i)
+		}
+		prevHi = hi
+		if hi == math.MaxInt64 {
+			return // covered the whole int64 range
+		}
+	}
+	t.Fatalf("buckets end at %d, never reach MaxInt64", prevHi)
+}
+
+// Specific boundary samples: exact unit buckets below 8, octave
+// boundaries at powers of two, and the relative-width guarantee.
+func TestBucketBoundaries(t *testing.T) {
+	cases := []struct {
+		v    int64
+		want int
+	}{
+		{0, 0}, {1, 1}, {7, 7},
+		{8, 8}, {15, 15},
+		{16, 16}, {17, 16}, {18, 17},
+		{31, 23}, {32, 24},
+		{1 << 20, bucketOf(1 << 20)},
+	}
+	for _, c := range cases {
+		if got := bucketOf(c.v); got != c.want {
+			t.Errorf("bucketOf(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+	// Negative samples clamp to the zero bucket via Observe.
+	h := NewHistogram()
+	h.Observe(-5)
+	s := h.Snapshot()
+	if s.Counts[0] != 1 || s.Count != 1 || s.Sum != 0 {
+		t.Fatalf("negative observe: counts[0]=%d count=%d sum=%d", s.Counts[0], s.Count, s.Sum)
+	}
+	// Relative bucket width is at most 12.5% for v >= 8.
+	for _, v := range []int64{8, 100, 4096, 1 << 30, 1 << 50} {
+		lo, hi := BucketBounds(bucketOf(v))
+		if width := hi - lo + 1; float64(width) > float64(lo)/8+1 {
+			t.Errorf("bucket of %d spans [%d,%d]: width %d > lo/8", v, lo, hi, width)
+		}
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := NewHistogram()
+	// 1..1000: quantiles of a uniform ramp are predictable within
+	// bucket resolution (12.5%).
+	for v := int64(1); v <= 1000; v++ {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 1000 {
+		t.Fatalf("count = %d, want 1000", s.Count)
+	}
+	if s.Sum != 1000*1001/2 {
+		t.Fatalf("sum = %d, want %d", s.Sum, 1000*1001/2)
+	}
+	for _, c := range []struct {
+		q    float64
+		want int64
+	}{{0.50, 500}, {0.90, 900}, {0.99, 990}, {0.999, 999}} {
+		got := s.Quantile(c.q)
+		lo := float64(c.want) * 0.85
+		hi := float64(c.want)*1.15 + 2
+		if float64(got) < lo || float64(got) > hi {
+			t.Errorf("q%.3f = %d, want within 15%% of %d", c.q, got, c.want)
+		}
+	}
+	if got := (HistogramSnapshot{}).Quantile(0.5); got != 0 {
+		t.Errorf("empty quantile = %d, want 0", got)
+	}
+	if got := s.Mean(); math.Abs(got-500.5) > 0.01 {
+		t.Errorf("mean = %v, want 500.5", got)
+	}
+}
+
+func TestHistogramSub(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(10)
+	h.Observe(20)
+	before := h.Snapshot()
+	h.Observe(30)
+	h.Observe(40)
+	d := h.Snapshot().Sub(before)
+	if d.Count != 2 || d.Sum != 70 {
+		t.Fatalf("delta count=%d sum=%d, want 2/70", d.Count, d.Sum)
+	}
+	if d.Counts[bucketOf(10)] != 0 || d.Counts[bucketOf(30)] != 1 {
+		t.Fatalf("delta buckets wrong: %d %d", d.Counts[bucketOf(10)], d.Counts[bucketOf(30)])
+	}
+}
+
+// Eight goroutines hammer one histogram; the merged snapshot must
+// account for every observation exactly — the sharding is a cache-line
+// spreading trick, never a sampling one. Run under -race.
+func TestHistogramConcurrentRecorders(t *testing.T) {
+	const (
+		goroutines = 8
+		perG       = 10000
+	)
+	h := NewHistogram()
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				// Mix of octaves so several shards and buckets are hit.
+				h.Observe(int64(i%997) * int64(g+1))
+			}
+		}(g)
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != goroutines*perG {
+		t.Fatalf("merged count = %d, want %d", s.Count, goroutines*perG)
+	}
+	var wantSum, gotBuckets int64
+	for g := 0; g < goroutines; g++ {
+		for i := 0; i < perG; i++ {
+			wantSum += int64(i%997) * int64(g+1)
+		}
+	}
+	if s.Sum != wantSum {
+		t.Fatalf("merged sum = %d, want %d", s.Sum, wantSum)
+	}
+	for _, c := range s.Counts {
+		gotBuckets += c
+	}
+	if gotBuckets != s.Count {
+		t.Fatalf("bucket total %d != count %d", gotBuckets, s.Count)
+	}
+}

@@ -1,0 +1,128 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// A writer bumps two counters that must stay in lockstep; readers must
+// never observe them out of step. Run under -race: all data accesses
+// are atomic, the StatLock only supplies cross-counter consistency.
+func TestStatLockConsistentSnapshots(t *testing.T) {
+	var (
+		lock StatLock
+		a, b atomic.Int64
+		stop atomic.Bool
+		wg   sync.WaitGroup
+	)
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				lock.Lock()
+				a.Add(1)
+				b.Add(3)
+				lock.Unlock()
+			}
+		}()
+	}
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 5000; i++ {
+				var ga, gb int64
+				lock.Read(func() {
+					ga = a.Load()
+					gb = b.Load()
+				})
+				if gb != 3*ga {
+					t.Errorf("torn snapshot: a=%d b=%d", ga, gb)
+					return
+				}
+			}
+		}()
+	}
+	time.Sleep(10 * time.Millisecond)
+	stop.Store(true)
+	wg.Wait()
+}
+
+func TestSlowLogRing(t *testing.T) {
+	l := NewSlowLog(3)
+	for i := 1; i <= 5; i++ {
+		l.Record(SlowQuery{Query: fmt.Sprintf("q%d", i), Elapsed: time.Duration(i)})
+	}
+	got := l.Entries()
+	if len(got) != 3 {
+		t.Fatalf("len = %d, want 3", len(got))
+	}
+	for i, want := range []string{"q3", "q4", "q5"} {
+		if got[i].Query != want {
+			t.Errorf("entry %d = %q, want %q (oldest first)", i, got[i].Query, want)
+		}
+	}
+	if l.Total() != 5 {
+		t.Errorf("total = %d, want 5", l.Total())
+	}
+}
+
+func TestPromHistogramExposition(t *testing.T) {
+	h := NewHistogram()
+	for _, v := range []int64{0, 1, 7, 8, 100, 1000} {
+		h.Observe(v)
+	}
+	var sb strings.Builder
+	w := NewPromWriter(&sb)
+	w.Histogram("x_seconds", "test", h.Snapshot(), 1)
+	w.Counter("c_total", "count", 42)
+	w.Gauge("g", "gauge", 1)
+	w.GaugeVec("gv", "labeled", []LabeledValue{{Label: "cause", Value: `injected "fault"`, V: 1}})
+	if err := w.Err(); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE x_seconds histogram",
+		`x_seconds_bucket{le="+Inf"} 6`,
+		"x_seconds_count 6",
+		"x_seconds_sum 1116",
+		"# TYPE c_total counter",
+		"c_total 42",
+		`gv{cause="injected \"fault\""} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in output:\n%s", want, out)
+		}
+	}
+	// Buckets must be cumulative and monotone, ending at the total.
+	var prev int64 = -1
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.HasPrefix(line, "x_seconds_bucket") {
+			continue
+		}
+		var c int64
+		if _, err := fmt.Sscanf(line[strings.LastIndex(line, " ")+1:], "%d", &c); err != nil {
+			t.Fatalf("bad bucket line %q: %v", line, err)
+		}
+		if c < prev {
+			t.Fatalf("non-monotone buckets: %d after %d in %q", c, prev, line)
+		}
+		prev = c
+	}
+	if prev != 6 {
+		t.Fatalf("last bucket = %d, want 6", prev)
+	}
+	// le="0" must count only the zero sample; le="7" the four samples <= 7.
+	if !strings.Contains(out, `x_seconds_bucket{le="0"} 1`) {
+		t.Errorf("le=0 bucket wrong:\n%s", out)
+	}
+	if !strings.Contains(out, `x_seconds_bucket{le="7"} 3`) {
+		t.Errorf("le=7 bucket wrong:\n%s", out)
+	}
+}

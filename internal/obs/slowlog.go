@@ -1,0 +1,80 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// SlowQuery is one captured over-threshold query: enough context to
+// reconstruct where the time went without re-running it.
+type SlowQuery struct {
+	// Query is the pattern source text as submitted.
+	Query string
+	// Strategy is the executed strategy name (after Auto resolution).
+	Strategy string
+	// Elapsed is the end-to-end latency measured by the engine.
+	Elapsed time.Duration
+	// SnapshotSeq is the commit sequence the query read at.
+	SnapshotSeq uint64
+	// Plan is the rendered per-operator trace (plan tree with actual
+	// rows and per-operator elapsed time) when tracing was on, or the
+	// untraced plan rendering otherwise.
+	Plan string
+	// When is the wall-clock capture time.
+	When time.Time
+}
+
+// SlowLog is a bounded ring of the most recent slow queries. Writers
+// overwrite the oldest entry once the ring is full; Total keeps the
+// lifetime count so a scraper can detect drops.
+type SlowLog struct {
+	mu    sync.Mutex
+	ring  []SlowQuery
+	next  int
+	n     int
+	total int64
+}
+
+// NewSlowLog returns a ring holding up to capacity entries
+// (minimum 1).
+func NewSlowLog(capacity int) *SlowLog {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &SlowLog{ring: make([]SlowQuery, capacity)}
+}
+
+// Record appends one slow query, overwriting the oldest when full.
+func (l *SlowLog) Record(q SlowQuery) {
+	l.mu.Lock()
+	l.ring[l.next] = q
+	l.next = (l.next + 1) % len(l.ring)
+	if l.n < len(l.ring) {
+		l.n++
+	}
+	l.total++
+	l.mu.Unlock()
+}
+
+// Entries returns the retained slow queries, oldest first.
+func (l *SlowLog) Entries() []SlowQuery {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]SlowQuery, 0, l.n)
+	start := l.next - l.n
+	if start < 0 {
+		start += len(l.ring)
+	}
+	for i := 0; i < l.n; i++ {
+		out = append(out, l.ring[(start+i)%len(l.ring)])
+	}
+	return out
+}
+
+// Total returns the lifetime number of recorded slow queries,
+// including entries that have since been overwritten.
+func (l *SlowLog) Total() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.total
+}

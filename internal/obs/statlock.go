@@ -1,0 +1,58 @@
+package obs
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// StatLock makes a group of independently-updated atomic counters
+// readable as one consistent snapshot. It is a sequence lock: writers
+// take the lock (sequence goes odd), bump their counters, and release
+// (sequence goes even); readers spin until they observe the same even
+// sequence before and after reading. The counters themselves stay
+// atomic, so every individual access is race-free — the lock only adds
+// the cross-counter consistency that plain atomic loads cannot give
+// (QueryStats once documented its snapshot as "consistent enough",
+// which tore against a concurrent commit).
+//
+// Writer critical sections must be tiny (a few atomic adds): readers
+// and other writers spin, they do not sleep.
+type StatLock struct {
+	seq atomic.Uint64
+}
+
+// Lock acquires writer exclusion. The sequence becomes odd, which
+// invalidates any in-flight reader.
+func (l *StatLock) Lock() {
+	for {
+		s := l.seq.Load()
+		if s&1 == 0 && l.seq.CompareAndSwap(s, s+1) {
+			return
+		}
+		runtime.Gosched()
+	}
+}
+
+// Unlock releases writer exclusion; the sequence becomes even again.
+func (l *StatLock) Unlock() {
+	l.seq.Add(1)
+}
+
+// Read runs read under the seqlock protocol, retrying until it
+// executes without overlapping any writer. read must only load from
+// atomic values (so retried executions are race-free) and must not
+// call Lock on the same StatLock.
+func (l *StatLock) Read(read func()) {
+	for {
+		s1 := l.seq.Load()
+		if s1&1 != 0 {
+			runtime.Gosched()
+			continue
+		}
+		read()
+		if l.seq.Load() == s1 {
+			return
+		}
+		runtime.Gosched()
+	}
+}

@@ -3,6 +3,7 @@ package plan
 import (
 	"fmt"
 	"slices"
+	"time"
 
 	"repro/internal/containment"
 	"repro/internal/xpath"
@@ -35,6 +36,10 @@ func runStructural(rt *Runtime, env *Env, pat *xpath.Pattern, sj *Node) ([]int64
 		}
 		st := &rt.states[scan.ord]
 		es := &st.stats
+		var scanStart time.Time
+		if rt.trace {
+			scanStart = time.Now()
+		}
 		var list []containment.Region
 		if n.HasValue {
 			es.IndexLookups++
@@ -62,6 +67,9 @@ func runStructural(rt *Runtime, env *Env, pat *xpath.Pattern, sj *Node) ([]int64
 		}
 		cands[n] = list
 		st.act = int64(len(list))
+		if rt.trace {
+			st.elapsedNS += time.Since(scanStart).Nanoseconds()
+		}
 		for _, c := range n.Children {
 			if err := build(c); err != nil {
 				return err

@@ -21,8 +21,30 @@ func Execute(env *Env, strat Strategy, pat *xpath.Pattern) ([]int64, *ExecStats,
 // drawn from the tree's pool, so one tree — a plan-cache entry, say — can
 // execute from any number of goroutines concurrently.
 func ExecuteTree(env *Env, t *Tree) ([]int64, *ExecStats, error) {
+	return executeTree(env, t, env.TraceAll)
+}
+
+// ExecuteTreeTraced is ExecuteTree with per-operator wall-time tracing
+// forced on for this one run — the EXPLAIN ANALYZE entry point. The
+// returned stats' Plan view carries ElapsedNS/SelfNS per operator (and
+// device-read attribution when the env supplies IOStat).
+func ExecuteTreeTraced(env *Env, t *Tree) ([]int64, *ExecStats, error) {
+	return executeTree(env, t, true)
+}
+
+// ExecuteTraced is Execute with tracing forced on: Build followed by
+// ExecuteTreeTraced.
+func ExecuteTraced(env *Env, strat Strategy, pat *xpath.Pattern) ([]int64, *ExecStats, error) {
+	t, err := Build(env, strat, pat)
+	if err != nil {
+		return nil, &ExecStats{}, err
+	}
+	return ExecuteTreeTraced(env, t)
+}
+
+func executeTree(env *Env, t *Tree, trace bool) ([]int64, *ExecStats, error) {
 	rt := t.runtime()
-	ids, err := rt.run(env)
+	ids, err := rt.run(env, trace)
 	es := &ExecStats{}
 	rt.aggregate(es)
 	es.Plan = rt.view()
@@ -37,7 +59,7 @@ func ExecuteTree(env *Env, t *Tree) ([]int64, *ExecStats, error) {
 // only until its next run; the stats carry no Plan view. A warmed runtime
 // executes without allocating.
 func ExecuteTreeWith(env *Env, t *Tree, rt *Runtime) ([]int64, *ExecStats, error) {
-	ids, err := rt.run(env)
+	ids, err := rt.run(env, env.TraceAll)
 	rt.agg.reset()
 	rt.aggregate(&rt.agg)
 	return ids, &rt.agg, err

@@ -3,6 +3,7 @@ package plan
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"repro/internal/xpath"
 )
@@ -52,11 +53,11 @@ func (t *Tree) Render() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "strategy %s, %d branch(es), output %s, est cost %.0f\n",
 		t.Strategy, t.Branches, t.Pattern.Output.Label, t.EstCost)
-	renderNode(&b, t.Root, t.Executed)
+	renderNode(&b, t.Root, t.Executed, t.Traced)
 	return b.String()
 }
 
-func renderNode(b *strings.Builder, n *Node, executed bool) {
+func renderNode(b *strings.Builder, n *Node, executed, traced bool) {
 	DrawTree(b, n, func(c *Node) string {
 		line := c.Kind.String()
 		if c.Detail != "" {
@@ -64,7 +65,18 @@ func renderNode(b *strings.Builder, n *Node, executed bool) {
 		}
 		switch {
 		case executed && c.ActRows >= 0:
-			line += fmt.Sprintf("  (est=%d rows, act=%d)", c.EstRows, c.ActRows)
+			if traced {
+				line += fmt.Sprintf("  (est=%d rows, act=%d, time=%s, self=%s",
+					c.EstRows, c.ActRows,
+					time.Duration(c.ElapsedNS).Round(time.Microsecond),
+					time.Duration(c.SelfNS).Round(time.Microsecond))
+				if c.Reads > 0 {
+					line += fmt.Sprintf(", reads=%d", c.Reads)
+				}
+				line += ")"
+			} else {
+				line += fmt.Sprintf("  (est=%d rows, act=%d)", c.EstRows, c.ActRows)
+			}
 		case executed:
 			line += fmt.Sprintf("  (est=%d rows, not run)", c.EstRows)
 		default:

@@ -85,6 +85,18 @@ type Node struct {
 	// templates; filled on the executed view trees ExecStats.Plan carries.
 	ActRows int64
 
+	// Trace measurements, filled on executed view trees of traced runs
+	// only (Tree.Traced). ElapsedNS is the operator's inclusive subtree
+	// wall time; SelfNS is ElapsedNS minus the children's inclusive
+	// times, clamped at zero (parallel probe materialisation overlaps
+	// its join's window, so the difference can go negative there).
+	// Reads/ReadBytes attribute device-read deltas sampled around the
+	// operator when the env supplies an IOStat source.
+	ElapsedNS int64
+	SelfNS    int64
+	Reads     int64
+	ReadBytes int64
+
 	// Builder state consumed by finalize and the executor.
 	branch *xpath.Branch        // probed branch (IndexProbe, INLJoin, PathFilter)
 	jNode  *xpath.Node          // join / filter twig node (HashJoin, INLJoin, PathFilter)
@@ -151,6 +163,9 @@ type Tree struct {
 	// Parallel reports whether the probe leaves were fanned out over
 	// worker goroutines when the tree ran (view trees only).
 	Parallel bool
+	// Traced reports whether the run recorded per-operator wall time —
+	// the nodes of this view carry ElapsedNS/SelfNS (view trees only).
+	Traced bool
 
 	// Finalize products: the flat operator list (index = Node.ord), the
 	// identity-deduplicated probe leaves the parallel executor fans out,

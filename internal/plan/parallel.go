@@ -2,6 +2,7 @@ package plan
 
 import (
 	"sync"
+	"time"
 
 	"repro/internal/xpath"
 )
@@ -45,7 +46,7 @@ func ExecuteParallel(env *Env, strat Strategy, pat *xpath.Pattern, workers int) 
 // so cached trees can run parallel from many goroutines at once.
 func ExecuteTreeParallel(env *Env, t *Tree, workers int) ([]int64, *ExecStats, error) {
 	rt := t.runtime()
-	ids, err := rt.runParallel(env, workers)
+	ids, err := rt.runParallel(env, workers, env.TraceAll)
 	es := &ExecStats{}
 	rt.aggregate(es)
 	es.Plan = rt.view()
@@ -59,14 +60,28 @@ func ExecuteTreeParallel(env *Env, t *Tree, workers int) ([]int64, *ExecStats, e
 // are not goroutine-safe) and writes only its probe's runState — the
 // states of distinct operators never alias — so the run has no shared
 // mutable state beyond the WaitGroup.
-func (rt *Runtime) runParallel(env *Env, workers int) ([]int64, error) {
+func (rt *Runtime) runParallel(env *Env, workers int, trace bool) ([]int64, error) {
 	rt.reset(env)
 	probes := rt.tree.probes
 	workers = ResolveWorkers(workers, len(probes))
 	if workers <= 1 || len(probes) <= 1 {
-		return rt.spine(env)
+		rt.trace = trace
+		var start time.Time
+		if trace {
+			start = time.Now()
+		}
+		ids, err := rt.spine(env)
+		if trace {
+			rt.states[rt.tree.Root.ord].elapsedNS = time.Since(start).Nanoseconds()
+		}
+		return ids, err
 	}
 	rt.parallel = true
+	rt.trace = trace
+	var runStart time.Time
+	if trace {
+		runStart = time.Now()
+	}
 	sem := make(chan struct{}, workers)
 	errs := make([]error, len(probes))
 	var wg sync.WaitGroup
@@ -76,6 +91,10 @@ func (rt *Runtime) runParallel(env *Env, workers int) ([]int64, error) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
+			var start time.Time
+			if trace {
+				start = time.Now()
+			}
 			st := &rt.states[p.ord]
 			st.out.reset(len(p.branch.Nodes))
 			ev, err := newEvaluator(env, rt.tree.Strategy)
@@ -84,6 +103,11 @@ func (rt *Runtime) runParallel(env *Env, workers int) ([]int64, error) {
 			}
 			if err == nil {
 				st.cached = true
+			}
+			if trace {
+				// Worker wall time; the spine's cheap cached re-visit
+				// adds its finish cost on top (execTraced accumulates).
+				st.elapsedNS += time.Since(start).Nanoseconds()
 			}
 			errs[i] = err
 		}(i, p)
@@ -97,5 +121,11 @@ func (rt *Runtime) runParallel(env *Env, workers int) ([]int64, error) {
 			return nil, err
 		}
 	}
-	return rt.spine(env)
+	ids, err := rt.spine(env)
+	if trace {
+		// Root span covers the fan-out and the spine: the executor-side
+		// end-to-end latency, like the serial run's.
+		rt.states[rt.tree.Root.ord].elapsedNS = time.Since(runStart).Nanoseconds()
+	}
+	return ids, err
 }

@@ -115,6 +115,24 @@ type Env struct {
 	// NoReorder disables statistics-driven branch ordering (branches run
 	// in pattern order); exposed for the ablation benchmarks.
 	NoReorder bool
+
+	// TraceAll turns on per-operator wall-time tracing for every
+	// execution against this env (ExecuteTree, ExecuteTreeWith and the
+	// parallel executor alike). The engine sets it when a slow-query
+	// threshold is configured, so any over-threshold query already
+	// carries its trace; ExecuteTreeTraced forces tracing for a single
+	// run regardless. When false, the executor takes the exact same
+	// code path as before tracing existed — one predictable branch per
+	// operator — and the warmed cache-hit path stays allocation-free.
+	TraceAll bool
+	// IOStat, when non-nil and tracing is on, is sampled around each
+	// operator to attribute device reads (count and bytes) to the
+	// operator that triggered them. The counters are process-global, so
+	// the attribution is exact for serial runs and approximate when
+	// other queries run concurrently; the parallel executor's fanned-out
+	// probes skip I/O attribution entirely (their deltas would
+	// interleave).
+	IOStat func() (reads, bytes int64)
 }
 
 // inlThreshold returns the effective INL factor.

@@ -3,6 +3,7 @@ package plan
 import (
 	"fmt"
 	"slices"
+	"time"
 )
 
 // Runtime is the private per-execution state of one plan tree: per-operator
@@ -29,6 +30,11 @@ type Runtime struct {
 
 	agg      ExecStats // aggregate of the last run (ExecuteTreeWith reuse)
 	parallel bool
+	// trace records per-operator wall time (and, with env.IOStat, device
+	// read deltas) into the runStates. All trace state lives in the
+	// pooled runtime, so tracing allocates nothing; when off, the only
+	// cost is one branch per operator.
+	trace bool
 }
 
 // runState is one operator's execution state.
@@ -38,6 +44,12 @@ type runState struct {
 	out    brel
 	bout   boundRel
 	cached bool // out holds pre-materialised probe output (parallel executor)
+
+	// Trace measurements of the last run (traced runs only): inclusive
+	// subtree wall time and attributed device-read deltas.
+	elapsedNS int64
+	reads     int64
+	readBytes int64
 }
 
 // NewRuntime returns a standalone runtime for t, for callers that manage
@@ -63,9 +75,13 @@ func (rt *Runtime) reset(env *Env) {
 		st.act = -1
 		st.stats.reset()
 		st.cached = false
+		st.elapsedNS = 0
+		st.reads = 0
+		st.readBytes = 0
 	}
 	rt.ids = rt.ids[:0]
 	rt.parallel = false
+	rt.trace = false
 	if rt.env != env {
 		rt.env = env
 		rt.eval = nil
@@ -86,10 +102,19 @@ func (rt *Runtime) evaluator() (evaluator, error) {
 }
 
 // run executes the tree, leaving per-operator state in rt and the sorted
-// distinct output ids in rt.ids.
-func (rt *Runtime) run(env *Env) ([]int64, error) {
+// distinct output ids in rt.ids. With trace on, the root's inclusive
+// elapsed time spans the whole run (including the final dedup), so the
+// root span is the executor-side end-to-end latency.
+func (rt *Runtime) run(env *Env, trace bool) ([]int64, error) {
 	rt.reset(env)
-	return rt.spine(env)
+	if !trace {
+		return rt.spine(env)
+	}
+	rt.trace = true
+	start := time.Now()
+	ids, err := rt.spine(env)
+	rt.states[rt.tree.Root.ord].elapsedNS = time.Since(start).Nanoseconds()
+	return ids, err
 }
 
 // spine runs the operator tree without resetting — the parallel executor
@@ -134,6 +159,37 @@ func compactInts(ids []int64) []int64 {
 // as "not run" by EXPLAIN), exactly as the executor has always skipped
 // branches once the intermediate result is empty.
 func (rt *Runtime) exec(n *Node) (*brel, error) {
+	if rt.trace {
+		return rt.execTraced(n)
+	}
+	return rt.execOp(n)
+}
+
+// execTraced wraps execOp with monotonic wall-time measurement and
+// optional device-read attribution. Inclusive semantics: a child's
+// execTraced runs inside the parent's window, so every state holds its
+// subtree's time; self time falls out at view() time. Adds, not stores,
+// so a parallel run's worker-recorded probe time survives the spine's
+// cheap cached re-visit.
+func (rt *Runtime) execTraced(n *Node) (*brel, error) {
+	var r0, b0 int64
+	io := rt.env.IOStat
+	if io != nil {
+		r0, b0 = io()
+	}
+	start := time.Now()
+	r, err := rt.execOp(n)
+	st := &rt.states[n.ord]
+	st.elapsedNS += time.Since(start).Nanoseconds()
+	if io != nil {
+		r1, b1 := io()
+		st.reads += r1 - r0
+		st.readBytes += b1 - b0
+	}
+	return r, err
+}
+
+func (rt *Runtime) execOp(n *Node) (*brel, error) {
 	switch n.Kind {
 	case OpIndexProbe:
 		return rt.runProbe(n)
@@ -344,18 +400,37 @@ func (rt *Runtime) aggregate(es *ExecStats) {
 func (rt *Runtime) view() *Tree {
 	var clone func(n *Node) *Node
 	clone = func(n *Node) *Node {
+		st := &rt.states[n.ord]
 		vn := &Node{
 			Kind:    n.Kind,
 			Detail:  n.Detail,
 			EstRows: n.EstRows,
 			EstCost: n.EstCost,
-			ActRows: rt.states[n.ord].act,
+			ActRows: st.act,
+		}
+		if rt.trace {
+			vn.ElapsedNS = st.elapsedNS
+			vn.Reads = st.reads
+			vn.ReadBytes = st.readBytes
 		}
 		if len(n.Children) > 0 {
 			vn.Children = make([]*Node, len(n.Children))
 			for i, c := range n.Children {
 				vn.Children[i] = clone(c)
 			}
+		}
+		if rt.trace {
+			// Self time: inclusive minus the children's inclusive times.
+			// Clamped at zero — a parallel run's probes materialise on
+			// workers before (and overlapping) their join's window.
+			self := vn.ElapsedNS
+			for _, c := range vn.Children {
+				self -= c.ElapsedNS
+			}
+			if self < 0 {
+				self = 0
+			}
+			vn.SelfNS = self
 		}
 		return vn
 	}
@@ -368,6 +443,7 @@ func (rt *Runtime) view() *Tree {
 		Branches: t.Branches,
 		Executed: true,
 		Parallel: rt.parallel,
+		Traced:   rt.trace,
 	}
 }
 

@@ -1,11 +1,20 @@
 package stats
 
-import "sync/atomic"
+import (
+	"sync/atomic"
 
-// QueryCounters are engine-lifetime query counters, maintained with atomics
-// so that concurrent sessions can bump them without a lock (and without the
-// data races a plain int64 would have under the parallel executor).
+	"repro/internal/obs"
+)
+
+// QueryCounters are engine-lifetime query counters. Each field is
+// atomic, so concurrent sessions bump them without a lock; an obs
+// sequence lock additionally groups the multi-counter update of
+// CountQuery so Snapshot returns one consistent point in time — an
+// unguarded reader could previously observe a query counted in
+// `queries` but not yet in `branchesEvaluated` (a torn QueryStats
+// snapshot against a concurrent commit).
 type QueryCounters struct {
+	lock              obs.StatLock
 	queries           atomic.Int64
 	parallelQueries   atomic.Int64
 	branchesEvaluated atomic.Int64
@@ -17,20 +26,30 @@ type QueryCounters struct {
 // parallel branch executor, and branches is the number of covering branches
 // the plan evaluated.
 func (c *QueryCounters) CountQuery(parallel bool, branches int) {
+	c.lock.Lock()
 	c.queries.Add(1)
 	if parallel {
 		c.parallelQueries.Add(1)
 	}
 	c.branchesEvaluated.Add(int64(branches))
+	c.lock.Unlock()
 }
 
 // CountPlanCacheHit records one auto-planned query whose strategy choice
 // was served from the per-pattern plan cache.
-func (c *QueryCounters) CountPlanCacheHit() { c.planCacheHits.Add(1) }
+func (c *QueryCounters) CountPlanCacheHit() {
+	c.lock.Lock()
+	c.planCacheHits.Add(1)
+	c.lock.Unlock()
+}
 
 // CountSnapshotPin records one reader pinning an engine snapshot for the
 // lifetime of a query.
-func (c *QueryCounters) CountSnapshotPin() { c.snapshotsPinned.Add(1) }
+func (c *QueryCounters) CountSnapshotPin() {
+	c.lock.Lock()
+	c.snapshotsPinned.Add(1)
+	c.lock.Unlock()
+}
 
 // QuerySnapshot is a point-in-time copy of the counters.
 type QuerySnapshot struct {
@@ -41,13 +60,20 @@ type QuerySnapshot struct {
 	SnapshotsPinned   int64 // snapshot pins taken by readers (one per query)
 }
 
-// Snapshot returns a consistent-enough copy (each field individually atomic).
+// Snapshot returns one consistent point-in-time copy: it retries under
+// the sequence lock until it reads without overlapping any counting
+// writer, so cross-counter invariants (every counted query's branches
+// are included) hold exactly.
 func (c *QueryCounters) Snapshot() QuerySnapshot {
-	return QuerySnapshot{
-		Queries:           c.queries.Load(),
-		ParallelQueries:   c.parallelQueries.Load(),
-		BranchesEvaluated: c.branchesEvaluated.Load(),
-		PlanCacheHits:     c.planCacheHits.Load(),
-		SnapshotsPinned:   c.snapshotsPinned.Load(),
-	}
+	var s QuerySnapshot
+	c.lock.Read(func() {
+		s = QuerySnapshot{
+			Queries:           c.queries.Load(),
+			ParallelQueries:   c.parallelQueries.Load(),
+			BranchesEvaluated: c.branchesEvaluated.Load(),
+			PlanCacheHits:     c.planCacheHits.Load(),
+			SnapshotsPinned:   c.snapshotsPinned.Load(),
+		}
+	})
+	return s
 }

@@ -15,6 +15,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Latency is a simulated device access time. The in-memory disk serves
@@ -43,9 +45,12 @@ const InvalidPage PageID = -1
 type Disk struct {
 	mu      sync.RWMutex
 	pages   [][]byte
-	reads   atomic.Int64
-	writes  atomic.Int64
-	readLat atomic.Int64 // simulated per-read latency in nanoseconds
+	// statLock makes DeviceStats a single consistent snapshot of the
+	// atomic counters (see obs.StatLock).
+	statLock obs.StatLock
+	reads    atomic.Int64
+	writes   atomic.Int64
+	readLat  atomic.Int64 // simulated per-read latency in nanoseconds
 }
 
 var _ Device = (*Disk)(nil)
@@ -87,7 +92,9 @@ func (d *Disk) Read(id PageID, buf []byte) error {
 	if int(id) < 0 || int(id) >= len(d.pages) {
 		return fmt.Errorf("storage: read of unallocated page %d", id)
 	}
+	d.statLock.Lock()
 	d.reads.Add(1)
+	d.statLock.Unlock()
 	copy(buf, d.pages[id])
 	return nil
 }
@@ -99,7 +106,9 @@ func (d *Disk) Write(id PageID, buf []byte) error {
 	if int(id) < 0 || int(id) >= len(d.pages) {
 		return fmt.Errorf("storage: write of unallocated page %d", id)
 	}
+	d.statLock.Lock()
 	d.writes.Add(1)
+	d.statLock.Unlock()
 	copy(d.pages[id], buf)
 	return nil
 }
@@ -123,7 +132,10 @@ func (d *Disk) Counters() (reads, writes int64) {
 // byte counters are the pages copied across the device boundary; the WAL
 // and checkpoint counters are always zero.
 func (d *Disk) DeviceStats() DeviceStats {
-	r, w := d.reads.Load(), d.writes.Load()
+	var r, w int64
+	d.statLock.Read(func() {
+		r, w = d.reads.Load(), d.writes.Load()
+	})
 	return DeviceStats{
 		Reads:        r,
 		Writes:       w,

@@ -10,6 +10,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // File format (see docs/STORAGE.md for the full specification):
@@ -135,6 +137,11 @@ type FileDisk struct {
 
 	readLat atomic.Int64
 
+	// statLock groups multi-counter updates so DeviceStats returns one
+	// consistent snapshot (e.g. a WAL append's walAppends and
+	// bytesWritten land together); the counters stay atomic so every
+	// individual access is race-free.
+	statLock                obs.StatLock
 	reads, writes           atomic.Int64
 	bytesRead, bytesWritten atomic.Int64
 	walAppends, walFsyncs   atomic.Int64
@@ -142,6 +149,12 @@ type FileDisk struct {
 	checkpoints             atomic.Int64
 	checksumFails           atomic.Int64
 	checksumRetries         atomic.Int64
+
+	// Latency observers, set once via SetLatencyObservers before the
+	// disk is shared (nil = not observed).
+	fsyncHist *obs.Histogram // per physical WAL fsync, ns
+	batchHist *obs.Histogram // commits made durable per fsync
+	ckptHist  *obs.Histogram // per checkpoint, ns
 
 	// Recovery facts from OpenFileDisk (set before the disk is shared).
 	recoveredCommits int64
@@ -323,8 +336,10 @@ func (f *FileDisk) Read(id PageID, buf []byte) error {
 	if int(id) < 0 || int(id) >= f.numPages {
 		return fmt.Errorf("storage: read of unallocated page %d", id)
 	}
+	f.statLock.Lock()
 	f.reads.Add(1)
 	f.bytesRead.Add(PageSize)
+	f.statLock.Unlock()
 	off, inWAL := f.pending[id]
 	if !inWAL {
 		off, inWAL = f.walIndex[id]
@@ -342,11 +357,15 @@ func (f *FileDisk) readChecked(read func() error) error {
 	if err == nil || !errors.Is(err, ErrCorruptPage) {
 		return err
 	}
+	f.statLock.Lock()
 	f.checksumFails.Add(1)
 	f.checksumRetries.Add(1)
+	f.statLock.Unlock()
 	err = read()
 	if err != nil && errors.Is(err, ErrCorruptPage) {
+		f.statLock.Lock()
 		f.checksumFails.Add(1)
+		f.statLock.Unlock()
 	}
 	return err
 }
@@ -445,8 +464,10 @@ func (f *FileDisk) appendLocked(rec []byte, what string) error {
 		return fmt.Errorf("storage: wal append (%s): %w", what, err)
 	}
 	f.walSize += int64(len(rec))
+	f.statLock.Lock()
 	f.walAppends.Add(1)
 	f.bytesWritten.Add(int64(len(rec)))
+	f.statLock.Unlock()
 	return nil
 }
 
@@ -467,7 +488,9 @@ func (f *FileDisk) Write(id PageID, buf []byte) error {
 		return err
 	}
 	f.pending[id] = start + walFrameHeaderSize
+	f.statLock.Lock()
 	f.writes.Add(1)
+	f.statLock.Unlock()
 	return nil
 }
 
@@ -546,6 +569,7 @@ func (f *FileDisk) SyncTo(seq int64) error {
 	target := f.commitSeq
 	f.mu.RUnlock()
 	var err error
+	fsyncStart := time.Now()
 	if f.inj != nil {
 		err = f.inj.fsyncError()
 	}
@@ -556,8 +580,20 @@ func (f *FileDisk) SyncTo(seq int64) error {
 		f.poison(fmt.Errorf("wal fsync: %w", err))
 		return f.poisonedError()
 	}
+	if f.fsyncHist != nil {
+		f.fsyncHist.Observe(time.Since(fsyncStart).Nanoseconds())
+	}
+	if f.batchHist != nil {
+		// Commits this physical fsync made durable: the group-commit
+		// batch the leader is flushing for itself and its waiters.
+		if batch := target - f.durableSeq.Load(); batch > 0 {
+			f.batchHist.Observe(batch)
+		}
+	}
+	f.statLock.Lock()
 	f.walFsyncs.Add(1)
 	f.groupBatches.Add(1)
+	f.statLock.Unlock()
 	storeMax(&f.durableSeq, target)
 	return nil
 }
@@ -594,6 +630,7 @@ func (f *FileDisk) Checkpoint() error {
 	if len(f.pending) > 0 {
 		return fmt.Errorf("storage: checkpoint with %d uncommitted frames (commit first)", len(f.pending))
 	}
+	ckptStart := time.Now()
 	scratch := make([]byte, pageSlotSize)
 	for id, off := range f.walIndex {
 		err := f.readChecked(func() error {
@@ -615,7 +652,9 @@ func (f *FileDisk) Checkpoint() error {
 		if _, err := f.file.WriteAt(out, slotOff(id)); err != nil {
 			return fmt.Errorf("storage: checkpoint write of page %d: %w", id, err)
 		}
+		f.statLock.Lock()
 		f.bytesWritten.Add(pageSlotSize)
+		f.statLock.Unlock()
 	}
 	f.ckptStage(CkptPagesMigrated)
 	if err := writeSuperblock(f.file, f.meta); err != nil {
@@ -642,10 +681,15 @@ func (f *FileDisk) Checkpoint() error {
 		f.poison(fmt.Errorf("wal fsync after truncate: %w", err))
 		return f.poisonedError()
 	}
+	f.statLock.Lock()
 	f.walFsyncs.Add(1)
+	f.checkpoints.Add(1)
+	f.statLock.Unlock()
 	f.walSize = 0
 	f.walIndex = map[PageID]int64{}
-	f.checkpoints.Add(1)
+	if f.ckptHist != nil {
+		f.ckptHist.Observe(time.Since(ckptStart).Nanoseconds())
+	}
 	f.ckptStage(CkptWALTruncated)
 	// Every committed state now lives durably in the database file, so any
 	// SyncTo waiter still queued for a pre-checkpoint commit is satisfied.
@@ -695,24 +739,41 @@ func (f *FileDisk) Counters() (reads, writes int64) {
 	return f.reads.Load(), f.writes.Load()
 }
 
-// DeviceStats returns the full I/O counters.
+// SetLatencyObservers installs the storage histograms (any may be nil):
+// fsync observes each physical WAL fsync's duration in nanoseconds,
+// batch the number of commits that fsync made durable, and ckpt each
+// checkpoint's duration in nanoseconds. Set once before the disk is
+// shared (the engine does this at Open).
+func (f *FileDisk) SetLatencyObservers(fsync, batch, ckpt *obs.Histogram) {
+	f.fsyncHist = fsync
+	f.batchHist = batch
+	f.ckptHist = ckpt
+}
+
+// DeviceStats returns the full I/O counters as one consistent snapshot:
+// the read retries under the stat lock until it does not overlap any
+// multi-counter update, so invariants like "every WAL append's bytes
+// are included" hold exactly.
 func (f *FileDisk) DeviceStats() DeviceStats {
-	st := DeviceStats{
-		Reads:        f.reads.Load(),
-		Writes:       f.writes.Load(),
-		BytesRead:    f.bytesRead.Load(),
-		BytesWritten: f.bytesWritten.Load(),
-		WALAppends:         f.walAppends.Load(),
-		WALFsyncs:          f.walFsyncs.Load(),
-		WALBytes:           f.WALSize(),
-		GroupCommitBatches: f.groupBatches.Load(),
-		Checkpoints:        f.checkpoints.Load(),
-		ChecksumFailures:   f.checksumFails.Load(),
-		ChecksumRetries:    f.checksumRetries.Load(),
-		RecoveredCommits:   f.recoveredCommits,
-		WALBytesDiscarded:  f.walDiscarded,
-		Poisoned:           f.Poisoned() != nil,
-	}
+	var st DeviceStats
+	f.statLock.Read(func() {
+		st = DeviceStats{
+			Reads:              f.reads.Load(),
+			Writes:             f.writes.Load(),
+			BytesRead:          f.bytesRead.Load(),
+			BytesWritten:       f.bytesWritten.Load(),
+			WALAppends:         f.walAppends.Load(),
+			WALFsyncs:          f.walFsyncs.Load(),
+			GroupCommitBatches: f.groupBatches.Load(),
+			Checkpoints:        f.checkpoints.Load(),
+			ChecksumFailures:   f.checksumFails.Load(),
+			ChecksumRetries:    f.checksumRetries.Load(),
+		}
+	})
+	st.WALBytes = f.WALSize()
+	st.RecoveredCommits = f.recoveredCommits
+	st.WALBytesDiscarded = f.walDiscarded
+	st.Poisoned = f.Poisoned() != nil
 	if f.inj != nil {
 		st.InjectedFaults = f.inj.TotalInjected()
 	}

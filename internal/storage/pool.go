@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Page is a pinned page in the buffer pool, returned by value so the hot
@@ -97,7 +99,16 @@ type Pool struct {
 	capacity int
 	mask     uint32
 	shards   []shard
+
+	// missHist, when set (SetMissObserver, before the pool is shared),
+	// observes the device-read latency of every pool miss in
+	// nanoseconds. The hit path never touches it.
+	missHist *obs.Histogram
 }
+
+// SetMissObserver installs the pool-miss latency histogram. Set once
+// before the pool is shared (the engine does this at Open).
+func (p *Pool) SetMissObserver(h *obs.Histogram) { p.missHist = h }
 
 // NewPool returns a pool holding at most capacityBytes of pages (minimum
 // one page).
@@ -227,7 +238,14 @@ func (p *Pool) Fetch(id PageID) (Page, error) {
 	s.stats.PageReads++
 	s.mu.Unlock()
 
-	err := s.dev.Read(id, f.data)
+	var err error
+	if p.missHist != nil {
+		start := time.Now()
+		err = s.dev.Read(id, f.data)
+		p.missHist.Observe(time.Since(start).Nanoseconds())
+	} else {
+		err = s.dev.Read(id, f.data)
+	}
 
 	s.mu.Lock()
 	f.loadErr = err

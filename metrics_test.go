@@ -1,0 +1,265 @@
+package twigdb_test
+
+import (
+	"io"
+	"net/http"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+
+	twigdb "repro"
+)
+
+// TestExplainAnalyze checks the EXPLAIN ANALYZE surface: a traced run
+// returns the same answer as an untraced one, carries a span tree aligned
+// with the plan, and renders per-operator wall time. A query without
+// tracing enabled must not carry a trace.
+func TestExplainAnalyze(t *testing.T) {
+	db := twigdb.MustOpen(nil)
+	if err := db.LoadXMLString(persistDoc); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Build(twigdb.RootPaths, twigdb.DataPaths); err != nil {
+		t.Fatal(err)
+	}
+	const q = `/shelf/book/title`
+	plain, err := db.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Trace != nil {
+		t.Fatalf("untraced query carries a trace")
+	}
+	res, err := db.ExplainAnalyze(twigdb.Auto, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.IDs) != len(plain.IDs) {
+		t.Fatalf("traced run returned %d ids, untraced %d", len(res.IDs), len(plain.IDs))
+	}
+	if res.Trace == nil {
+		t.Fatalf("ExplainAnalyze returned no trace")
+	}
+	if res.Trace.Elapsed <= 0 {
+		t.Fatalf("root span elapsed = %v, want > 0", res.Trace.Elapsed)
+	}
+	// The trace is aligned one-to-one with the plan tree.
+	var countPlan func(*twigdb.PlanNode) int
+	countPlan = func(n *twigdb.PlanNode) int {
+		c := 1
+		for _, ch := range n.Children {
+			c += countPlan(ch)
+		}
+		return c
+	}
+	var countTrace func(*twigdb.TraceNode) int
+	countTrace = func(n *twigdb.TraceNode) int {
+		c := 1
+		for _, ch := range n.Children {
+			c += countTrace(ch)
+		}
+		return c
+	}
+	if p, tr := countPlan(res.Plan), countTrace(res.Trace); p != tr {
+		t.Fatalf("plan has %d operators, trace has %d", p, tr)
+	}
+	out := res.Trace.Render()
+	if !strings.Contains(out, "time=") || !strings.Contains(out, "self=") {
+		t.Fatalf("trace render missing timings:\n%s", out)
+	}
+	if _, err := db.ExplainAnalyze(twigdb.Oracle, q); err == nil {
+		t.Fatalf("ExplainAnalyze(Oracle) succeeded, want error")
+	}
+}
+
+// TestMetricsAndSlowQueries drives the always-on tracing path: with a
+// 1ns threshold every query is slow, so the latency histogram fills, the
+// slow-query ring captures traced plans, and Result.Trace is set on
+// ordinary queries.
+func TestMetricsAndSlowQueries(t *testing.T) {
+	db := twigdb.MustOpen(&twigdb.Options{SlowQueryThreshold: time.Nanosecond})
+	if err := db.LoadXMLString(persistDoc); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Build(twigdb.RootPaths, twigdb.DataPaths); err != nil {
+		t.Fatal(err)
+	}
+	queries := []string{`/shelf/book/title`, `/shelf/book[title='Tuning']`, `//book`}
+	for _, q := range queries {
+		res, err := db.Query(q)
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		if res.Trace == nil {
+			t.Fatalf("%s: threshold-enabled tracing did not set Result.Trace", q)
+		}
+	}
+	m := db.Metrics()
+	if m.QueryLatency.Count != int64(len(queries)) {
+		t.Fatalf("QueryLatency.Count = %d, want %d", m.QueryLatency.Count, len(queries))
+	}
+	if m.QueryLatency.P50 <= 0 || m.QueryLatency.P99 < m.QueryLatency.P50 {
+		t.Fatalf("implausible quantiles: %+v", m.QueryLatency)
+	}
+	if m.QueryLatency.Max < m.QueryLatency.P999 {
+		t.Fatalf("max %v below p999 %v", m.QueryLatency.Max, m.QueryLatency.P999)
+	}
+	if m.SlowQueries != int64(len(queries)) {
+		t.Fatalf("SlowQueries = %d, want %d", m.SlowQueries, len(queries))
+	}
+	slow := db.SlowQueries()
+	if len(slow) != len(queries) {
+		t.Fatalf("len(SlowQueries()) = %d, want %d", len(slow), len(queries))
+	}
+	for i, s := range slow {
+		if s.Query != queries[i] {
+			t.Fatalf("slow[%d].Query = %q, want %q (oldest first)", i, s.Query, queries[i])
+		}
+		if s.Strategy == "" || s.Elapsed <= 0 || s.When.IsZero() {
+			t.Fatalf("slow[%d] incomplete: %+v", i, s)
+		}
+		if !strings.Contains(s.Plan, "time=") {
+			t.Fatalf("slow[%d].Plan not traced:\n%s", i, s.Plan)
+		}
+	}
+}
+
+// promLine matches one Prometheus text-format sample line.
+var promLine = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? [^ ]+$`)
+
+func scrape(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %s", url, resp.Status)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body)
+}
+
+// checkPromText validates the scrape body line by line and returns the
+// value lines indexed by series (name plus labels).
+func checkPromText(t *testing.T, body string) map[string]string {
+	t.Helper()
+	series := map[string]string{}
+	for _, line := range strings.Split(strings.TrimRight(body, "\n"), "\n") {
+		if strings.HasPrefix(line, "# ") {
+			continue
+		}
+		if !promLine.MatchString(line) {
+			t.Fatalf("invalid Prometheus text line: %q", line)
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		series[line[:sp]] = line[sp+1:]
+	}
+	return series
+}
+
+// TestServeMetricsEndpoint is the end-to-end observability test: a
+// file-backed database with a one-shot fsync fault serves /metrics; the
+// scrape is valid Prometheus text carrying the query-latency and
+// group-commit histograms, and poisoning the device flips the exported
+// twigdb_readonly gauge from 0 to 1.
+func TestServeMetricsEndpoint(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "obs.twigdb")
+	db, err := twigdb.Open(&twigdb.Options{
+		Path: path,
+		FaultInjection: &twigdb.FaultInjection{
+			Seed:  7,
+			Armed: false,
+			Specs: []twigdb.FaultSpec{{Kind: twigdb.FaultFsyncError}},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if err := db.LoadXMLString(persistDoc); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Build(twigdb.RootPaths, twigdb.DataPaths); err != nil {
+		t.Fatal(err)
+	}
+	shelf, err := db.Query(`/shelf`)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	srv, err := db.ServeMetrics("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	series := checkPromText(t, scrape(t, srv.URL()))
+	if series["twigdb_readonly"] != "0" {
+		t.Fatalf("twigdb_readonly = %q on a healthy database", series["twigdb_readonly"])
+	}
+	if series["twigdb_queries_total"] != "1" {
+		t.Fatalf("twigdb_queries_total = %q, want 1", series["twigdb_queries_total"])
+	}
+	if series["twigdb_query_latency_seconds_count"] != "1" {
+		t.Fatalf("query latency histogram count = %q, want 1",
+			series["twigdb_query_latency_seconds_count"])
+	}
+	if _, ok := series[`twigdb_query_latency_seconds_bucket{le="+Inf"}`]; !ok {
+		t.Fatalf("query latency histogram missing +Inf bucket")
+	}
+	if _, ok := series["twigdb_group_commit_batch_size_count"]; !ok {
+		t.Fatalf("group-commit histogram missing")
+	}
+	if _, ok := series["twigdb_wal_fsync_latency_seconds_count"]; !ok {
+		t.Fatalf("WAL fsync histogram missing")
+	}
+
+	// pprof rides the same listener.
+	if resp, err := http.Get("http://" + srv.Addr() + "/debug/pprof/"); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("pprof index: %s", resp.Status)
+		}
+	}
+
+	// Poison the device: the next scrape must flip the gauges and export
+	// the fault and the degraded-mode cause.
+	db.SetFaultsArmed(true)
+	if _, err := db.Insert(shelf.IDs[0], `<book><title>Doomed</title></book>`); err == nil {
+		t.Fatalf("insert with failed fsync succeeded")
+	}
+	series = checkPromText(t, scrape(t, srv.URL()))
+	if series["twigdb_readonly"] != "1" {
+		t.Fatalf("twigdb_readonly = %q after poisoning, want 1", series["twigdb_readonly"])
+	}
+	if series["twigdb_device_poisoned"] != "1" {
+		t.Fatalf("twigdb_device_poisoned = %q after poisoning, want 1", series["twigdb_device_poisoned"])
+	}
+	if series["twigdb_injected_faults_total"] == "0" {
+		t.Fatalf("twigdb_injected_faults_total still 0 after an injected fault")
+	}
+	foundKind, foundCause := false, false
+	for k := range series {
+		if strings.HasPrefix(k, "twigdb_fault_fired_total{kind=") {
+			foundKind = true
+		}
+		if strings.HasPrefix(k, "twigdb_readonly_cause{cause=") {
+			foundCause = true
+		}
+	}
+	if !foundKind {
+		t.Fatalf("no twigdb_fault_fired_total{kind=...} series after an injected fault")
+	}
+	if !foundCause {
+		t.Fatalf("no twigdb_readonly_cause{cause=...} series in degraded mode")
+	}
+}

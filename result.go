@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"time"
 
 	"repro/internal/plan"
 	"repro/internal/xmldb"
@@ -23,6 +24,11 @@ type Result struct {
 	// project operators with the planner's estimated and the executor's
 	// actual cardinality per operator. Nil for Oracle queries.
 	Plan *PlanNode
+	// Trace is the per-operator span tree of a traced execution — set by
+	// ExplainAnalyze, and on every query when Options.SlowQueryThreshold
+	// enables always-on tracing. Nil otherwise. Aligned one-to-one with
+	// Plan; see docs/OBSERVABILITY.md for the timing semantics.
+	Trace *TraceNode
 
 	db *DB
 }
@@ -60,6 +66,71 @@ func (n *PlanNode) Render() string {
 		return line
 	}, func(p *PlanNode) []*PlanNode { return p.Children })
 	return b.String()
+}
+
+// TraceNode is one operator span of a traced query execution (EXPLAIN
+// ANALYZE): the plan operator plus its measured wall time and attributed
+// device I/O. Elapsed is inclusive of the operator's children; Self is
+// Elapsed minus the children's (clamped at zero — under the parallel
+// executor probe work overlaps the joins, so self times are per-span
+// measurements, not a partition of the total).
+type TraceNode struct {
+	Op         string
+	Detail     string
+	EstRows    int64
+	ActualRows int64 // -1 when the operator never ran
+	Elapsed    time.Duration
+	Self       time.Duration
+	// Reads and ReadBytes are the page-device reads (buffer pool misses)
+	// observed while the operator ran. Exact for serial executions;
+	// concurrent queries on the same DB may attribute each other's reads.
+	Reads     int64
+	ReadBytes int64
+	Children  []*TraceNode
+}
+
+// Render draws the trace as an indented tree with per-operator estimated
+// vs. actual rows, inclusive and self time, and attributed device reads.
+func (n *TraceNode) Render() string {
+	var b strings.Builder
+	plan.DrawTree(&b, n, func(p *TraceNode) string {
+		line := p.Op
+		if p.Detail != "" {
+			line += " " + p.Detail
+		}
+		if p.ActualRows < 0 {
+			return line + fmt.Sprintf("  (est=%d rows, not run)", p.EstRows)
+		}
+		line += fmt.Sprintf("  (est=%d rows, act=%d, time=%s, self=%s",
+			p.EstRows, p.ActualRows,
+			p.Elapsed.Round(time.Microsecond), p.Self.Round(time.Microsecond))
+		if p.Reads > 0 {
+			line += fmt.Sprintf(", reads=%d", p.Reads)
+		}
+		return line + ")"
+	}, func(p *TraceNode) []*TraceNode { return p.Children })
+	return b.String()
+}
+
+// publicTrace converts a traced internal plan view to the public span tree.
+func publicTrace(n *plan.Node) *TraceNode {
+	if n == nil {
+		return nil
+	}
+	out := &TraceNode{
+		Op:         n.Kind.String(),
+		Detail:     n.Detail,
+		EstRows:    n.EstRows,
+		ActualRows: n.ActRows,
+		Elapsed:    time.Duration(n.ElapsedNS),
+		Self:       time.Duration(n.SelfNS),
+		Reads:      n.Reads,
+		ReadBytes:  n.ReadBytes,
+	}
+	for _, c := range n.Children {
+		out.Children = append(out.Children, publicTrace(c))
+	}
+	return out
 }
 
 // publicPlan converts an executed internal plan tree to the public mirror.

@@ -204,6 +204,19 @@ type Options struct {
 	// flips, torn writes, ENOSPC and latency spikes, seeded for
 	// replayability. See docs/FAULTS.md and the FaultInjection type.
 	FaultInjection *FaultInjection
+
+	// SlowQueryThreshold, when > 0, enables per-operator tracing on every
+	// query (the cached-plan hot path stays allocation-free; see
+	// docs/OBSERVABILITY.md) and captures queries at least this slow —
+	// query text, strategy, snapshot version and the traced plan — in a
+	// bounded ring readable via SlowQueries. Zero, the default, disables
+	// both. Per-query tracing on demand is always available through
+	// ExplainAnalyze regardless of this setting.
+	SlowQueryThreshold time.Duration
+
+	// SlowQueryLogSize caps the slow-query ring; 0 keeps the default of
+	// 64 entries (oldest evicted first).
+	SlowQueryLogSize int
 }
 
 // DB is an XML database instance: a forest of loaded documents plus any
@@ -240,6 +253,8 @@ func Open(opts *Options) (*DB, error) {
 		}
 		cfg.DiskReadLatency = opts.SimulatedDiskReadLatency
 		cfg.Path = opts.Path
+		cfg.SlowQueryThreshold = opts.SlowQueryThreshold
+		cfg.SlowQueryLogSize = opts.SlowQueryLogSize
 		if opts.FaultInjection != nil {
 			inj, err := newFaultInjector(opts.FaultInjection)
 			if err != nil {
@@ -390,6 +405,13 @@ func (db *DB) queryWith(strat Strategy, q string, branchWorkers int) (*Result, e
 	if err != nil {
 		return nil, err
 	}
+	return db.newResult(q, strat, ps, ids, es), nil
+}
+
+// newResult assembles the public Result from an internal execution:
+// strategy resolution for Auto, counter mirroring, the executed plan view,
+// and — when the run was traced — the per-operator trace tree.
+func (db *DB) newResult(q string, strat Strategy, ps plan.Strategy, ids []int64, es *plan.ExecStats) *Result {
 	res := &Result{Query: q, Strategy: strat, IDs: ids, db: db}
 	if strat == Auto {
 		for pub, internal := range strategyToInternal {
@@ -411,8 +433,42 @@ func (db *DB) queryWith(strat Strategy, q string, branchWorkers int) (*Result, e
 			BranchesJoined: es.BranchesJoined,
 		}
 		res.Plan = publicPlan(es.Plan)
+		if es.Plan != nil && es.Plan.Traced {
+			res.Trace = publicTrace(es.Plan.Root)
+		}
 	}
-	return res, nil
+	return res
+}
+
+// ExplainAnalyze executes the query with per-operator tracing forced on —
+// EXPLAIN ANALYZE. The returned Result is a full query result (IDs, Stats,
+// Plan) whose Trace field additionally carries the span tree aligned with
+// the plan: per operator, estimated vs. actual rows, inclusive and self
+// wall time, and buffer-pool-miss device reads attributed to it. Render it
+// with Result.Trace.Render. Tracing one run costs two clock reads per
+// operator; it does not require Options.SlowQueryThreshold. Oracle is not
+// supported (it runs no plan).
+func (db *DB) ExplainAnalyze(strat Strategy, q string) (*Result, error) {
+	pat, err := xpath.Parse(q)
+	if err != nil {
+		return nil, err
+	}
+	if strat == Oracle {
+		return nil, errors.New("twigdb: ExplainAnalyze needs a plan-running strategy; Oracle has no plan")
+	}
+	var ids []int64
+	var es *plan.ExecStats
+	var ps plan.Strategy
+	if strat == Auto {
+		ids, es, ps, err = db.eng.QueryPatternBestTraced(pat)
+	} else {
+		ps = strategyToInternal[strat]
+		ids, es, err = db.eng.QueryPatternTraced(pat, ps)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return db.newResult(q, strat, ps, ids, es), nil
 }
 
 // QueryStats is a snapshot of the database's lifetime query counters
