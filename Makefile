@@ -7,7 +7,7 @@ BENCHES = BenchmarkInsert|BenchmarkBuildAll|BenchmarkConcurrentQuery
 # Short-budget fuzz smoke for CI (full runs: go test -fuzz=... by hand).
 FUZZTIME ?= 10s
 
-.PHONY: all build vet test race race-plan fuzz recover stress faults obs ci bench bench1 bench2 bench3 bench4 bench5 bench6 bench-faults
+.PHONY: all build vet test race race-plan fuzz recover stress faults obs storage-scale ci bench bench1 bench2 bench3 bench4 bench5 bench6 bench7 bench-faults
 
 all: test
 
@@ -71,11 +71,19 @@ obs:
 	$(GO) test -race -run 'TestTrace|TestZeroAllocs|TestExecuteTreeWithZeroAllocs' ./internal/plan/
 	$(GO) test -race -run 'TestExplainAnalyze|TestMetricsAndSlowQueries|TestServeMetricsEndpoint' .
 
+# Storage-at-scale torture under the race detector: free-list reuse,
+# recovery and corrupt-chain abandonment, compaction (including crash
+# images at the free-splice boundary), churn steady state, and online
+# backup under concurrent writers (see docs/STORAGE.md).
+storage-scale:
+	$(GO) test -race -run 'TestFileDiskFree|TestFileDiskCompact|TestFaultDiskFree' ./internal/storage/
+	$(GO) test -race -run 'TestChurnSteadyState|TestBackupRestore|TestBackupUnderConcurrentWriters|TestCrashDuringCompact' ./internal/engine/
+
 # Everything CI runs, in order.
-ci: test race race-plan fuzz recover stress faults obs
+ci: test race race-plan fuzz recover stress faults obs storage-scale
 
 # Machine-readable trajectory entries at the repo root.
-bench: bench1 bench2 bench3 bench4 bench5 bench6
+bench: bench1 bench2 bench3 bench4 bench5 bench6 bench7
 
 # Micro-benchmarks with allocation reporting -> BENCH_1.json.
 bench1:
@@ -108,6 +116,13 @@ bench5:
 # BENCH_6.json.
 bench6:
 	$(GO) run ./cmd/twigbench -multicore -out BENCH_6.json
+
+# Disk-resident scale: XMark scale 10 through a buffer pool far smaller
+# than the file — cold/warm query latency, steady-state file size under
+# churn, and commit p99 with the background checkpointer parked vs
+# active -> BENCH_7.json.
+bench7:
+	$(GO) run ./cmd/twigbench -scale10 -out BENCH_7.json
 
 # Fault-injection smoke: the XMark workload under armed storage faults,
 # differential-checked; fails on any wrong answer or untyped error ->

@@ -37,6 +37,20 @@ type Tree struct {
 	// version it was cloned from. Zero (every valid id is >= 0) keeps the
 	// historical modify-in-place behaviour. See CloneCOW.
 	cowFrontier storage.PageID
+
+	// fresh tracks pages allocated by this handle since it was cloned. The
+	// device may serve an allocation from its free list, handing out an id
+	// *below* cowFrontier; such a page is nevertheless private to this
+	// writer, and without this set every touch would pointlessly copy it
+	// again. Nil until the first allocation under a nonzero frontier.
+	fresh map[storage.PageID]struct{}
+
+	// retired accumulates shared pages this handle stopped referencing —
+	// replaced by a COW copy, or unlinked as an emptied node. Published
+	// versions of the tree may still read them, so the engine collects them
+	// via TakeRetired and frees each batch only after every snapshot that
+	// could reference it has been released.
+	retired []storage.PageID
 }
 
 // Stats describes a tree's shape and footprint.
@@ -105,9 +119,10 @@ func Open(pool *storage.Pool, m Meta) *Tree {
 // the tree as of the clone point. The caller passes the device's page
 // count at the moment the original became immutable (the engine records it
 // when publishing a snapshot), which is a conservative superset of the
-// pages the original can reference. Pages the original stops referencing
-// are leaked on the device — acceptable while nothing frees pages (the
-// file format's free list is reserved for exactly this).
+// pages the original can reference. Pages the clone stops referencing —
+// the originals behind its COW copies and the nodes it unlinks — are
+// recorded for TakeRetired, and the engine returns them to the device free
+// list once the snapshots that could still read them drain.
 func (t *Tree) CloneCOW(frontier storage.PageID) *Tree {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
@@ -140,22 +155,81 @@ func (t *Tree) fetch(id storage.PageID) (storage.Page, error) {
 }
 
 // writable returns a pinned page for id that is safe to mutate: the page
-// itself when it is at or above the COW frontier (allocated after the
-// shared version froze), otherwise a fresh copy on a newly allocated page.
-// The caller must check Page.ID and propagate a changed id to the parent.
+// itself when this handle owns it (see owned), otherwise a fresh copy on a
+// newly allocated page, with the shared original retired. The caller must
+// check Page.ID and propagate a changed id to the parent.
 func (t *Tree) writable(id storage.PageID) (storage.Page, error) {
 	pg, err := t.fetch(id)
-	if err != nil || id >= t.cowFrontier {
+	if err != nil || t.owned(id) {
 		return pg, err
 	}
-	np, err := t.pool.Allocate()
+	np, err := t.allocPage()
 	if err != nil {
 		t.pool.Unpin(pg, false)
 		return storage.Page{}, err
 	}
 	copy(np.Data, pg.Data)
 	t.pool.Unpin(pg, false)
+	t.retire(id)
 	return np, nil
+}
+
+// owned reports whether this handle may mutate page id in place: every
+// page is owned at frontier zero, pages at or above the frontier were
+// allocated after the shared version froze, and pages in fresh were
+// allocated by this handle even though free-list reuse gave them a low id.
+func (t *Tree) owned(id storage.PageID) bool {
+	if id >= t.cowFrontier {
+		return true
+	}
+	_, ok := t.fresh[id]
+	return ok
+}
+
+// allocPage allocates a page, recording it in fresh when a COW frontier is
+// active so that a recycled low id is not mistaken for a shared page.
+func (t *Tree) allocPage() (storage.Page, error) {
+	pg, err := t.pool.Allocate()
+	if err == nil && t.cowFrontier > 0 {
+		if t.fresh == nil {
+			t.fresh = make(map[storage.PageID]struct{})
+		}
+		t.fresh[pg.ID] = struct{}{}
+	}
+	return pg, err
+}
+
+// retire records that this handle stopped referencing shared page id.
+func (t *Tree) retire(id storage.PageID) { t.retired = append(t.retired, id) }
+
+// freeOrRetire disposes of a page this handle no longer references. Pages
+// it owns go straight back to the device free list; shared pages are
+// retired for the engine to free once the snapshots that can still read
+// them drain.
+func (t *Tree) freeOrRetire(id storage.PageID) {
+	if t.owned(id) {
+		delete(t.fresh, id)
+		if t.pool.Free(id) == nil {
+			return
+		}
+		// The pool refused (the page is pinned, or the device rejected
+		// the free): retiring it instead leaks nothing — the engine's
+		// deferred free retries through the same path.
+	}
+	t.retire(id)
+}
+
+// TakeRetired returns and clears the shared pages this handle has stopped
+// referencing since the previous call (or since the clone). The engine
+// frees them once every snapshot published before this handle's mutations
+// has been released; nothing may free them earlier, because readers of
+// older tree versions still descend through them.
+func (t *Tree) TakeRetired() []storage.PageID {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	r := t.retired
+	t.retired = nil
+	return r
 }
 
 // Stats returns the tree's current shape.
@@ -175,7 +249,7 @@ func (t *Tree) Stats() Stats {
 func (t *Tree) Name() string { return t.name }
 
 func (t *Tree) alloc(pc *pageContent) (storage.PageID, error) {
-	pg, err := t.pool.Allocate()
+	pg, err := t.allocPage()
 	if err != nil {
 		return storage.InvalidPage, err
 	}

@@ -498,6 +498,16 @@ func writeCatalogChain(dev storage.Device, reuse []storage.PageID, blob []byte) 
 		for i := 0; i < grow; i++ {
 			reuse = append(reuse, first+storage.PageID(i))
 		}
+	} else if n < len(reuse) {
+		// The catalog shrank: return the excess chain pages to the device
+		// free list. Immediate (not deferred like tree pages) because
+		// catalog pages are only ever read at Open, never by snapshots at
+		// runtime, and the free rides the same commit as the new chain. A
+		// refused free just leaves the page allocated.
+		for _, id := range reuse[n:] {
+			_ = dev.Free(id)
+		}
+		reuse = reuse[:n]
 	}
 	buf := make([]byte, storage.PageSize)
 	for i := 0; i < n; i++ {

@@ -267,8 +267,9 @@ func TestCrashRecoveryTorture(t *testing.T) {
 }
 
 // TestCrashDuringCheckpoint kills the process (by image capture) at every
-// internal boundary of FileDisk.Checkpoint — after page migration, after
-// the superblock rewrite, after the database-file fsync, and after the WAL
+// internal boundary of FileDisk.Checkpoint — after each incremental
+// migration batch, after the finalize's page migration, after the
+// superblock rewrite, after the database-file fsync, and after the WAL
 // truncation — and verifies each image recovers to exactly the same
 // logical state: a checkpoint moves bytes, never meaning, so no kill-point
 // may lose or duplicate a commit.
@@ -297,9 +298,15 @@ func TestCrashDuringCheckpoint(t *testing.T) {
 		do(torOp{kind: "insert", parentID: parents[rng.Intn(len(parents))], doc: genDoc(rng, 8)})
 	}
 
-	// Capture a crash image (database file + WAL) at each stage boundary.
-	type image struct{ db, wal []byte }
-	images := map[storage.CheckpointStage]image{}
+	// Capture a crash image (database file + WAL) at every stage boundary —
+	// the incremental batch stage can fire many times, so the captures are
+	// an ordered list, and recovery is verified from each one.
+	type image struct {
+		stage storage.CheckpointStage
+		db    []byte
+		wal   []byte
+	}
+	var images []image
 	db.fdisk.SetCheckpointHook(func(stage storage.CheckpointStage) {
 		d, err := os.ReadFile(path)
 		if err != nil {
@@ -311,7 +318,7 @@ func TestCrashDuringCheckpoint(t *testing.T) {
 			t.Errorf("stage %d: %v", stage, err)
 			return
 		}
-		images[stage] = image{db: d, wal: w}
+		images = append(images, image{stage: stage, db: d, wal: w})
 	})
 	if err := db.Checkpoint(); err != nil {
 		t.Fatal(err)
@@ -320,8 +327,23 @@ func TestCrashDuringCheckpoint(t *testing.T) {
 	if err := db.Close(); err != nil {
 		t.Fatal(err)
 	}
-	if len(images) != 4 {
-		t.Fatalf("captured %d checkpoint stages, want 4", len(images))
+	seen := map[storage.CheckpointStage]int{}
+	for _, img := range images {
+		seen[img.stage]++
+	}
+	for _, want := range []storage.CheckpointStage{
+		storage.CkptPagesMigrated, storage.CkptSuperblockWritten,
+		storage.CkptFileSynced, storage.CkptWALTruncated,
+	} {
+		if seen[want] != 1 {
+			t.Fatalf("finalize stage %d fired %d times, want 1 (stages: %v)", want, seen[want], seen)
+		}
+	}
+	// The workload is sized so the committed delta exceeds the finalize
+	// threshold: the incremental batch path must have run, or this test is
+	// no longer covering it.
+	if seen[storage.CkptBatchMigrated] == 0 {
+		t.Fatalf("no incremental batch stage fired (stages: %v); grow the workload", seen)
 	}
 
 	oracle := New(Config{BufferPoolBytes: 4 << 20})
@@ -333,8 +355,8 @@ func TestCrashDuringCheckpoint(t *testing.T) {
 		queries[i] = genQueryFor(rng, oracle.Store().Docs[0])
 	}
 
-	for stage, img := range images {
-		crashPath := filepath.Join(dir, fmt.Sprintf("stage%d.db", stage))
+	for i, img := range images {
+		crashPath := filepath.Join(dir, fmt.Sprintf("stage%d-%d.db", img.stage, i))
 		if err := os.WriteFile(crashPath, img.db, 0o644); err != nil {
 			t.Fatal(err)
 		}
@@ -343,9 +365,9 @@ func TestCrashDuringCheckpoint(t *testing.T) {
 		}
 		rec, err := Open(Config{Path: crashPath, BufferPoolBytes: 1 << 20})
 		if err != nil {
-			t.Fatalf("stage %d: reopen: %v", stage, err)
+			t.Fatalf("stage %d (capture %d): reopen: %v", img.stage, i, err)
 		}
-		tag := fmt.Sprintf("checkpoint stage %d", stage)
+		tag := fmt.Sprintf("checkpoint stage %d capture %d", img.stage, i)
 		verifyRecovered(t, tag, rec, oracle, queries)
 		// The image must also accept new work.
 		parents, _ := liveNodeIDs(rec)

@@ -49,6 +49,12 @@ type Config struct {
 	// moment the device is opened — disarm it first if recovery and setup
 	// should run un-faulted, then Arm it (or use SetFaultsArmed).
 	Faults *storage.FaultInjector
+	// CheckpointWALBytes is the WAL size beyond which a commit wakes the
+	// background checkpointer, which migrates committed frames into the
+	// database file in bounded batches and then compacts the file tail —
+	// off the commit path, so writers never stall behind migration. 0
+	// means the 64MB default; only meaningful for file-backed databases.
+	CheckpointWALBytes int64
 	// SlowQueryThreshold, when > 0, enables per-operator tracing on every
 	// query (the zero-alloc hot path is preserved; see docs/OBSERVABILITY.md)
 	// and captures queries at least this slow — pattern, strategy, snapshot
@@ -108,6 +114,26 @@ type DB struct {
 	// commits overwrite it in place (safe: overwrites are WAL frames).
 	// Writer-owned, under writeMu.
 	catalogPages []storage.PageID
+
+	// retired is the deferred-free queue: each batch holds pages that the
+	// snapshot with sequence seq (and everything after it) no longer
+	// references — COW originals and unlinked empty nodes — but that older
+	// pinned snapshots may still read. reclaimRetired frees a batch once no
+	// pinned snapshot older than its seq remains. Writer-owned, under
+	// writeMu.
+	retired []retireBatch
+
+	// liveSnaps are superseded snapshots that may still hold reader pins,
+	// blocking the retired batches published after them. Writer-owned,
+	// under writeMu.
+	liveSnaps []*Snapshot
+
+	// ckptWake nudges the background checkpointer (buffered, lossy sends);
+	// ckptQuit/ckptDone manage its shutdown. Nil on in-memory databases.
+	ckptWake chan struct{}
+	ckptQuit chan struct{}
+	ckptDone chan struct{}
+	ckptOnce sync.Once
 
 	counters stats.QueryCounters
 
@@ -232,6 +258,9 @@ func Open(cfg Config) (*DB, error) {
 	if cfg.BufferPoolBytes <= 0 {
 		cfg.BufferPoolBytes = 40 << 20
 	}
+	if cfg.CheckpointWALBytes <= 0 {
+		cfg.CheckpointWALBytes = walCheckpointBytes
+	}
 	db := &DB{
 		cfg:  cfg,
 		dict: pathdict.NewDict(),
@@ -298,17 +327,74 @@ func Open(cfg Config) (*DB, error) {
 	}
 	db.current.Store(snap)
 	db.frontier = storage.PageID(db.dev.NumPages())
+	if db.fdisk != nil {
+		db.ckptWake = make(chan struct{}, 1)
+		db.ckptQuit = make(chan struct{})
+		db.ckptDone = make(chan struct{})
+		go db.checkpointLoop()
+	}
 	return db, nil
 }
 
+// checkpointLoop is the background checkpointer: woken when a commit sees
+// the WAL past its budget, it migrates committed frames into the database
+// file in bounded batches (storage.FileDisk.Checkpoint) and then returns
+// any all-free file tail to the filesystem (Compact). It deliberately does
+// NOT take writeMu — commits keep appending and fsyncing the WAL while
+// migration runs; the FileDisk interleaves the two safely.
+func (db *DB) checkpointLoop() {
+	defer close(db.ckptDone)
+	for {
+		select {
+		case <-db.ckptQuit:
+			return
+		case <-db.ckptWake:
+		}
+		if db.degradedCause.Load() != nil {
+			continue
+		}
+		if err := db.fdisk.Checkpoint(); err != nil {
+			db.noteCommitErr(err)
+			continue
+		}
+		if _, err := db.fdisk.Compact(); err != nil {
+			db.noteCommitErr(err)
+		}
+	}
+}
+
+// stopCheckpointer shuts the background checkpointer down and waits for it
+// (idempotent; no-op for in-memory databases). Must be called before the
+// FileDisk is closed.
+func (db *DB) stopCheckpointer() {
+	if db.ckptQuit == nil {
+		return
+	}
+	db.ckptOnce.Do(func() {
+		close(db.ckptQuit)
+		<-db.ckptDone
+	})
+}
+
 // pin loads the current snapshot and pins it for the duration of one query.
-// Pinning is an atomic counter bump — no lock — and only observational:
-// the COW frontier already protects every page the snapshot references.
+// Pinning is an atomic counter bump — no lock. The pin is load-bearing:
+// reclaimRetired defers freeing any page a pinned snapshot might still
+// read. The superseded re-check closes the race with a concurrent
+// publish+reclaim — a writer that read pins == 0 *after* setting
+// superseded may already treat the snapshot as drained, so a pin that
+// lands afterwards must be abandoned and retried on the new current
+// (sequentially consistent atomics make exactly one of the two sides see
+// the other; see reclaimRetired).
 func (db *DB) pin() *Snapshot {
-	s := db.current.Load()
-	s.pins.Add(1)
-	db.counters.CountSnapshotPin()
-	return s
+	for {
+		s := db.current.Load()
+		s.pins.Add(1)
+		if !s.superseded.Load() {
+			db.counters.CountSnapshotPin()
+			return s
+		}
+		s.pins.Add(-1)
+	}
 }
 
 func (db *DB) unpin(s *Snapshot) { s.pins.Add(-1) }
@@ -317,9 +403,17 @@ func (db *DB) unpin(s *Snapshot) { s.pins.Add(-1) }
 // observability and white-box tests; queries pin internally).
 func (db *DB) CurrentSnapshot() *Snapshot { return db.current.Load() }
 
-// walCheckpointBytes is the WAL size beyond which a commit boundary
-// triggers an automatic checkpoint, bounding log growth and recovery time.
+// walCheckpointBytes is the default Config.CheckpointWALBytes: the WAL
+// size beyond which a commit wakes the background checkpointer, bounding
+// log growth and recovery time.
 const walCheckpointBytes = 64 << 20
+
+// retireBatch is one publish's worth of deferred page frees: pages that
+// snapshots with sequence >= seq no longer reference.
+type retireBatch struct {
+	seq   uint64
+	pages []storage.PageID
+}
 
 // commitAppend is the writer's commit step for file-backed databases:
 // flush every dirty pool frame to the device (WAL frames), serialise next's
@@ -343,7 +437,9 @@ func (db *DB) commitAppend(next *Snapshot) (int64, error) {
 	seq, err := db.fdisk.CommitAsync(storage.Meta{
 		NumPages:    int32(db.dev.NumPages()),
 		CatalogRoot: root,
-		FreeHead:    storage.InvalidPage,
+		// FreeHead is owned by the FileDisk: CommitAsync stamps the live
+		// free-list head over whatever is passed here.
+		FreeHead: storage.InvalidPage,
 	})
 	if err != nil {
 		return 0, fmt.Errorf("engine: commit: %w", err)
@@ -351,39 +447,113 @@ func (db *DB) commitAppend(next *Snapshot) (int64, error) {
 	return seq, nil
 }
 
-// publish makes next the current snapshot and advances the COW frontier
-// past every page allocated so far. Callers hold writeMu.
+// publish makes next the current snapshot, advances the COW frontier past
+// every page allocated so far, and supersedes the predecessor, which joins
+// the drain list blocking deferred frees until its readers leave. Callers
+// hold writeMu.
 func (db *DB) publish(next *Snapshot) {
+	prev := db.current.Load()
 	db.frontier = storage.PageID(db.dev.NumPages())
 	db.current.Store(next)
+	prev.superseded.Store(true)
+	db.liveSnaps = append(db.liveSnaps, prev)
+}
+
+// collectRetired drains the pages next's COW index clones stopped
+// referencing into the deferred-free queue, tagged with next's sequence:
+// only snapshots older than next can still read them. Call only once
+// next's commit record is appended (an aborted commit discards the clone,
+// and its replaced originals stay live in the current version). Callers
+// hold writeMu.
+func (db *DB) collectRetired(next *Snapshot) {
+	var pages []storage.PageID
+	if next.env.RP != nil {
+		pages = append(pages, next.env.RP.TakeRetired()...)
+	}
+	if next.env.DP != nil {
+		pages = append(pages, next.env.DP.TakeRetired()...)
+	}
+	if len(pages) > 0 {
+		db.retired = append(db.retired, retireBatch{seq: next.seq, pages: pages})
+	}
+}
+
+// reclaimRetired frees every deferred batch no pinned snapshot can still
+// read. A superseded snapshot with zero pins is drained for good: pin()
+// only keeps a pin on the snapshot that is current at pin time, and the
+// superseded flag was set before the pins load here, so a racing reader
+// either made its pin visible to this load or will observe superseded and
+// retry (both sides are sequentially consistent atomics). Frees are
+// best-effort — a page the device refuses to free is simply leaked, never
+// double-allocated. Callers hold writeMu.
+func (db *DB) reclaimRetired() {
+	minPinned := ^uint64(0)
+	live := db.liveSnaps[:0]
+	for _, s := range db.liveSnaps {
+		if s.pins.Load() == 0 {
+			continue
+		}
+		live = append(live, s)
+		if s.seq < minPinned {
+			minPinned = s.seq
+		}
+	}
+	clear(db.liveSnaps[len(live):])
+	db.liveSnaps = live
+	keep := db.retired[:0]
+	for _, b := range db.retired {
+		// Pages in b are unreferenced by snapshots with seq >= b.seq, so
+		// only a pinned snapshot strictly older than b.seq blocks the free.
+		if b.seq <= minPinned {
+			for _, id := range b.pages {
+				_ = db.pool.Free(id)
+			}
+		} else {
+			keep = append(keep, b)
+		}
+	}
+	db.retired = keep
 }
 
 // commitPublish commits next (appending its commit record), publishes it,
-// auto-checkpoints if the WAL has outgrown its budget, releases the writer
-// lock, and finally waits for durability — the fsync wait happens outside
-// writeMu, which is what lets N concurrent committers share one fsync.
-// The caller must hold writeMu and must not touch it afterwards.
+// wakes the background checkpointer if the WAL has outgrown its budget,
+// releases the writer lock, and finally waits for durability — the fsync
+// wait happens outside writeMu, which is what lets N concurrent committers
+// share one fsync. The checkpoint itself never runs here: migration is the
+// background goroutine's job, so the commit path's tail latency stays
+// fsync-bound even while the WAL is being drained. The caller must hold
+// writeMu and must not touch it afterwards.
 func (db *DB) commitPublish(next *Snapshot) error {
+	start := time.Now()
+	// Reclaim before appending the commit record, so the free-page frames
+	// ride *inside* this commit: recovery truncated exactly at the record
+	// must replay them, and nothing may trail the record (every byte after
+	// the last commit record is a torn tail to recovery). Only batches
+	// from previously published versions are eligible here — next's own
+	// retirements are collected after the append succeeds.
+	db.reclaimRetired()
 	seq, err := db.commitAppend(next)
 	if err != nil {
 		db.writeMu.Unlock()
 		return db.noteCommitErr(err)
 	}
+	db.collectRetired(next)
 	db.publish(next)
-	if db.fdisk != nil && db.fdisk.WALSize() > walCheckpointBytes {
-		// Checkpointing under writeMu keeps "no pending frames" true; it
-		// also makes every commit durable, so the SyncTo below is free.
-		if err := db.fdisk.Checkpoint(); err != nil {
-			db.writeMu.Unlock()
-			return db.noteCommitErr(err)
+	wake := db.fdisk != nil && db.fdisk.WALSize() > db.cfg.CheckpointWALBytes
+	db.writeMu.Unlock()
+	if wake {
+		select {
+		case db.ckptWake <- struct{}{}:
+		default: // a wake-up is already queued
 		}
 	}
-	db.writeMu.Unlock()
 	if db.fdisk != nil {
 		// The snapshot is already published: if this fsync fails and
 		// poisons the disk, the state served in read-only mode includes
 		// this commit — applied, just never durable (see docs/FAULTS.md).
-		return db.noteCommitErr(db.fdisk.SyncTo(seq))
+		err := db.noteCommitErr(db.fdisk.SyncTo(seq))
+		db.reg.CommitLatency.Observe(time.Since(start).Nanoseconds())
+		return err
 	}
 	return nil
 }
@@ -400,6 +570,7 @@ func (db *DB) Checkpoint() error {
 	if err := db.writeGate(); err != nil {
 		return err
 	}
+	db.reclaimRetired() // drained snapshots' pages ride this commit
 	if _, err := db.commitAppend(db.current.Load()); err != nil {
 		return db.noteCommitErr(err)
 	}
@@ -409,6 +580,7 @@ func (db *DB) Checkpoint() error {
 // Close commits, checkpoints and closes a file-backed database; a closed
 // DB must not be used further. No-op for in-memory databases.
 func (db *DB) Close() error {
+	db.stopCheckpointer()
 	db.writeMu.Lock()
 	defer db.writeMu.Unlock()
 	if db.fdisk == nil {

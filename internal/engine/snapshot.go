@@ -7,8 +7,10 @@
 // granularity, and per-page COW inside the B+-trees) and makes it visible
 // with a single pointer swap. Old snapshots retire when their last reader
 // unpins them and the garbage collector reclaims the structs; the device
-// pages only they referenced are leaked until a future page free list
-// (storage.Meta.FreeHead) learns to reclaim them.
+// pages only they referenced go back onto the on-disk free list
+// (storage.Meta.FreeHead) through the engine's deferred-free queue, which
+// waits for every snapshot that could still read a page to drain (see
+// DB.reclaimRetired).
 package engine
 
 import (
@@ -39,11 +41,18 @@ type Snapshot struct {
 
 	env plan.Env
 
-	// pins counts readers currently inside a query against this snapshot;
-	// purely observational (correctness never depends on it — the COW
-	// frontier conservatively protects every page the snapshot can
-	// reference), surfaced through QueryStats.
+	// pins counts readers currently inside a query against this snapshot.
+	// It is load-bearing: the engine's deferred-free queue only returns a
+	// page to the device free list once every snapshot that could read it
+	// shows zero pins after being superseded (see DB.pin/reclaimRetired).
 	pins atomic.Int64
+
+	// superseded is set (under writeMu, before the reclaim pass reads
+	// pins) when a successor snapshot is published: a reader that pins
+	// this snapshot and then observes superseded must unpin and retry on
+	// the new current, because its pin may have arrived after a reclaim
+	// pass already treated the snapshot as drained.
+	superseded atomic.Bool
 
 	// planMu guards the per-pattern plan cache. Each snapshot starts with
 	// an empty cache: a new version means new statistics, which can change

@@ -32,6 +32,14 @@ func (dp *DataPaths) CloneCOW(frontier storage.PageID) *DataPaths {
 	return &DataPaths{tree: dp.tree.CloneCOW(frontier), dict: dp.dict, ptab: dp.ptab, opts: dp.opts}
 }
 
+// TakeRetired drains the tree pages this clone stopped referencing (see
+// btree.Tree.TakeRetired); the engine frees them once the snapshots that
+// can still read them have been released.
+func (rp *RootPaths) TakeRetired() []storage.PageID { return rp.tree.TakeRetired() }
+
+// TakeRetired is RootPaths.TakeRetired for DATAPATHS.
+func (dp *DataPaths) TakeRetired() []storage.PageID { return dp.tree.TakeRetired() }
+
 // rowKey builds the index key for one 4-ary row under the build options.
 func (rp *RootPaths) rowKey(r pathrel.Row, rev *pathdict.Path) []byte {
 	if rp.opts.PathIDKeys {

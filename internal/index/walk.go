@@ -1,0 +1,76 @@
+package index
+
+import (
+	"repro/internal/btree"
+	"repro/internal/pathdict"
+	"repro/internal/storage"
+)
+
+// Page walking: every index structure can enumerate the device pages its
+// B+-trees occupy. Online backup uses this to compute the reachable page
+// set of a pinned snapshot — the pages it must copy into the backup file.
+
+// WalkPages visits every page of the ROOTPATHS tree.
+func (rp *RootPaths) WalkPages(fn func(storage.PageID) error) error {
+	return rp.tree.Walk(fn)
+}
+
+// WalkPages visits every page of the DATAPATHS tree.
+func (dp *DataPaths) WalkPages(fn func(storage.PageID) error) error {
+	return dp.tree.Walk(fn)
+}
+
+// WalkPages visits every page of the three edge-table trees.
+func (e *Edge) WalkPages(fn func(storage.PageID) error) error {
+	return walkTrees(fn, e.value, e.forward, e.backward)
+}
+
+// WalkPages visits every page of the DataGuide tree.
+func (dg *DataGuide) WalkPages(fn func(storage.PageID) error) error {
+	return dg.tree.Walk(fn)
+}
+
+// WalkPages visits every page of the Index Fabric tree.
+func (f *IndexFabric) WalkPages(fn func(storage.PageID) error) error {
+	return f.tree.Walk(fn)
+}
+
+// WalkPages visits every page of every per-path ASR relation tree.
+func (a *ASR) WalkPages(fn func(storage.PageID) error) error {
+	var err error
+	a.ptab.All(func(id pathdict.PathID, _ pathdict.Path) {
+		if err == nil {
+			err = a.tables[id].Walk(fn)
+		}
+	})
+	return err
+}
+
+// WalkPages visits every page of every per-path forward and backward
+// join-index tree.
+func (j *JoinIndex) WalkPages(fn func(storage.PageID) error) error {
+	var err error
+	j.ptab.All(func(id pathdict.PathID, _ pathdict.Path) {
+		if err == nil {
+			err = j.fwd[id].Walk(fn)
+		}
+		if err == nil {
+			err = j.bwd[id].Walk(fn)
+		}
+	})
+	return err
+}
+
+// WalkPages visits every page of the XRel data tree.
+func (x *XRel) WalkPages(fn func(storage.PageID) error) error {
+	return x.tree.Walk(fn)
+}
+
+func walkTrees(fn func(storage.PageID) error, trees ...*btree.Tree) error {
+	for _, t := range trees {
+		if err := t.Walk(fn); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -18,6 +18,12 @@ type Device interface {
 	// Write persists buf (PageSize bytes) as page id. For FileDisk the
 	// write goes to the WAL and becomes durable at the next commit.
 	Write(id PageID, buf []byte) error
+	// Free returns page id to the device's free list for reuse by a later
+	// Allocate. The page's contents are forfeit the moment Free returns;
+	// callers must hold no live references. For FileDisk the free is
+	// WAL-covered: it becomes durable with the next commit, and a crash
+	// before that commit restores the page.
+	Free(id PageID) error
 	// NumPages returns the number of allocated pages.
 	NumPages() int
 	// SizeBytes returns the allocated size in bytes.
@@ -50,6 +56,15 @@ type DeviceStats struct {
 	// commits amortised their fsyncs.
 	GroupCommitBatches int64
 	Checkpoints        int64 // checkpoints completed (WAL truncations)
+
+	// Free-list reclamation counters (see docs/STORAGE.md).
+	PagesFreed  int64 // pages pushed onto the free list
+	PagesReused int64 // allocations served from the free list
+	FileBytes   int64 // current database file size in bytes (FileDisk only)
+	// FreeListResets counts recoveries that found an invalid free-list
+	// chain (bad marker, out-of-range or cyclic next pointer) and reset
+	// FreeHead to InvalidPage instead of risking double allocation.
+	FreeListResets int64
 
 	// Fault-hardening counters (FileDisk and FaultDisk; zero elsewhere).
 	ChecksumFailures  int64 // page reads that failed CRC validation

@@ -43,13 +43,17 @@ const InvalidPage PageID = -1
 // serialize on the disk. Disk implements Device; FileDisk is the durable
 // counterpart.
 type Disk struct {
-	mu      sync.RWMutex
-	pages   [][]byte
+	mu    sync.RWMutex
+	pages [][]byte
+	// free holds page ids returned by Free, reused LIFO by Allocate.
+	free []PageID
 	// statLock makes DeviceStats a single consistent snapshot of the
 	// atomic counters (see obs.StatLock).
 	statLock obs.StatLock
 	reads    atomic.Int64
 	writes   atomic.Int64
+	freed    atomic.Int64
+	reused   atomic.Int64
 	readLat  atomic.Int64 // simulated per-read latency in nanoseconds
 }
 
@@ -58,8 +62,38 @@ var _ Device = (*Disk)(nil)
 // NewDisk returns an empty disk.
 func NewDisk() *Disk { return &Disk{} }
 
-// Allocate reserves a new zeroed page and returns its id.
-func (d *Disk) Allocate() PageID { return d.AllocateN(1) }
+// Allocate reserves a new zeroed page and returns its id, reusing a
+// previously freed page when one is available.
+func (d *Disk) Allocate() PageID {
+	d.mu.Lock()
+	if n := len(d.free); n > 0 {
+		id := d.free[n-1]
+		d.free = d.free[:n-1]
+		clear(d.pages[id])
+		d.mu.Unlock()
+		d.reused.Add(1)
+		return id
+	}
+	d.mu.Unlock()
+	return d.AllocateN(1)
+}
+
+// Free returns page id to the free list for reuse by a later Allocate.
+func (d *Disk) Free(id PageID) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if int(id) < 0 || int(id) >= len(d.pages) {
+		return fmt.Errorf("storage: free of unallocated page %d", id)
+	}
+	for _, f := range d.free {
+		if f == id {
+			return fmt.Errorf("storage: double free of page %d", id)
+		}
+	}
+	d.free = append(d.free, id)
+	d.freed.Add(1)
+	return nil
+}
 
 // AllocateN reserves n consecutive zeroed pages under one mutex acquisition
 // and returns the first id — the bulk-load fast path.
@@ -141,5 +175,7 @@ func (d *Disk) DeviceStats() DeviceStats {
 		Writes:       w,
 		BytesRead:    r * PageSize,
 		BytesWritten: w * PageSize,
+		PagesFreed:   d.freed.Load(),
+		PagesReused:  d.reused.Load(),
 	}
 }

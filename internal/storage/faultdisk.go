@@ -294,6 +294,22 @@ func (d *FaultDisk) Allocate() PageID { return d.inner.Allocate() }
 // AllocateN reserves n consecutive zeroed pages.
 func (d *FaultDisk) AllocateN(n int) PageID { return d.inner.AllocateN(n) }
 
+// Free returns page id to the wrapped device's free list. Free-list
+// mutations ride the same WAL append path as page writes, so for a
+// media-level device (FileDisk) write faults over free-list pages fire
+// there; for plain devices an injected write error fails the free cleanly
+// (the page simply stays allocated — never a double allocation).
+func (d *FaultDisk) Free(id PageID) error {
+	if d.media {
+		return d.inner.Free(id)
+	}
+	d.inj.sleepLatency()
+	if err := d.inj.writeError(); err != nil {
+		return fmt.Errorf("storage: free of page %d: %w", id, err)
+	}
+	return d.inner.Free(id)
+}
+
 // Read reads page id, possibly failing, stalling, or flipping a bit.
 func (d *FaultDisk) Read(id PageID, buf []byte) error {
 	if d.media {

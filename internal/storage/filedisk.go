@@ -7,6 +7,7 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -34,8 +35,16 @@ import (
 //	12      4     page size (8192)
 //	16      4     numPages
 //	20      4     catalog root page id
-//	24      4     free-list head page id (reserved, InvalidPage)
+//	24      4     free-list head page id (InvalidPage = empty list)
 //	28      4     crc32
+//
+// Free pages are chained through their own images: a free page's payload is
+// the marker "TWIGFREE" followed by the big-endian id of the next free page
+// (InvalidPage terminates the chain). Pushing and popping rewrite those
+// images through the ordinary WAL frame path and move the head through the
+// commit record's FreeHead field, so free-list mutations commit and recover
+// atomically with the page writes they accompany. Files that predate
+// reclamation always carry FreeHead == InvalidPage and open unchanged.
 const (
 	superblockSize  = 4096
 	fileFormatMagic = "TWIGDBF1"
@@ -44,6 +53,9 @@ const (
 
 	pageTrailerSize = 4 // CRC32-IEEE of the page image
 	pageSlotSize    = PageSize + pageTrailerSize
+
+	freePageMagic = "TWIGFREE" // first 8 bytes of every free page image
+	freePageUsed  = len(freePageMagic) + 4
 )
 
 // WALSuffix is appended to the database path to name the write-ahead log.
@@ -54,10 +66,10 @@ func slotOff(id PageID) int64 {
 	return superblockSize + int64(id)*pageSlotSize
 }
 
-// CheckpointStage names a boundary inside FileDisk.Checkpoint. The
-// crash-during-checkpoint torture test installs a hook (SetCheckpointHook)
-// that snapshots the files at each boundary and verifies recovery from
-// every one of them.
+// CheckpointStage names a boundary inside FileDisk.Checkpoint (and inside
+// Compact's free-list splice). The crash-during-checkpoint torture test
+// installs a hook (SetCheckpointHook) that snapshots the files at each
+// boundary and verifies recovery from every one of them.
 type CheckpointStage int
 
 const (
@@ -70,6 +82,23 @@ const (
 	CkptFileSynced
 	// CkptWALTruncated: WAL truncated and fsynced — checkpoint complete.
 	CkptWALTruncated
+	// CkptBatchMigrated fires after each bounded batch of the incremental
+	// migration phase — committed frames are being copied into the file
+	// while writers keep committing; the WAL still holds everything.
+	CkptBatchMigrated
+	// CkptFreeSpliced fires inside Compact after the rebuilt free chain and
+	// the shrunken metadata are committed and fsynced to the WAL, before
+	// the database file is physically truncated.
+	CkptFreeSpliced
+)
+
+// Incremental checkpoint tuning: batches of ckptBatchPages frames are
+// migrated without holding the disk latch, and once the remaining
+// un-migrated delta is at most ckptFinalizePages the checkpoint finishes
+// under the latch — that bounded finalize is the only moment writers wait.
+const (
+	ckptBatchPages    = 128
+	ckptFinalizePages = 64
 )
 
 // poisonCause boxes the first fsync error so it can sit in an
@@ -105,6 +134,23 @@ type FileDisk struct {
 	walIndex map[PageID]int64 // page -> payload offset of latest committed frame
 	pending  map[PageID]int64 // frames appended since the last commit
 	walSize  int64
+	// committedEnd is the WAL offset just past the last commit record — the
+	// prefix the incremental checkpointer may migrate and truncate. Bytes in
+	// [committedEnd, walSize) are pending frames of an open transaction.
+	committedEnd int64
+
+	// freeHead is the working head of the free page chain, including
+	// uncommitted pushes and pops; it is stamped into every commit record,
+	// so a crash rolls it back to the last committed head exactly as it
+	// rolls back the page images. freeSet mirrors the chain's membership
+	// for O(1) double-free detection and for Compact.
+	freeHead PageID
+	freeSet  map[PageID]struct{}
+
+	// ckptMu serialises checkpoints and compactions with each other (never
+	// with writers — that is the point of the incremental checkpointer).
+	// Lock order: ckptMu before mu.
+	ckptMu sync.Mutex
 
 	// commitSeq numbers commit records as they are appended (guarded by
 	// mu); durableSeq is the highest commit sequence known to be durable —
@@ -149,6 +195,9 @@ type FileDisk struct {
 	checkpoints             atomic.Int64
 	checksumFails           atomic.Int64
 	checksumRetries         atomic.Int64
+	pagesFreed              atomic.Int64
+	pagesReused             atomic.Int64
+	freeResets              atomic.Int64
 
 	// Latency observers, set once via SetLatencyObservers before the
 	// disk is shared (nil = not observed).
@@ -185,6 +234,8 @@ func OpenFileDisk(path string) (*FileDisk, error) {
 		meta:     Meta{NumPages: 0, CatalogRoot: InvalidPage, FreeHead: InvalidPage},
 		walIndex: map[PageID]int64{},
 		pending:  map[PageID]int64{},
+		freeHead: InvalidPage,
+		freeSet:  map[PageID]struct{}{},
 	}
 	st, err := file.Stat()
 	if err != nil {
@@ -231,10 +282,81 @@ func OpenFileDisk(path string) (*FileDisk, error) {
 		return nil, fmt.Errorf("storage: truncating torn wal tail: %w", err)
 	}
 	f.walSize = scan.committedEnd
+	f.committedEnd = scan.committedEnd
 	f.numPages = int(f.meta.NumPages)
 	f.recoveredCommits = scan.commits
 	f.walDiscarded = wst.Size() - scan.committedEnd
+	f.recoverFreeList()
 	return f, nil
+}
+
+// recoverFreeList walks the recovered free chain from meta.FreeHead,
+// validating every link: each id must be in range, unvisited (no cycles),
+// and its image must carry the free-page marker. A valid chain populates
+// freeHead/freeSet; any anomaly abandons the whole chain — freeHead resets
+// to InvalidPage (persisted at the next commit) and FreeListResets counts
+// the reset. Abandoning leaks the chained pages, which is always safe;
+// trusting a corrupt chain could hand out a live page twice, which never is.
+// Runs before the disk is shared, so the read helpers need no latch.
+func (f *FileDisk) recoverFreeList() {
+	head := f.meta.FreeHead
+	if head == InvalidPage {
+		return
+	}
+	seen := map[PageID]struct{}{}
+	buf := make([]byte, PageSize)
+	for id := head; id != InvalidPage; {
+		if int(id) < 0 || int(id) >= f.numPages {
+			f.resetFreeList()
+			return
+		}
+		if _, dup := seen[id]; dup {
+			f.resetFreeList()
+			return
+		}
+		var err error
+		if off, inWAL := f.walIndex[id]; inWAL {
+			err = f.readChecked(func() error { return f.readWALFrameLocked(id, off, buf) })
+		} else {
+			err = f.readChecked(func() error { return f.readFileSlotLocked(id, buf) })
+		}
+		if err != nil {
+			f.resetFreeList()
+			return
+		}
+		next, ok := parseFreePage(buf)
+		if !ok {
+			f.resetFreeList()
+			return
+		}
+		seen[id] = struct{}{}
+		id = next
+	}
+	f.freeHead = head
+	f.freeSet = seen
+}
+
+// resetFreeList abandons the free chain after a validation failure.
+func (f *FileDisk) resetFreeList() {
+	f.freeHead = InvalidPage
+	f.freeSet = map[PageID]struct{}{}
+	f.meta.FreeHead = InvalidPage
+	f.freeResets.Add(1)
+}
+
+// freePageImage renders the image of a free page chaining to next.
+func freePageImage(buf []byte, next PageID) {
+	clear(buf[:PageSize])
+	copy(buf, freePageMagic)
+	binary.BigEndian.PutUint32(buf[len(freePageMagic):], uint32(next))
+}
+
+// parseFreePage decodes a free page image, returning the next free id.
+func parseFreePage(buf []byte) (PageID, bool) {
+	if string(buf[:len(freePageMagic)]) != freePageMagic {
+		return InvalidPage, false
+	}
+	return PageID(binary.BigEndian.Uint32(buf[len(freePageMagic):freePageUsed])), true
 }
 
 // SetFaultInjector attaches a fault injector at the media level: bit flips
@@ -288,13 +410,88 @@ func (f *FileDisk) WALSize() int64 {
 // Path returns the database file path.
 func (f *FileDisk) Path() string { return f.path }
 
-// Allocate reserves one new zeroed page.
-func (f *FileDisk) Allocate() PageID { return f.AllocateN(1) }
+// Allocate reserves one new page, preferring the free list: popping the
+// head re-reads its image (through the ordinary checksummed read path) to
+// follow the chain. The pop itself writes nothing — the new head rides the
+// next commit record, and until then a crash restores the old chain, which
+// still lists the popped page; that is safe because the allocation it
+// served was uncommitted too. Any validation failure abandons the chain
+// and falls back to tail allocation rather than risk double-allocating.
+//
+// The caller owns the popped page's stale free-marker image; every
+// allocation path above (Pool.NewPage) installs a fresh image before the
+// page can be read, exactly as it must for never-written tail pages.
+func (f *FileDisk) Allocate() PageID {
+	f.mu.Lock()
+	if f.freeHead != InvalidPage {
+		id := f.freeHead
+		buf := walFramePool.Get().(*[]byte)
+		img := (*buf)[:PageSize]
+		var err error
+		if off, inWAL := f.pending[id]; inWAL {
+			err = f.readChecked(func() error { return f.readWALFrameLocked(id, off, img) })
+		} else if off, inWAL := f.walIndex[id]; inWAL {
+			err = f.readChecked(func() error { return f.readWALFrameLocked(id, off, img) })
+		} else {
+			err = f.readChecked(func() error { return f.readFileSlotLocked(id, img) })
+		}
+		next, ok := InvalidPage, false
+		if err == nil {
+			next, ok = parseFreePage(img)
+		}
+		walFramePool.Put(buf)
+		if ok && int(id) >= 0 && int(id) < f.numPages {
+			f.freeHead = next
+			delete(f.freeSet, id)
+			f.mu.Unlock()
+			f.pagesReused.Add(1)
+			return id
+		}
+		f.resetFreeList()
+	}
+	first := PageID(f.numPages)
+	f.numPages++
+	f.mu.Unlock()
+	return first
+}
+
+// Free pushes page id onto the free chain: its image is rewritten (via the
+// WAL, like any page write) to the free marker chaining to the previous
+// head, and the head moves to id in the next commit record. A crash before
+// that commit rolls the free back; a double free is rejected.
+func (f *FileDisk) Free(id PageID) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err := f.poisonedError(); err != nil {
+		return err
+	}
+	if int(id) < 0 || int(id) >= f.numPages {
+		return fmt.Errorf("storage: free of unallocated page %d", id)
+	}
+	if _, dup := f.freeSet[id]; dup {
+		return fmt.Errorf("storage: double free of page %d", id)
+	}
+	buf := walFramePool.Get().(*[]byte)
+	img := (*buf)[:PageSize]
+	freePageImage(img, f.freeHead)
+	start := f.walSize
+	rec := appendWALFrame(make([]byte, 0, walFrameSize), id, img)
+	walFramePool.Put(buf)
+	if err := f.appendLocked(rec, fmt.Sprintf("free page %d", id)); err != nil {
+		return err
+	}
+	f.pending[id] = start + walFrameHeaderSize
+	f.freeHead = id
+	f.freeSet[id] = struct{}{}
+	f.pagesFreed.Add(1)
+	return nil
+}
 
 // AllocateN reserves n consecutive zeroed pages and returns the first id.
-// Allocation is a counter bump: the file grows only when pages are
-// checkpointed, and uncommitted allocations simply vanish on crash (the
-// recovered page count comes from the last commit record).
+// Runs never come from the free list (no contiguity there); allocation is
+// a counter bump — the file grows only when pages are checkpointed, and
+// uncommitted allocations simply vanish on crash (the recovered page count
+// comes from the last commit record).
 func (f *FileDisk) AllocateN(n int) PageID {
 	if n <= 0 {
 		return InvalidPage
@@ -304,6 +501,14 @@ func (f *FileDisk) AllocateN(n int) PageID {
 	first := PageID(f.numPages)
 	f.numPages += n
 	return first
+}
+
+// FreePages returns the current length of the free chain (committed plus
+// uncommitted mutations).
+func (f *FileDisk) FreePages() int {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return len(f.freeSet)
 }
 
 // SetReadLatency configures an extra simulated per-read latency (0, the
@@ -514,13 +719,20 @@ func (f *FileDisk) Commit(meta Meta) error {
 // applied (Read sees its frames, Meta returns meta) but not yet durable.
 // Pass the sequence to SyncTo to wait for durability. When nothing changed
 // since the last commit the call is a no-op and returns the current
-// sequence (already durable or about to be).
+// sequence (already durable or about to be). The disk owns meta.FreeHead:
+// whatever the caller passes is replaced by the current free-chain head,
+// so frees and reuses commit atomically with the page images.
 func (f *FileDisk) CommitAsync(meta Meta) (int64, error) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
+	return f.commitAsyncLocked(meta)
+}
+
+func (f *FileDisk) commitAsyncLocked(meta Meta) (int64, error) {
 	if err := f.poisonedError(); err != nil {
 		return 0, err
 	}
+	meta.FreeHead = f.freeHead
 	if len(f.pending) == 0 && meta == f.meta {
 		return f.commitSeq, nil
 	}
@@ -534,6 +746,7 @@ func (f *FileDisk) CommitAsync(meta Meta) (int64, error) {
 	f.pending = map[PageID]int64{}
 	f.meta = meta
 	f.commitSeq++
+	f.committedEnd = f.walSize
 	return f.commitSeq, nil
 }
 
@@ -609,52 +822,123 @@ func storeMax(v *atomic.Int64, target int64) {
 	}
 }
 
+// migrateSlot copies one committed WAL frame into its database-file slot:
+// the frame is CRC-verified before it is copied (a corrupt frame must fail
+// the checkpoint, not be re-sealed under a fresh page checksum) and the
+// slot is written with a new CRC trailer. Injected write faults apply: an
+// error aborts the checkpoint cleanly (the slot stays shadowed by the WAL),
+// a torn write persists a prefix the slot CRC will catch if it is ever
+// exposed. Runs with or without the latch — the frame offset lies below the
+// committed boundary (immutable until the serialized truncation), and the
+// slot is invisible to readers while the page has a WAL index entry.
+func (f *FileDisk) migrateSlot(id PageID, off int64, scratch []byte) error {
+	err := f.readChecked(func() error {
+		return f.readWALFrameLocked(id, off, scratch[:PageSize])
+	})
+	if err != nil {
+		return fmt.Errorf("storage: checkpoint read of page %d: %w", id, err)
+	}
+	binary.BigEndian.PutUint32(scratch[PageSize:], crc32.ChecksumIEEE(scratch[:PageSize]))
+	out := scratch[:pageSlotSize]
+	if f.inj != nil {
+		if err := f.inj.writeError(); err != nil {
+			return fmt.Errorf("storage: checkpoint write of page %d: %w", id, err)
+		}
+		if cut, ok := f.inj.tornCut(pageSlotSize); ok {
+			out = scratch[:cut]
+		}
+	}
+	if _, err := f.file.WriteAt(out, slotOff(id)); err != nil {
+		return fmt.Errorf("storage: checkpoint write of page %d: %w", id, err)
+	}
+	f.statLock.Lock()
+	f.bytesWritten.Add(pageSlotSize)
+	f.statLock.Unlock()
+	return nil
+}
+
 // Checkpoint migrates every committed WAL frame into the database file,
 // rewrites the superblock with the committed metadata, fsyncs the file and
-// truncates the WAL. It must be called at a commit boundary (no pending
-// frames); a crash at any point during the checkpoint is safe because the
-// WAL is only truncated after the database file is durable, and replaying
-// it is idempotent.
+// truncates the WAL. A crash at any point is safe because the WAL is only
+// truncated after the database file is durable, and replaying it is
+// idempotent.
 //
-// Every migrated frame is CRC-verified before it is copied (a corrupt
-// frame must fail the checkpoint, not be re-sealed under a fresh page
-// checksum), and each page slot is written with a new CRC trailer. A
-// failed fsync — of the database file or of the WAL truncation — poisons
+// The migration is incremental: while the un-migrated committed delta is
+// large, frames are copied in bounded batches under a shared latch snapshot
+// only — writers keep appending and committing concurrently, and pages they
+// re-dirty are simply re-copied in a later round (their WAL index entry
+// moved, so the delta scan picks them up again). Readers never see a
+// half-written slot because any page with a WAL index entry is read from
+// the WAL, and entries only disappear here. Once the delta is small the
+// checkpoint finishes under the exclusive latch: the remainder is migrated,
+// the superblock written, the file fsynced, and the WAL truncated — with
+// any frames of a still-open transaction re-appended at the front so the
+// checkpoint no longer needs a commit boundary. That bounded finalize is
+// the only moment writers wait.
+//
+// A failed fsync — of the database file or of the WAL truncation — poisons
 // the disk.
 func (f *FileDisk) Checkpoint() error {
+	f.ckptMu.Lock()
+	defer f.ckptMu.Unlock()
+	if err := f.poisonedError(); err != nil {
+		return err
+	}
+	ckptStart := time.Now()
+	scratch := make([]byte, pageSlotSize)
+	// Migration rounds. migrated remembers the frame offset each slot
+	// already holds, so a page committed again after its copy is re-copied
+	// (payload offsets are strictly positive, so the zero value never
+	// matches). Rounds are capped: if writers outrun migration the finalize
+	// absorbs whatever delta remains.
+	migrated := map[PageID]int64{}
+	type frameRef struct {
+		id  PageID
+		off int64
+	}
+	for round := 0; round < 32; round++ {
+		f.mu.RLock()
+		delta := make([]frameRef, 0, 64)
+		for id, off := range f.walIndex {
+			if migrated[id] != off {
+				delta = append(delta, frameRef{id, off})
+			}
+		}
+		f.mu.RUnlock()
+		if len(delta) <= ckptFinalizePages {
+			break
+		}
+		for start := 0; start < len(delta); start += ckptBatchPages {
+			end := min(start+ckptBatchPages, len(delta))
+			for _, fr := range delta[start:end] {
+				if err := f.migrateSlot(fr.id, fr.off, scratch); err != nil {
+					return err
+				}
+				migrated[fr.id] = fr.off
+			}
+			f.ckptStage(CkptBatchMigrated)
+		}
+		// Push the round's slot writes to the media so the finalize fsync
+		// is bounded too (no injected fault here: the finalize sync is the
+		// deterministic injection point).
+		if err := f.file.Sync(); err != nil {
+			f.poison(fmt.Errorf("database fsync: %w", err))
+			return f.poisonedError()
+		}
+	}
+	// Bounded finalize under the exclusive latch.
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	if err := f.poisonedError(); err != nil {
 		return err
 	}
-	if len(f.pending) > 0 {
-		return fmt.Errorf("storage: checkpoint with %d uncommitted frames (commit first)", len(f.pending))
-	}
-	ckptStart := time.Now()
-	scratch := make([]byte, pageSlotSize)
 	for id, off := range f.walIndex {
-		err := f.readChecked(func() error {
-			return f.readWALFrameLocked(id, off, scratch[:PageSize])
-		})
-		if err != nil {
-			return fmt.Errorf("storage: checkpoint read of page %d: %w", id, err)
+		if migrated[id] == off {
+			continue
 		}
-		binary.BigEndian.PutUint32(scratch[PageSize:], crc32.ChecksumIEEE(scratch[:PageSize]))
-		out := scratch
-		if f.inj != nil {
-			if err := f.inj.writeError(); err != nil {
-				return fmt.Errorf("storage: checkpoint write of page %d: %w", id, err)
-			}
-			if cut, ok := f.inj.tornCut(pageSlotSize); ok {
-				out = scratch[:cut]
-			}
+		if err := f.migrateSlot(id, off, scratch); err != nil {
+			return err
 		}
-		if _, err := f.file.WriteAt(out, slotOff(id)); err != nil {
-			return fmt.Errorf("storage: checkpoint write of page %d: %w", id, err)
-		}
-		f.statLock.Lock()
-		f.bytesWritten.Add(pageSlotSize)
-		f.statLock.Unlock()
 	}
 	f.ckptStage(CkptPagesMigrated)
 	if err := writeSuperblock(f.file, f.meta); err != nil {
@@ -673,10 +957,43 @@ func (f *FileDisk) Checkpoint() error {
 		return f.poisonedError()
 	}
 	f.ckptStage(CkptFileSynced)
+	// Preserve the open transaction's frames across the truncation: reread
+	// their raw records, truncate, re-append them at the front. Without a
+	// commit record they are discarded by recovery, exactly as uncommitted
+	// frames should be.
+	type pendRec struct {
+		id  PageID
+		rec []byte
+	}
+	keep := make([]pendRec, 0, len(f.pending))
+	for id, off := range f.pending {
+		rec := make([]byte, walFrameSize)
+		if _, err := f.wal.ReadAt(rec, off-walFrameHeaderSize); err != nil {
+			f.poison(fmt.Errorf("wal reread of pending page %d: %w", id, err))
+			return f.poisonedError()
+		}
+		keep = append(keep, pendRec{id, rec})
+	}
 	if err := f.wal.Truncate(0); err != nil {
 		f.poison(fmt.Errorf("wal truncate: %w", err))
 		return f.poisonedError()
 	}
+	f.walSize = 0
+	f.committedEnd = 0
+	f.walIndex = map[PageID]int64{}
+	newPending := make(map[PageID]int64, len(keep))
+	for _, p := range keep {
+		if _, err := f.wal.WriteAt(p.rec, f.walSize); err != nil {
+			f.poison(fmt.Errorf("wal re-append of pending page %d: %w", p.id, err))
+			return f.poisonedError()
+		}
+		newPending[p.id] = f.walSize + walFrameHeaderSize
+		f.walSize += walFrameSize
+		f.statLock.Lock()
+		f.bytesWritten.Add(walFrameSize)
+		f.statLock.Unlock()
+	}
+	f.pending = newPending
 	if err := f.wal.Sync(); err != nil {
 		f.poison(fmt.Errorf("wal fsync after truncate: %w", err))
 		return f.poisonedError()
@@ -685,8 +1002,6 @@ func (f *FileDisk) Checkpoint() error {
 	f.walFsyncs.Add(1)
 	f.checkpoints.Add(1)
 	f.statLock.Unlock()
-	f.walSize = 0
-	f.walIndex = map[PageID]int64{}
 	if f.ckptHist != nil {
 		f.ckptHist.Observe(time.Since(ckptStart).Nanoseconds())
 	}
@@ -697,8 +1012,106 @@ func (f *FileDisk) Checkpoint() error {
 	return nil
 }
 
+// Compact trims the maximal all-free suffix of the page array off the file:
+// the free chain is rebuilt over the surviving free pages (ascending, so
+// repeated compactions converge), the shrunken page count and new head are
+// committed and fsynced through the WAL, and only then is the physical file
+// truncated — a crash in between leaves harmless extra bytes past the
+// logical end, never a lost page. Returns the number of pages trimmed.
+//
+// Compact skips (returning 0) while a transaction has uncommitted frames:
+// the splice needs a commit record, and committing would prematurely seal
+// someone else's open transaction.
+func (f *FileDisk) Compact() (int, error) {
+	f.ckptMu.Lock()
+	defer f.ckptMu.Unlock()
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err := f.poisonedError(); err != nil {
+		return 0, err
+	}
+	if len(f.pending) > 0 {
+		return 0, nil
+	}
+	n := f.numPages
+	for n > 0 {
+		if _, free := f.freeSet[PageID(n-1)]; !free {
+			break
+		}
+		n--
+	}
+	trimmed := f.numPages - n
+	if trimmed == 0 {
+		return 0, nil
+	}
+	survivors := make([]PageID, 0, len(f.freeSet)-trimmed)
+	for id := range f.freeSet {
+		if int(id) < n {
+			survivors = append(survivors, id)
+		}
+	}
+	sort.Slice(survivors, func(i, j int) bool { return survivors[i] < survivors[j] })
+	img := make([]byte, PageSize)
+	for i, id := range survivors {
+		next := InvalidPage
+		if i+1 < len(survivors) {
+			next = survivors[i+1]
+		}
+		freePageImage(img, next)
+		start := f.walSize
+		rec := appendWALFrame(make([]byte, 0, walFrameSize), id, img)
+		if err := f.appendLocked(rec, fmt.Sprintf("compact splice page %d", id)); err != nil {
+			return 0, err
+		}
+		f.pending[id] = start + walFrameHeaderSize
+	}
+	f.freeHead = InvalidPage
+	if len(survivors) > 0 {
+		f.freeHead = survivors[0]
+	}
+	for id := range f.freeSet {
+		if int(id) >= n {
+			delete(f.freeSet, id)
+		}
+	}
+	f.numPages = n
+	meta := f.meta
+	meta.NumPages = int32(n)
+	seq, err := f.commitAsyncLocked(meta)
+	if err != nil {
+		return 0, err
+	}
+	var serr error
+	if f.inj != nil {
+		serr = f.inj.fsyncError()
+	}
+	if serr == nil {
+		serr = f.wal.Sync()
+	}
+	if serr != nil {
+		f.poison(fmt.Errorf("wal fsync during compact: %w", serr))
+		return 0, f.poisonedError()
+	}
+	f.statLock.Lock()
+	f.walFsyncs.Add(1)
+	f.statLock.Unlock()
+	storeMax(&f.durableSeq, seq)
+	f.ckptStage(CkptFreeSpliced)
+	target := superblockSize + int64(n)*pageSlotSize
+	if st, err := f.file.Stat(); err == nil && st.Size() > target {
+		if err := f.file.Truncate(target); err != nil {
+			// The logical shrink is already committed; physical bytes past
+			// the end are harmless, so report without poisoning.
+			return trimmed, fmt.Errorf("storage: compact truncate: %w", err)
+		}
+	}
+	return trimmed, nil
+}
+
 // SetCheckpointHook installs a callback fired at each CheckpointStage
-// boundary (test-only; the hook runs with the disk latch held).
+// boundary (test-only; the hook runs with the disk latch held for the
+// finalize stages, and without it for CkptBatchMigrated — the incremental
+// batches run unlatched by design).
 func (f *FileDisk) SetCheckpointHook(fn func(CheckpointStage)) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
@@ -768,9 +1181,15 @@ func (f *FileDisk) DeviceStats() DeviceStats {
 			Checkpoints:        f.checkpoints.Load(),
 			ChecksumFailures:   f.checksumFails.Load(),
 			ChecksumRetries:    f.checksumRetries.Load(),
+			PagesFreed:         f.pagesFreed.Load(),
+			PagesReused:        f.pagesReused.Load(),
+			FreeListResets:     f.freeResets.Load(),
 		}
 	})
 	st.WALBytes = f.WALSize()
+	if fst, err := f.file.Stat(); err == nil {
+		st.FileBytes = fst.Size()
+	}
 	st.RecoveredCommits = f.recoveredCommits
 	st.WALBytesDiscarded = f.walDiscarded
 	st.Poisoned = f.Poisoned() != nil

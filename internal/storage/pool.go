@@ -303,6 +303,26 @@ func (p *Pool) NewPage(id PageID) (Page, error) {
 	return Page{ID: id, Data: f.data, frame: f}, nil
 }
 
+// Free returns page id to the device's free list, discarding any resident
+// frame — including its dirty content, which by definition nobody will read
+// again. Freeing a pinned or still-loading page is a caller bug and errors
+// without touching the device; the page stays allocated.
+func (p *Pool) Free(id PageID) error {
+	s := p.shardFor(id)
+	s.mu.Lock()
+	if f, ok := s.frames[id]; ok {
+		if f.pins > 0 || f.loading != nil {
+			s.mu.Unlock()
+			return fmt.Errorf("storage: free of pinned page %d", id)
+		}
+		s.unlink(f)
+		delete(s.frames, id)
+		s.unpinned.Broadcast() // a room waiter can use the freed slot
+	}
+	s.mu.Unlock()
+	return p.dev.Free(id)
+}
+
 // Unpin releases the page; dirty marks it modified so eviction writes it
 // back. Unpinning a page that is not pinned is a reference-count underflow
 // and returns ErrNotPinned — an error rather than a panic, because the

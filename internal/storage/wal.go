@@ -42,9 +42,13 @@ type Meta struct {
 	// CatalogRoot is the first page of the engine catalog chain
 	// (InvalidPage when no catalog has been written).
 	CatalogRoot PageID
-	// FreeHead is the head of the on-disk free page list. Reserved: no
-	// code frees pages yet, so it is always InvalidPage; the field exists
-	// so the file format will not need a version bump when reuse lands.
+	// FreeHead is the head of the on-disk free page list: each free page's
+	// image is a marker plus the id of the next free page (see the free
+	// list section in docs/STORAGE.md), so the chain rides the ordinary
+	// WAL frame/commit machinery and frees are exactly as crash-safe as
+	// page writes. InvalidPage means the list is empty — which is also
+	// what every file written before reclamation landed carries, so old
+	// files open unchanged.
 	FreeHead PageID
 }
 

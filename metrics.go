@@ -53,6 +53,11 @@ type Metrics struct {
 	PoolMissLatency LatencyStats
 	// CheckpointDuration is the duration of each full checkpoint.
 	CheckpointDuration LatencyStats
+	// CommitLatency is per-commit latency — WAL append, catalog write,
+	// snapshot publish and the group fsync of one commit. Comparing its
+	// tail with and without the background checkpointer active shows the
+	// checkpointer's interference with the commit path.
+	CommitLatency LatencyStats
 	// GroupCommitBatch is the number of commits each WAL fsync made
 	// durable — the group-commit amortisation factor.
 	GroupCommitBatch BatchStats
@@ -97,6 +102,7 @@ func (db *DB) Metrics() Metrics {
 		WALFsyncLatency:    latencyStats(reg.WALFsyncLatency),
 		PoolMissLatency:    latencyStats(reg.PoolMissLatency),
 		CheckpointDuration: latencyStats(reg.CheckpointDuration),
+		CommitLatency:      latencyStats(reg.CommitLatency),
 		GroupCommitBatch:   batchStats(reg.GroupCommitBatch),
 		SlowQueries:        db.eng.SlowQueryLog().Total(),
 	}
@@ -175,6 +181,10 @@ func (db *DB) WriteMetrics(w io.Writer) error {
 	p.Counter("twigdb_injected_faults_total", "Faults fired by the configured injector.", d.InjectedFaults)
 	p.Counter("twigdb_recovered_commits_total", "Commits replayed from the WAL at the last open.", d.RecoveredCommits)
 	p.Counter("twigdb_wal_discarded_bytes_total", "Torn/corrupt WAL tail bytes discarded at the last open.", d.WALBytesDiscarded)
+	p.Counter("twigdb_pages_freed_total", "Pages returned to the on-disk free list.", d.PagesFreed)
+	p.Counter("twigdb_pages_reused_total", "Allocations served from the free list instead of growing the file.", d.PagesReused)
+	p.Gauge("twigdb_file_bytes", "Current database file length in bytes.", float64(d.FileBytes))
+	p.Counter("twigdb_free_list_resets_total", "Free-list chains discarded at recovery because validation failed.", d.FreeListResets)
 
 	p.Counter("twigdb_pool_fetches_total", "Buffer pool fetches.", pool.Fetches)
 	p.Counter("twigdb_pool_hits_total", "Buffer pool fetches served without device I/O.", pool.Hits)
@@ -208,6 +218,7 @@ func (db *DB) WriteMetrics(w io.Writer) error {
 	p.Histogram("twigdb_group_commit_batch_size", "Commits made durable per WAL fsync.", reg.GroupCommitBatch.Snapshot(), 1)
 	p.Histogram("twigdb_pool_miss_read_latency_seconds", "Device read latency of buffer pool misses.", reg.PoolMissLatency.Snapshot(), 1e-9)
 	p.Histogram("twigdb_checkpoint_duration_seconds", "Full checkpoint duration.", reg.CheckpointDuration.Snapshot(), 1e-9)
+	p.Histogram("twigdb_commit_latency_seconds", "Per-commit latency (WAL append through group fsync).", reg.CommitLatency.Snapshot(), 1e-9)
 	return p.Err()
 }
 

@@ -217,6 +217,14 @@ type Options struct {
 	// SlowQueryLogSize caps the slow-query ring; 0 keeps the default of
 	// 64 entries (oldest evicted first).
 	SlowQueryLogSize int
+
+	// CheckpointWALBytes is the write-ahead-log size beyond which a commit
+	// wakes the background checkpointer, which migrates committed WAL
+	// frames into the database file in bounded batches and compacts any
+	// all-free file tail — entirely off the commit path, so writers keep
+	// group-committing at fsync speed while the log drains. 0 keeps the
+	// 64MB default; only meaningful with Path set.
+	CheckpointWALBytes int64
 }
 
 // DB is an XML database instance: a forest of loaded documents plus any
@@ -255,6 +263,7 @@ func Open(opts *Options) (*DB, error) {
 		cfg.Path = opts.Path
 		cfg.SlowQueryThreshold = opts.SlowQueryThreshold
 		cfg.SlowQueryLogSize = opts.SlowQueryLogSize
+		cfg.CheckpointWALBytes = opts.CheckpointWALBytes
 		if opts.FaultInjection != nil {
 			inj, err := newFaultInjector(opts.FaultInjection)
 			if err != nil {
@@ -287,9 +296,20 @@ func (db *DB) Close() error { return db.eng.Close() }
 
 // Checkpoint makes the current state durable and truncates the write-ahead
 // log (the next Open replays nothing). Mutations already commit at their
-// own boundaries; Checkpoint is for bounding WAL size and recovery time at
-// moments the application chooses. No-op for in-memory databases.
+// own boundaries, and a background checkpointer bounds WAL growth on its
+// own (see Options.CheckpointWALBytes); Checkpoint forces a full
+// synchronous pass at a moment the application chooses. No-op for
+// in-memory databases.
 func (db *DB) Checkpoint() error { return db.eng.Checkpoint() }
+
+// Backup writes a transactionally consistent copy of a file-backed
+// database to dstPath while the database stays fully live: queries keep
+// reading and writers keep committing during the copy. The backup pins one
+// snapshot, copies every page that snapshot reaches through the
+// checksum-verified read path, and seals the result as a standalone
+// database file (empty WAL) that Open restores like any cleanly
+// checkpointed database. Returns an error for in-memory databases.
+func (db *DB) Backup(dstPath string) error { return db.eng.Backup(dstPath) }
 
 // LoadXML parses one XML document from r and adds it to the database.
 // Load all documents before building indices.
@@ -534,6 +554,11 @@ type StorageStats struct {
 	GroupCommitBatches int64
 	Checkpoints        int64
 
+	PagesFreed     int64 // pages returned to the on-disk free list
+	PagesReused    int64 // allocations served from the free list instead of growing the file
+	FileBytes      int64 // current database file size in bytes (file-backed only)
+	FreeListResets int64 // recoveries that found an invalid free chain and reset it
+
 	ChecksumFailures  int64 // page/WAL-frame checksum verifications that failed
 	ChecksumRetries   int64 // transparent re-reads that recovered a failure
 	InjectedFaults    int64 // faults fired by the configured injector
@@ -555,6 +580,10 @@ func (db *DB) StorageStats() StorageStats {
 		WALBytes:           d.WALBytes,
 		GroupCommitBatches: d.GroupCommitBatches,
 		Checkpoints:        d.Checkpoints,
+		PagesFreed:         d.PagesFreed,
+		PagesReused:        d.PagesReused,
+		FileBytes:          d.FileBytes,
+		FreeListResets:     d.FreeListResets,
 		ChecksumFailures:   d.ChecksumFailures,
 		ChecksumRetries:    d.ChecksumRetries,
 		InjectedFaults:     d.InjectedFaults,
