@@ -7,7 +7,7 @@ BENCHES = BenchmarkInsert|BenchmarkBuildAll|BenchmarkConcurrentQuery
 # Short-budget fuzz smoke for CI (full runs: go test -fuzz=... by hand).
 FUZZTIME ?= 10s
 
-.PHONY: all build vet test race race-plan fuzz recover stress faults obs storage-scale ci bench bench1 bench2 bench3 bench4 bench5 bench6 bench7 bench-faults
+.PHONY: all build vet test race race-plan fuzz recover stress faults obs storage-scale txn ci bench bench1 bench2 bench3 bench4 bench5 bench6 bench7 bench8 bench-faults
 
 all: test
 
@@ -79,11 +79,19 @@ storage-scale:
 	$(GO) test -race -run 'TestFileDiskFree|TestFileDiskCompact|TestFaultDiskFree' ./internal/storage/
 	$(GO) test -race -run 'TestChurnSteadyState|TestBackupRestore|TestBackupUnderConcurrentWriters|TestCrashDuringCompact' ./internal/engine/
 
+# Optimistic-transaction suite under the race detector: multi-statement
+# semantics, the disjoint-commit replay path, commit kill-points, the
+# serialization-anomaly stress harness (token-slot protocol with a
+# post-hoc oracle), and the public Tx API (see docs/CONCURRENCY.md).
+txn:
+	$(GO) test -race -run 'TestTx|TestUpdateRetries|TestRetainSnapshots|TestImplicitOpsNeverConflict|TestConcurrentExplicitTxStress|TestCrashDuringTxCommit' ./internal/engine/
+	$(GO) test -race -run 'TestTxPublicAPI|TestUpdateRetryPublicAPI|TestTxMetricsExposition|TestTxSerializationAnomalies' .
+
 # Everything CI runs, in order.
-ci: test race race-plan fuzz recover stress faults obs storage-scale
+ci: test race race-plan fuzz recover stress faults obs storage-scale txn
 
 # Machine-readable trajectory entries at the repo root.
-bench: bench1 bench2 bench3 bench4 bench5 bench6 bench7
+bench: bench1 bench2 bench3 bench4 bench5 bench6 bench7 bench8
 
 # Micro-benchmarks with allocation reporting -> BENCH_1.json.
 bench1:
@@ -123,6 +131,12 @@ bench6:
 # active -> BENCH_7.json.
 bench7:
 	$(GO) run ./cmd/twigbench -scale10 -out BENCH_7.json
+
+# Optimistic multi-statement transactions: committed-tx throughput and
+# fsync amortisation over a 1/2/4 disjoint-writer sweep, plus the
+# contended-document conflict/retry economics -> BENCH_8.json.
+bench8:
+	$(GO) run ./cmd/twigbench -txn -out BENCH_8.json
 
 # Fault-injection smoke: the XMark workload under armed storage faults,
 # differential-checked; fails on any wrong answer or untyped error ->

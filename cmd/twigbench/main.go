@@ -69,6 +69,7 @@ func main() {
 	file := flag.Bool("file", false, "run the file-backed storage experiment (build, reopen, cold-cache query)")
 	planner := flag.Bool("planner", false, "run the cost-based-planner regret experiment")
 	mixed := flag.Bool("mixed", false, "run the mixed read/write workload experiment (snapshot reads + group commit)")
+	txn := flag.Bool("txn", false, "run the optimistic multi-statement transaction experiment (writer sweep + contended phase)")
 	scale10 := flag.Bool("scale10", false, "run the disk-resident scale experiment (XMark scale 10, pool << data)")
 	faults := flag.Bool("faults", false, "run the fault-injection smoke (deterministic storage faults, differential-checked)")
 	seed := flag.Int64("seed", 1, "fault injector + workload seed for the -faults run")
@@ -153,6 +154,32 @@ func main() {
 			fmt.Fprintln(os.Stderr, "twigbench:", err)
 			os.Exit(1)
 		}
+		if err := res.WriteJSON(*out); err != nil {
+			fmt.Fprintln(os.Stderr, "twigbench:", err)
+			os.Exit(1)
+		}
+		fmt.Println("wrote", *out)
+		return
+	}
+
+	if *txn {
+		if *out == "" {
+			*out = "BENCH_8.json"
+		}
+		cfg := bench.DefaultTxnConfig()
+		// -workers, when set explicitly, sets the contended phase's writer
+		// count (the sweep keeps its recorded 1/2/4 acceptance shape).
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "workers" {
+				cfg.ConflictWriters = *workers
+			}
+		})
+		res, err := bench.TxnExperiment(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "twigbench:", err)
+			os.Exit(1)
+		}
+		fmt.Print(res.String())
 		if err := res.WriteJSON(*out); err != nil {
 			fmt.Fprintln(os.Stderr, "twigbench:", err)
 			os.Exit(1)

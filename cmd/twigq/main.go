@@ -11,6 +11,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -47,7 +48,16 @@ func main() {
 	flag.Parse()
 
 	if err := run(*indexList, *strategy, *query, *show, *explain, *analyze, flag.Args()); err != nil {
-		fmt.Fprintln(os.Stderr, "twigq:", err)
+		switch {
+		case errors.Is(err, twigdb.ErrConflict):
+			// A conflicted transaction published nothing; re-running it is
+			// always safe.
+			fmt.Fprintln(os.Stderr, "twigq: write conflict (safe to retry):", err)
+		case errors.Is(err, twigdb.ErrReadOnly):
+			fmt.Fprintln(os.Stderr, "twigq: database is read-only:", err)
+		default:
+			fmt.Fprintln(os.Stderr, "twigq:", err)
+		}
 		os.Exit(1)
 	}
 }

@@ -1,0 +1,51 @@
+package bench
+
+import (
+	"testing"
+)
+
+// TestTxnExperimentSmoke runs a scaled-down BENCH_8 and checks the
+// invariants the experiment itself asserts plus the shape of the payload:
+// one sweep point per writer count with zero conflicts and a plausible
+// fsync amortisation, and a contended phase that actually conflicted.
+func TestTxnExperimentSmoke(t *testing.T) {
+	r, err := TxnExperiment(TxnConfig{
+		WriterCounts:    []int{1, 2},
+		TxPerWriter:     6,
+		StmtsPerTx:      3,
+		ConflictWriters: 3,
+		ConflictOps:     8,
+		Dir:             t.TempDir(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Sweep) != 2 {
+		t.Fatalf("%d sweep points, want 2", len(r.Sweep))
+	}
+	for _, p := range r.Sweep {
+		if p.Conflicts != 0 {
+			t.Fatalf("writers=%d: %d conflicts on disjoint documents", p.Writers, p.Conflicts)
+		}
+		if p.CommitsPerSec <= 0 || p.StmtsPerSec <= 0 {
+			t.Fatalf("writers=%d: empty throughput %+v", p.Writers, p)
+		}
+		// Batching statements under one commit record must amortise fsyncs
+		// below one per statement.
+		if p.FsyncsPerStmt >= 1 {
+			t.Fatalf("writers=%d: %.3f fsyncs/statement, want < 1", p.Writers, p.FsyncsPerStmt)
+		}
+		if p.TxnP50MS <= 0 || p.TxnP99MS < p.TxnP50MS {
+			t.Fatalf("writers=%d: implausible txn latency p50=%v p99=%v", p.Writers, p.TxnP50MS, p.TxnP99MS)
+		}
+	}
+	if r.ConflictCommits != 3*8 {
+		t.Fatalf("contended commits %d, want 24", r.ConflictCommits)
+	}
+	if r.ConflictCPS <= 0 {
+		t.Fatalf("contended phase throughput missing: %+v", r)
+	}
+	if s := r.String(); s == "" {
+		t.Fatal("empty render")
+	}
+}

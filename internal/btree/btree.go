@@ -232,6 +232,26 @@ func (t *Tree) TakeRetired() []storage.PageID {
 	return r
 }
 
+// TakeFresh returns and clears the ids of every page this handle has
+// allocated since it was cloned (tracked only under an active COW
+// frontier). An abandoned writer — a transaction replayed onto a newer
+// base, or rolled back — hands them straight back to the device free list:
+// no published version can reference a page only the abandoned clone ever
+// reached. The handle must not be used after draining its fresh set.
+func (t *Tree) TakeFresh() []storage.PageID {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.fresh) == 0 {
+		return nil
+	}
+	out := make([]storage.PageID, 0, len(t.fresh))
+	for id := range t.fresh {
+		out = append(out, id)
+	}
+	t.fresh = nil
+	return out
+}
+
 // Stats returns the tree's current shape.
 func (t *Tree) Stats() Stats {
 	t.mu.RLock()

@@ -62,6 +62,14 @@ type Config struct {
 	SlowQueryThreshold time.Duration
 	// SlowQueryLogSize caps the slow-query ring (0 = 64 entries).
 	SlowQueryLogSize int
+	// RetainSnapshots, when > 0, keeps that many superseded snapshots
+	// pinned after publication so AS OF reads (SnapshotAt,
+	// QueryPatternAsOf) can query recent history by sequence number. A
+	// retained snapshot holds the deferred page frees of every later
+	// commit, exactly like a long-running reader, so the window trades
+	// space for time-travel depth. 0 disables retention: only the current
+	// snapshot is queryable.
+	RetainSnapshots int
 }
 
 // DefaultConfig mirrors the paper's 40MB buffer pool.
@@ -127,6 +135,26 @@ type DB struct {
 	// blocking the retired batches published after them. Writer-owned,
 	// under writeMu.
 	liveSnaps []*Snapshot
+
+	// nextNodeID is the global node id allocator: transactions reserve
+	// pre-order id ranges with one atomic add, so concurrent preparers
+	// never collide and a transaction's ids survive commit replays
+	// unchanged. Seeded from the recovered store's counter at Open.
+	nextNodeID atomic.Int64
+
+	// commitLog is the bounded ring of published write-sets that commit
+	// validation scans (see conflictsSince). Writer-owned, under writeMu.
+	commitLog []commitRecord
+
+	// retained is the AS OF window: the last Config.RetainSnapshots
+	// superseded versions, each holding a standing pin taken at publish.
+	// retainMu guards the ring so readers can pin entries without writeMu.
+	retainMu sync.Mutex
+	retained []*Snapshot
+
+	// commitHook, when set, is called at the commit protocol's stage
+	// boundaries (crash kill-point tests).
+	commitHook atomic.Pointer[func(CommitStage)]
 
 	// ckptWake nudges the background checkpointer (buffered, lossy sends);
 	// ckptQuit/ckptDone manage its shutdown. Nil on in-memory databases.
@@ -327,6 +355,7 @@ func Open(cfg Config) (*DB, error) {
 	}
 	db.current.Store(snap)
 	db.frontier = storage.PageID(db.dev.NumPages())
+	db.nextNodeID.Store(snap.store.NextID())
 	if db.fdisk != nil {
 		db.ckptWake = make(chan struct{}, 1)
 		db.ckptQuit = make(chan struct{})
@@ -449,14 +478,32 @@ func (db *DB) commitAppend(next *Snapshot) (int64, error) {
 
 // publish makes next the current snapshot, advances the COW frontier past
 // every page allocated so far, and supersedes the predecessor, which joins
-// the drain list blocking deferred frees until its readers leave. Callers
-// hold writeMu.
-func (db *DB) publish(next *Snapshot) {
+// the drain list blocking deferred frees until its readers leave. Every
+// publish also logs its write-set (docs/all) for transaction validation
+// and, with retention configured, moves the predecessor into the AS OF
+// window under a standing pin — taken here, before the predecessor is
+// superseded, so it can never be treated as drained while retained.
+// Callers hold writeMu.
+func (db *DB) publish(next *Snapshot, docs []int64, all bool) {
 	prev := db.current.Load()
 	db.frontier = storage.PageID(db.dev.NumPages())
+	if k := db.cfg.RetainSnapshots; k > 0 {
+		prev.pins.Add(1)
+		db.retainMu.Lock()
+		db.retained = append(db.retained, prev)
+		for len(db.retained) > k {
+			old := db.retained[0]
+			copy(db.retained, db.retained[1:])
+			db.retained[len(db.retained)-1] = nil
+			db.retained = db.retained[:len(db.retained)-1]
+			old.pins.Add(-1)
+		}
+		db.retainMu.Unlock()
+	}
 	db.current.Store(next)
 	prev.superseded.Store(true)
 	db.liveSnaps = append(db.liveSnaps, prev)
+	db.logCommit(next.seq, docs, all)
 }
 
 // collectRetired drains the pages next's COW index clones stopped
@@ -521,9 +568,10 @@ func (db *DB) reclaimRetired() {
 // wait happens outside writeMu, which is what lets N concurrent committers
 // share one fsync. The checkpoint itself never runs here: migration is the
 // background goroutine's job, so the commit path's tail latency stays
-// fsync-bound even while the WAL is being drained. The caller must hold
-// writeMu and must not touch it afterwards.
-func (db *DB) commitPublish(next *Snapshot) error {
+// fsync-bound even while the WAL is being drained. docs/all are the
+// commit's write-set, logged at publish for transaction validation. The
+// caller must hold writeMu and must not touch it afterwards.
+func (db *DB) commitPublish(next *Snapshot, docs []int64, all bool) error {
 	start := time.Now()
 	// Reclaim before appending the commit record, so the free-page frames
 	// ride *inside* this commit: recovery truncated exactly at the record
@@ -538,7 +586,7 @@ func (db *DB) commitPublish(next *Snapshot) error {
 		return db.noteCommitErr(err)
 	}
 	db.collectRetired(next)
-	db.publish(next)
+	db.publish(next, docs, all)
 	wake := db.fdisk != nil && db.fdisk.WALSize() > db.cfg.CheckpointWALBytes
 	db.writeMu.Unlock()
 	if wake {
@@ -629,14 +677,19 @@ func (db *DB) AddDocument(doc *xmldb.Document) error {
 	if err != nil {
 		panic(err) // unreachable: the virtual root always exists
 	}
-	store.AddDocument(doc)
+	// Ids come from the global allocator (shared with transactions), then
+	// the pre-numbered tree is attached; the store counter follows the
+	// allocator so both agree on what is handed out.
+	db.numberTree(doc.Root)
+	store.RestoreDocument(doc)
+	store.SetNextID(db.nextNodeID.Load())
 	next.store = store
 	next.env.Store = store
 	// No stale fallback: statistics describing a store without this
 	// document must not be reused indefinitely (nothing re-derives them
 	// for a load — the next query collects lazily, as loads always have).
 	next.stale = nil
-	db.publish(next)
+	db.publish(next, nil, false)
 	return nil
 }
 
@@ -664,7 +717,7 @@ func (db *DB) CollectStats() {
 	next := cur.clone()
 	next.env.Stats = stats.Collect(next.store, db.dict)
 	next.statsReady.Store(true)
-	db.publish(next)
+	db.publish(next, nil, false)
 }
 
 // Build constructs the given index structures, publishing a successor
@@ -711,7 +764,10 @@ func (db *DB) Build(kinds ...index.Kind) error {
 			return fmt.Errorf("engine: building %v: %w", k, err)
 		}
 	}
-	return db.commitPublish(next)
+	// all=true: a rebuild touches the whole database, so every in-flight
+	// transaction spanning it conflicts (conservative — Build normally runs
+	// during setup, not under concurrent transactions).
+	return db.commitPublish(next, nil, true)
 }
 
 // BuildAll constructs every index structure in the family.
@@ -729,52 +785,17 @@ func (db *DB) BuildAll() error {
 // structures do not support incremental maintenance and are invalidated;
 // rebuild them with Build if their strategies are still needed.
 //
-// The update is prepared copy-on-write against a successor snapshot —
-// concurrent queries keep reading the current one, unblocked — and becomes
-// visible atomically when it is published. On a file-backed database the
-// call returns once the commit is durable; concurrent committers share
-// their WAL fsync (group commit).
+// The update runs as an implicit single-statement transaction: prepared
+// copy-on-write against a successor snapshot — concurrent queries keep
+// reading the current one, unblocked — validated against concurrently
+// committed write-sets, and published atomically. Conflicts are retried
+// internally (optimistically, then under the writer lock), so this call
+// never surfaces ErrConflict. On a file-backed database the call returns
+// once the commit is durable; concurrent committers share their WAL fsync
+// (group commit). sub is numbered from the global allocator; the caller's
+// tree is the template and stays unattached (read ids from it as before).
 func (db *DB) InsertSubtree(parentID int64, sub *xmldb.Node) error {
-	db.writeMu.Lock()
-	if err := db.writeGate(); err != nil {
-		db.writeMu.Unlock()
-		return err
-	}
-	cur := db.current.Load()
-	if cur.store.NodeByID(parentID) == nil {
-		db.writeMu.Unlock()
-		return fmt.Errorf("engine: no node with id %d", parentID)
-	}
-	next := cur.clone()
-	store, parent, err := cur.store.CloneForWrite(parentID)
-	if err != nil {
-		db.writeMu.Unlock()
-		return err
-	}
-	next.store = store
-	next.env.Store = store
-	next.cowIndices(db.frontier)
-	if err := store.AttachSubtree(parent, sub); err != nil {
-		db.writeMu.Unlock()
-		return err
-	}
-	if next.env.RP != nil {
-		if err := next.env.RP.InsertSubtree(store, sub); err != nil {
-			db.writeMu.Unlock()
-			return err
-		}
-	}
-	if next.env.DP != nil {
-		if err := next.env.DP.InsertSubtree(store, sub); err != nil {
-			db.writeMu.Unlock()
-			return err
-		}
-	}
-	if err := db.commitPublish(next); err != nil {
-		return err
-	}
-	db.installStats(next)
-	return nil
+	return db.autoTx(func(tx *Tx) error { return tx.Insert(parentID, sub) })
 }
 
 // installStats re-derives the statistics of a freshly published snapshot
@@ -795,51 +816,11 @@ func (db *DB) installStats(next *Snapshot) {
 
 // DeleteSubtree removes the node with the given id and its subtree,
 // incrementally maintaining ROOTPATHS and DATAPATHS and invalidating the
-// non-updatable index structures. Prepared copy-on-write and published
-// atomically, like InsertSubtree.
+// non-updatable index structures. An implicit single-statement
+// transaction, prepared copy-on-write and published atomically, like
+// InsertSubtree.
 func (db *DB) DeleteSubtree(nodeID int64) error {
-	db.writeMu.Lock()
-	if err := db.writeGate(); err != nil {
-		db.writeMu.Unlock()
-		return err
-	}
-	cur := db.current.Load()
-	if cur.store.NodeByID(nodeID) == nil {
-		db.writeMu.Unlock()
-		return fmt.Errorf("engine: no node with id %d", nodeID)
-	}
-	next := cur.clone()
-	store, n, err := cur.store.CloneForWrite(nodeID)
-	if err != nil {
-		db.writeMu.Unlock()
-		return err
-	}
-	next.store = store
-	next.env.Store = store
-	next.cowIndices(db.frontier)
-	// Index rows are derived from the root path, so delete them while the
-	// subtree is still connected.
-	if next.env.RP != nil {
-		if err := next.env.RP.DeleteSubtree(store, n); err != nil {
-			db.writeMu.Unlock()
-			return err
-		}
-	}
-	if next.env.DP != nil {
-		if err := next.env.DP.DeleteSubtree(store, n); err != nil {
-			db.writeMu.Unlock()
-			return err
-		}
-	}
-	if err := store.DetachSubtree(n); err != nil {
-		db.writeMu.Unlock()
-		return err
-	}
-	if err := db.commitPublish(next); err != nil {
-		return err
-	}
-	db.installStats(next)
-	return nil
+	return db.autoTx(func(tx *Tx) error { return tx.Delete(nodeID) })
 }
 
 // Query parses and executes q under the given strategy.
@@ -1044,6 +1025,84 @@ func (db *DB) QueryPatternBestTraced(pat *xpath.Pattern) ([]int64, *plan.ExecSta
 	}
 	start := time.Now()
 	ids, es, err := plan.ExecuteTreeTraced(env, tree)
+	db.observeQuery(s, pat, tree.Strategy, es, time.Since(start))
+	if es != nil {
+		db.counters.CountQuery(es.Parallel, es.BranchesJoined)
+	}
+	return ids, es, tree.Strategy, err
+}
+
+// CurrentSeq returns the published snapshot's sequence number — the
+// version an AS OF read would need to observe the present.
+func (db *DB) CurrentSeq() uint64 { return db.current.Load().seq }
+
+// RetainedSnapshots returns how many superseded versions are currently
+// held in the AS OF window (0 without Config.RetainSnapshots).
+func (db *DB) RetainedSnapshots() int {
+	db.retainMu.Lock()
+	defer db.retainMu.Unlock()
+	return len(db.retained)
+}
+
+// SnapshotAt pins the snapshot with the given sequence number — the
+// current one, or a superseded one still in the AS OF retention window —
+// and returns it with its release function. Sequence numbers outside the
+// window fail with ErrSnapshotRetired.
+func (db *DB) SnapshotAt(seq uint64) (*Snapshot, func(), error) {
+	s := db.pin()
+	if s.seq == seq {
+		return s, func() { db.unpin(s) }, nil
+	}
+	if seq > s.seq {
+		db.unpin(s)
+		return nil, nil, fmt.Errorf("%w: seq %d is ahead of the published chain (current %d)", ErrSnapshotRetired, seq, s.seq)
+	}
+	db.unpin(s)
+	// A snapshot older than the one pinned above is either in the
+	// retention ring already (it was moved there while publishing its
+	// successor, before that successor could even be observed) or evicted
+	// for good — one scan decides. Pinning under retainMu is safe: the
+	// ring's standing pin keeps the entry from being treated as drained,
+	// and eviction drops that pin only under this same lock.
+	db.retainMu.Lock()
+	for _, r := range db.retained {
+		if r.seq == seq {
+			r.pins.Add(1)
+			db.retainMu.Unlock()
+			db.counters.CountSnapshotPin()
+			return r, func() { db.unpin(r) }, nil
+		}
+	}
+	db.retainMu.Unlock()
+	return nil, nil, fmt.Errorf("%w: seq %d (current %d, retention window %d)", ErrSnapshotRetired, seq, s.seq, db.cfg.RetainSnapshots)
+}
+
+// QueryPatternAsOf executes pat against the historical snapshot with the
+// given sequence number under the cost-based planner — the AS OF
+// time-travel read. The snapshot must be current or within the retention
+// window (Config.RetainSnapshots); otherwise ErrSnapshotRetired.
+func (db *DB) QueryPatternAsOf(pat *xpath.Pattern, seq uint64, workers int) ([]int64, *plan.ExecStats, plan.Strategy, error) {
+	s, release, err := db.SnapshotAt(seq)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	defer release()
+	env := s.queryEnv()
+	tree, cacheHit, err := s.choosePlan(env, pat, workers != 1)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	if cacheHit {
+		db.counters.CountPlanCacheHit()
+	}
+	var ids []int64
+	var es *plan.ExecStats
+	start := time.Now()
+	if workers != 1 {
+		ids, es, err = plan.ExecuteTreeParallel(env, tree, workers)
+	} else {
+		ids, es, err = plan.ExecuteTree(env, tree)
+	}
 	db.observeQuery(s, pat, tree.Strategy, es, time.Since(start))
 	if es != nil {
 		db.counters.CountQuery(es.Parallel, es.BranchesJoined)

@@ -40,6 +40,15 @@ func (rp *RootPaths) TakeRetired() []storage.PageID { return rp.tree.TakeRetired
 // TakeRetired is RootPaths.TakeRetired for DATAPATHS.
 func (dp *DataPaths) TakeRetired() []storage.PageID { return dp.tree.TakeRetired() }
 
+// TakeFresh drains the pages this clone allocated since CloneCOW (see
+// btree.Tree.TakeFresh); the engine frees them when a transaction's
+// prepared version is abandoned — rolled back, or replaced by a replay
+// onto a newer base.
+func (rp *RootPaths) TakeFresh() []storage.PageID { return rp.tree.TakeFresh() }
+
+// TakeFresh is RootPaths.TakeFresh for DATAPATHS.
+func (dp *DataPaths) TakeFresh() []storage.PageID { return dp.tree.TakeFresh() }
+
 // rowKey builds the index key for one 4-ary row under the build options.
 func (rp *RootPaths) rowKey(r pathrel.Row, rev *pathdict.Path) []byte {
 	if rp.opts.PathIDKeys {

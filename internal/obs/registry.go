@@ -26,6 +26,11 @@ type Registry struct {
 	// checkpointer active is how "checkpointing does not stall the commit
 	// path" is verified.
 	CommitLatency *Histogram
+	// TxnLatency records end-to-end transaction commit latency in
+	// nanoseconds — from Commit entry through validation, any replays,
+	// publish and the group fsync. One sample per successful Commit;
+	// conflicted commits record nothing (they publish nothing).
+	TxnLatency *Histogram
 }
 
 // NewRegistry returns a registry with all histograms allocated.
@@ -37,5 +42,6 @@ func NewRegistry() *Registry {
 		PoolMissLatency:    NewHistogram(),
 		CheckpointDuration: NewHistogram(),
 		CommitLatency:      NewHistogram(),
+		TxnLatency:         NewHistogram(),
 	}
 }

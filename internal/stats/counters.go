@@ -20,6 +20,9 @@ type QueryCounters struct {
 	branchesEvaluated atomic.Int64
 	planCacheHits     atomic.Int64
 	snapshotsPinned   atomic.Int64
+	txCommits         atomic.Int64
+	txConflicts       atomic.Int64
+	txRetries         atomic.Int64
 }
 
 // CountQuery records one executed query; parallel marks it as served by the
@@ -51,6 +54,30 @@ func (c *QueryCounters) CountSnapshotPin() {
 	c.lock.Unlock()
 }
 
+// CountTxCommit records one successfully committed transaction.
+func (c *QueryCounters) CountTxCommit() {
+	c.lock.Lock()
+	c.txCommits.Add(1)
+	c.lock.Unlock()
+}
+
+// CountTxConflict records one transaction commit rejected with a write-set
+// conflict (ErrConflict surfaced to the caller).
+func (c *QueryCounters) CountTxConflict() {
+	c.lock.Lock()
+	c.txConflicts.Add(1)
+	c.lock.Unlock()
+}
+
+// CountTxRetry records one automatic retry of a conflicted transaction
+// (the engine's implicit single-statement transactions and Update-style
+// closures retry; explicit Commit calls never do).
+func (c *QueryCounters) CountTxRetry() {
+	c.lock.Lock()
+	c.txRetries.Add(1)
+	c.lock.Unlock()
+}
+
 // QuerySnapshot is a point-in-time copy of the counters.
 type QuerySnapshot struct {
 	Queries           int64 // queries executed
@@ -58,6 +85,9 @@ type QuerySnapshot struct {
 	BranchesEvaluated int64 // covering branches evaluated across all queries
 	PlanCacheHits     int64 // auto-planned queries answered from the plan cache
 	SnapshotsPinned   int64 // snapshot pins taken by readers (one per query)
+	TxCommits         int64 // transactions committed (including implicit single-statement ones)
+	TxConflicts       int64 // commits rejected with a write-set conflict
+	TxRetries         int64 // automatic retries of conflicted transactions
 }
 
 // Snapshot returns one consistent point-in-time copy: it retries under
@@ -73,6 +103,9 @@ func (c *QueryCounters) Snapshot() QuerySnapshot {
 			BranchesEvaluated: c.branchesEvaluated.Load(),
 			PlanCacheHits:     c.planCacheHits.Load(),
 			SnapshotsPinned:   c.snapshotsPinned.Load(),
+			TxCommits:         c.txCommits.Load(),
+			TxConflicts:       c.txConflicts.Load(),
+			TxRetries:         c.txRetries.Load(),
 		}
 	})
 	return s

@@ -350,13 +350,21 @@ func (p *Pool) Unpin(pg Page, dirty bool) error {
 	return nil
 }
 
-// FlushAll writes every dirty frame back to disk (does not evict).
+// FlushAll writes every unpinned dirty frame back to disk (does not
+// evict). Pinned dirty frames are skipped: a pinned page belongs to a
+// writer that is still mutating it — with concurrent transaction
+// preparers, flushing it mid-mutation would race with the owner and
+// persist a torn intermediate state. Every page a committing writer wants
+// durable is unpinned by commit time (the B+-tree unpins after each
+// mutation), so the skip never loses committed data; a preparer's private
+// page flushed by a *later* commit is unreferenced by that commit's
+// catalog and harmless.
 func (p *Pool) FlushAll() error {
 	for i := range p.shards {
 		s := &p.shards[i]
 		s.mu.Lock()
 		for _, f := range s.frames {
-			if f.dirty {
+			if f.dirty && f.pins == 0 {
 				if err := s.dev.Write(f.id, f.data); err != nil {
 					s.mu.Unlock()
 					return err

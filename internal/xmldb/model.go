@@ -77,6 +77,14 @@ type Store struct {
 
 	nextID int64
 	byID   map[int64]*Node
+
+	// privatized and writeSet exist only on handles made by CloneShallow:
+	// privatized marks the top-level subtrees this handle has deep-copied
+	// (further Privatize calls into them are free), and writeSet records the
+	// top-level subtree ids the handle has declared it will mutate — the
+	// document-granularity write-set the engine validates transactions with.
+	privatized map[int64]bool
+	writeSet   map[int64]bool
 }
 
 // NewStore returns an empty store whose next node id is 1.
@@ -139,6 +147,53 @@ func (s *Store) RestoreDocument(doc *Document) {
 
 // SetNextID restores the id counter; ids at or above next must be unused.
 func (s *Store) SetNextID(next int64) { s.nextID = next }
+
+// AttachNumberedSubtree attaches a subtree whose nodes already carry ids —
+// assigned by the engine's global id allocator, so concurrent transaction
+// writers never collide — as the last child of parent. The subtree's ids
+// must be unused in this store; the id counter is raised past them so a
+// later SetNextID-free numbering cannot reuse them.
+func (s *Store) AttachNumberedSubtree(parent *Node, sub *Node) error {
+	if parent == nil {
+		return fmt.Errorf("xmldb: attach to nil parent")
+	}
+	if s.byID[parent.ID] != parent {
+		return fmt.Errorf("xmldb: parent #%d is not part of this store", parent.ID)
+	}
+	if sub.Parent != nil {
+		return fmt.Errorf("xmldb: subtree already attached")
+	}
+	if sub.ID == 0 {
+		return fmt.Errorf("xmldb: subtree is not numbered")
+	}
+	var register func(n *Node) error
+	register = func(n *Node) error {
+		if _, dup := s.byID[n.ID]; dup {
+			return fmt.Errorf("xmldb: node id %d already present in store", n.ID)
+		}
+		s.byID[n.ID] = n
+		if n.ID >= s.nextID {
+			s.nextID = n.ID + 1
+		}
+		for _, c := range n.Children {
+			if err := register(c); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := register(sub); err != nil {
+		return err
+	}
+	sub.Parent = parent
+	parent.Children = append(parent.Children, sub)
+	if parent.ID == 0 && s.writeSet != nil {
+		// A new top-level subtree is its own "document" for conflict
+		// purposes; record it so the write-set is complete.
+		s.writeSet[sub.ID] = true
+	}
+	return nil
+}
 
 // AttachSubtree numbers the nodes of sub (which must not yet have ids) and
 // attaches it as the last child of parent. Pre-order id assignment
@@ -212,29 +267,72 @@ func (s *Store) DetachSubtree(n *Node) error {
 // used for its ID (the `ID == 0` root checks), never traversed for
 // children, so the aliasing is harmless.
 func (s *Store) CloneForWrite(targetID int64) (*Store, *Node, error) {
-	target := s.byID[targetID]
-	if target == nil {
-		return nil, nil, fmt.Errorf("xmldb: no node with id %d", targetID)
+	clone := s.CloneShallow()
+	n, err := clone.Privatize(targetID)
+	if err != nil {
+		return nil, nil, err
 	}
+	return clone, n, nil
+}
+
+// CloneShallow returns a copy of the store that shares every document tree
+// with the original by pointer: only the virtual root, the byID map, and
+// the Docs slice are copied. The original must from now on be treated as
+// immutable. Individual documents are deep-copied on demand by Privatize —
+// together they are the document-granularity copy-on-write substrate of
+// the engine's transactions, which also read the accumulated write-set off
+// the clone (see WriteSet).
+//
+// Shared documents keep their original root nodes, whose Parent still
+// points at the original store's virtual root; that pointer is only ever
+// used for its ID (the `ID == 0` root checks), never traversed for
+// children, so the aliasing is harmless.
+func (s *Store) CloneShallow() *Store {
 	vr := &Node{ID: 0, Label: ""}
 	clone := &Store{
 		VirtualRoot: vr,
-		Docs:        make([]*Document, len(s.Docs)),
+		Docs:        append([]*Document(nil), s.Docs...),
 		nextID:      s.nextID,
-		byID:        make(map[int64]*Node, len(s.byID)),
+		byID:        make(map[int64]*Node, len(s.byID)+8),
+		privatized:  make(map[int64]bool),
+		writeSet:    make(map[int64]bool),
 	}
 	for id, n := range s.byID {
 		clone.byID[id] = n
 	}
 	clone.byID[0] = vr
+	vr.Children = append([]*Node(nil), s.VirtualRoot.Children...)
+	return clone
+}
 
-	// Find the document owning the target (nil for the virtual root).
+// Privatize prepares the store for mutating the location identified by
+// targetID: the top-level subtree (document) containing the target is
+// deep-copied — unless this handle already privatized it — swapped into
+// Docs and the virtual root's child list, and recorded in the write-set.
+// It returns the target's node in the private copy. Only meaningful on
+// handles made by CloneShallow; on other stores every document is already
+// private and the call just resolves the node.
+func (s *Store) Privatize(targetID int64) (*Node, error) {
+	target := s.byID[targetID]
+	if target == nil {
+		return nil, fmt.Errorf("xmldb: no node with id %d", targetID)
+	}
+	if targetID == 0 {
+		return s.VirtualRoot, nil
+	}
 	top := target
 	for top.Parent != nil && top.Parent.ID != 0 {
 		top = top.Parent
 	}
-	newTarget := target
-	var newTop *Node
+	if s.writeSet != nil {
+		s.writeSet[top.ID] = true
+	}
+	if s.privatized == nil || s.privatized[top.ID] {
+		// Not a shallow clone (every document private already), or this
+		// document was privatized earlier: byID resolves into the copy.
+		return target, nil
+	}
+	var newTarget *Node
 	var copyTree func(n *Node, parent *Node) *Node
 	copyTree = func(n *Node, parent *Node) *Node {
 		c := &Node{ID: n.ID, Label: n.Label, Value: n.Value, HasValue: n.HasValue, Parent: parent}
@@ -244,38 +342,44 @@ func (s *Store) CloneForWrite(targetID int64) (*Store, *Node, error) {
 				c.Children[j] = copyTree(ch, c)
 			}
 		}
-		clone.byID[c.ID] = c
+		s.byID[c.ID] = c
 		if n == target {
 			newTarget = c
 		}
 		return c
 	}
+	newTop := copyTree(top, s.VirtualRoot)
 	for i, d := range s.Docs {
-		if targetID != 0 && d.Root == top {
-			newTop = copyTree(d.Root, vr)
-			clone.Docs[i] = &Document{Root: newTop}
-		} else {
-			clone.Docs[i] = d
+		if d.Root == top {
+			s.Docs[i] = &Document{Root: newTop}
+			break
 		}
 	}
-	if targetID == 0 {
-		newTarget = vr
-	} else if newTop == nil && top.Parent != nil && top.Parent.ID == 0 {
-		// Target hangs off the virtual root outside any document (a
-		// subtree attached at id 0): copy just that subtree.
-		newTop = copyTree(top, vr)
-	}
-	// Rebuild the virtual root's child list in the original order, swapping
-	// in the copied top-level subtree.
-	vr.Children = make([]*Node, len(s.VirtualRoot.Children))
 	for i, c := range s.VirtualRoot.Children {
-		if c == top && newTop != nil {
-			vr.Children[i] = newTop
-		} else {
-			vr.Children[i] = c
+		if c == top {
+			s.VirtualRoot.Children[i] = newTop
+			break
 		}
 	}
-	return clone, newTarget, nil
+	s.privatized[top.ID] = true
+	return newTarget, nil
+}
+
+// WriteSet returns the ids of the top-level subtrees (documents) this
+// handle has privatized or attached since CloneShallow — the
+// document-granularity write-set the engine's optimistic transactions
+// validate at commit. Sorted for deterministic conflict reporting; nil for
+// stores that were not made by CloneShallow.
+func (s *Store) WriteSet() []int64 {
+	if len(s.writeSet) == 0 {
+		return nil
+	}
+	out := make([]int64, 0, len(s.writeSet))
+	for id := range s.writeSet {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
 }
 
 // Ancestors returns the nodes from the document root down to n's parent

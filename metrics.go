@@ -58,6 +58,10 @@ type Metrics struct {
 	// tail with and without the background checkpointer active shows the
 	// checkpointer's interference with the commit path.
 	CommitLatency LatencyStats
+	// TxnLatency is end-to-end transaction commit latency — validation,
+	// any replays, publish and the group fsync. One sample per successful
+	// Commit (conflicted commits publish nothing and record nothing).
+	TxnLatency LatencyStats
 	// GroupCommitBatch is the number of commits each WAL fsync made
 	// durable — the group-commit amortisation factor.
 	GroupCommitBatch BatchStats
@@ -103,6 +107,7 @@ func (db *DB) Metrics() Metrics {
 		PoolMissLatency:    latencyStats(reg.PoolMissLatency),
 		CheckpointDuration: latencyStats(reg.CheckpointDuration),
 		CommitLatency:      latencyStats(reg.CommitLatency),
+		TxnLatency:         latencyStats(reg.TxnLatency),
 		GroupCommitBatch:   batchStats(reg.GroupCommitBatch),
 		SlowQueries:        db.eng.SlowQueryLog().Total(),
 	}
@@ -167,6 +172,11 @@ func (db *DB) WriteMetrics(w io.Writer) error {
 	p.Counter("twigdb_snapshots_pinned_total", "Reader-side snapshot pins (one per query).", qs.SnapshotsPinned)
 	p.Counter("twigdb_slow_queries_total", "Queries that crossed the slow-query threshold.", db.eng.SlowQueryLog().Total())
 
+	p.Counter("twigdb_tx_commits_total", "Transactions committed (including implicit single-statement ones).", qs.TxCommits)
+	p.Counter("twigdb_tx_conflicts_total", "Transaction commits rejected with a write-set conflict.", qs.TxConflicts)
+	p.Counter("twigdb_tx_retries_total", "Automatic retries of conflicted transactions.", qs.TxRetries)
+	p.Gauge("twigdb_retained_snapshots", "Superseded versions held in the AS OF retention window.", float64(db.eng.RetainedSnapshots()))
+
 	p.Counter("twigdb_device_reads_total", "Page reads from the device.", d.Reads)
 	p.Counter("twigdb_device_writes_total", "Page writes to the device.", d.Writes)
 	p.Counter("twigdb_device_read_bytes_total", "Bytes read from the device.", d.BytesRead)
@@ -219,6 +229,7 @@ func (db *DB) WriteMetrics(w io.Writer) error {
 	p.Histogram("twigdb_pool_miss_read_latency_seconds", "Device read latency of buffer pool misses.", reg.PoolMissLatency.Snapshot(), 1e-9)
 	p.Histogram("twigdb_checkpoint_duration_seconds", "Full checkpoint duration.", reg.CheckpointDuration.Snapshot(), 1e-9)
 	p.Histogram("twigdb_commit_latency_seconds", "Per-commit latency (WAL append through group fsync).", reg.CommitLatency.Snapshot(), 1e-9)
+	p.Histogram("twigdb_txn_latency_seconds", "Transaction commit latency (validation through group fsync; successful commits only).", reg.TxnLatency.Snapshot(), 1e-9)
 	return p.Err()
 }
 

@@ -30,6 +30,11 @@ type Result struct {
 	// Plan; see docs/OBSERVABILITY.md for the timing semantics.
 	Trace *TraceNode
 
+	// SnapshotSeq is the sequence number of the database version that
+	// answered — set by QueryAsOf (0 on ordinary queries, which always run
+	// against the version current at their start).
+	SnapshotSeq uint64
+
 	db *DB
 }
 

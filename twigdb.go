@@ -225,6 +225,21 @@ type Options struct {
 	// group-committing at fsync speed while the log drains. 0 keeps the
 	// 64MB default; only meaningful with Path set.
 	CheckpointWALBytes int64
+
+	// TxRetries caps how many times DB.Update re-runs its closure after an
+	// ErrConflict before giving up and returning the error. 0 keeps the
+	// default of 8; negative retries without bound. Explicit Tx.Commit
+	// calls never retry regardless of this setting.
+	TxRetries int
+
+	// RetainSnapshots keeps that many superseded database versions
+	// queryable after publication, giving QueryAsOf a time-travel window
+	// of the last RetainSnapshots commits (by sequence number, see
+	// CurrentSeq). Each retained version holds the deferred page
+	// reclamation of every later commit — the window trades space for
+	// history depth. 0, the default, disables retention: only the current
+	// version is queryable.
+	RetainSnapshots int
 }
 
 // DB is an XML database instance: a forest of loaded documents plus any
@@ -241,6 +256,8 @@ type Options struct {
 // fsyncs (group commit). See docs/CONCURRENCY.md for the exact guarantees.
 type DB struct {
 	eng *engine.DB
+	// txRetries is Options.TxRetries resolved (0 → default) for DB.Update.
+	txRetries int
 }
 
 // Open creates a database. A nil opts uses the defaults (in-memory, 40MB
@@ -250,7 +267,15 @@ type DB struct {
 // run immediately without rebuilding.
 func Open(opts *Options) (*DB, error) {
 	cfg := engine.DefaultConfig()
+	txRetries := defaultTxRetries
 	if opts != nil {
+		switch {
+		case opts.TxRetries > 0:
+			txRetries = opts.TxRetries
+		case opts.TxRetries < 0:
+			txRetries = -1
+		}
+		cfg.RetainSnapshots = opts.RetainSnapshots
 		if opts.BufferPoolBytes > 0 {
 			cfg.BufferPoolBytes = opts.BufferPoolBytes
 		}
@@ -276,8 +301,11 @@ func Open(opts *Options) (*DB, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &DB{eng: eng}, nil
+	return &DB{eng: eng, txRetries: txRetries}, nil
 }
+
+// defaultTxRetries is the Options.TxRetries default for DB.Update.
+const defaultTxRetries = 8
 
 // MustOpen is Open for programs and tests where an open failure is fatal
 // (it cannot happen for in-memory databases).
@@ -519,6 +547,13 @@ type QueryStats struct {
 	// so under write concurrency this stays below the number of committed
 	// updates (the amortisation the mixed benchmark records).
 	GroupCommitBatches int64
+
+	// TxCommits/TxConflicts/TxRetries mirror TxStats (also exposed there
+	// with the retained-snapshot gauge): transactions committed, commits
+	// rejected with ErrConflict, and automatic conflict retries.
+	TxCommits   int64
+	TxConflicts int64
+	TxRetries   int64
 }
 
 // QueryStats returns the lifetime query counters.
@@ -535,6 +570,9 @@ func (db *DB) QueryStats() QueryStats {
 		BytesWritten:       d.BytesWritten,
 		WALFsyncs:          d.WALFsyncs,
 		GroupCommitBatches: d.GroupCommitBatches,
+		TxCommits:          s.TxCommits,
+		TxConflicts:        s.TxConflicts,
+		TxRetries:          s.TxRetries,
 	}
 }
 
